@@ -1,0 +1,53 @@
+// Command perfbench regenerates the §4.5 overhead comparison: the same
+// workload natively, on the bare VM, and on the VM with each analysis
+// attached.
+//
+// Usage:
+//
+//	perfbench
+//	perfbench -threads 8 -iters 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		threads = flag.Int("threads", 4, "guest worker threads")
+		iters   = flag.Int("iters", 2000, "iterations per thread")
+		slots   = flag.Int("slots", 64, "shared table slots")
+		seed    = flag.Int64("seed", 1, "scheduler seed")
+		repeat  = flag.Int("repeat", 3, "repetitions (best run reported)")
+	)
+	flag.Parse()
+
+	w := harness.PerfWorkload{Threads: *threads, Iters: *iters, Slots: *slots, Seed: *seed}
+	best := map[harness.PerfMode]harness.PerfResult{}
+	for r := 0; r < *repeat; r++ {
+		results, err := w.Overhead()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		for _, res := range results {
+			if prev, ok := best[res.Mode]; !ok || res.Duration < prev.Duration {
+				best[res.Mode] = res
+			}
+		}
+	}
+	ordered := []harness.PerfMode{
+		harness.PerfNative, harness.PerfVM, harness.PerfVMLockset,
+		harness.PerfVMLocksetDR, harness.PerfVMDJIT,
+	}
+	out := make([]harness.PerfResult, 0, len(ordered))
+	for _, m := range ordered {
+		out = append(out, best[m])
+	}
+	fmt.Printf("§4.5 overhead, %d threads x %d iterations (best of %d):\n\n", *threads, *iters, *repeat)
+	fmt.Print(harness.FormatOverhead(out))
+}

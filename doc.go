@@ -1,0 +1,12 @@
+// Package repro reproduces Mühlenfeld & Wotawa, "Fault Detection in
+// Multi-Threaded C++ Server Applications" (ENTCS 174, 2007) as a Go library:
+// an Eraser/Helgrind-style lock-set race detector with the paper's two
+// improvements (corrected hardware bus-lock emulation and automatic
+// destructor annotation), running on a deterministic virtual machine with a
+// synthetic C++ runtime and SIP proxy server as the system under test.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured results. The public
+// entry point is internal/core; the benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation.
+package repro

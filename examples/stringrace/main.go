@@ -1,0 +1,78 @@
+// Stringrace reproduces Fig. 8/9 of the paper: a GNU libstdc++ copy-on-write
+// std::string is copied by two threads. The reference-count update mixes a
+// plain read (the leak check) with a LOCK-prefixed increment; under the
+// original Helgrind bus-lock model this produces the famous false positive
+// inside std::string::_Rep::_M_grab, and the corrected read-write-lock model
+// (HWLC) silences it.
+//
+// Run with:
+//
+//	go run ./examples/stringrace
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cppmodel"
+	"repro/internal/vm"
+)
+
+func main() {
+	for _, cfg := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"Original (single pseudo-mutex bus lock)", core.OptionsOriginal()},
+		{"HWLC (read-write-lock bus lock)", core.OptionsHWLC()},
+	} {
+		rt := cppmodel.NewRuntime(cppmodel.Options{ForceNew: true})
+		cfg.opt.Seed = 1
+		res, err := core.Run(cfg.opt, fig8Program(rt))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("== %s ==\n", cfg.name)
+		if res.Locations() == 0 {
+			fmt.Println("no warnings — the refcount is recognised as bus-locked")
+		} else {
+			fmt.Print(res.Report())
+		}
+		fmt.Println()
+	}
+}
+
+// fig8Program is the stringtest.cpp of Fig. 8, line for line:
+//
+//	16  std::string text("contents");
+//	19  pthread_create(&thread_id, 0, workerThread, &text);
+//	10      std::string text = *(std::string*)arguments;   (in the worker)
+//	21  sleep(1);
+//	22  std::string text_copy = text;                      <- reported conflict
+//	25  pthread_join(thread_id, &result);
+func fig8Program(rt *cppmodel.Runtime) func(*vm.Thread) {
+	return func(main *vm.Thread) {
+		defer main.Func("main", "stringtest.cpp", 14)()
+		main.SetLine(16)
+		text := rt.NewCowString(main, "contents")
+
+		main.SetLine(19)
+		worker := main.Go("workerThread", func(t *vm.Thread) {
+			defer t.Func("workerThread", "stringtest.cpp", 8)()
+			t.SetLine(10)
+			cp := text.Copy(t)
+			cp.Release(t)
+		})
+
+		main.SetLine(21)
+		main.Sleep(10) // sleep(1)
+
+		main.SetLine(22)
+		textCopy := text.Copy(main) // <- reported conflict
+		textCopy.Release(main)
+
+		main.SetLine(25)
+		main.Join(worker)
+		text.Release(main)
+	}
+}

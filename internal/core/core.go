@@ -1,0 +1,193 @@
+// Package core is the library's public façade: it assembles the virtual
+// machine, the detectors and the report pipeline into a single entry point,
+// mirroring the paper's debugging process (Fig. 3): instrument → execute on
+// the VM → analyse the warnings.
+//
+// A minimal session:
+//
+//	res, err := core.Run(core.Options{}, func(t *vm.Thread) {
+//	    v := t.VM()
+//	    c := v.NewMutex("counter")
+//	    b := t.Alloc(4, "counter")
+//	    ...
+//	})
+//	fmt.Print(res.Report())
+//
+// Detector selection, bus-lock model, destructor annotations, thread-segment
+// edges, suppressions and auxiliary tools (lock-order deadlock detection,
+// memcheck) are all options. The paper's three evaluation configurations are
+// available as OptionsOriginal, OptionsHWLC and OptionsHWLCDR.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/deadlock"
+	"repro/internal/highlevel"
+	"repro/internal/hybrid"
+	"repro/internal/lockset"
+	"repro/internal/memcheck"
+	"repro/internal/report"
+	"repro/internal/suppress"
+	"repro/internal/trace"
+	"repro/internal/vectorclock"
+	"repro/internal/vm"
+)
+
+// DetectorKind selects the race-detection algorithm.
+type DetectorKind uint8
+
+// Available detectors.
+const (
+	// DetectorLockset is the Eraser/Helgrind lock-set algorithm with the
+	// paper's improvements — the primary contribution.
+	DetectorLockset DetectorKind = iota
+	// DetectorDJIT is the pure happens-before baseline [6].
+	DetectorDJIT
+	// DetectorHybrid is the lock-set + happens-before hybrid [12].
+	DetectorHybrid
+	// DetectorNone runs without a race detector (for overhead baselines).
+	DetectorNone
+)
+
+func (k DetectorKind) String() string {
+	switch k {
+	case DetectorLockset:
+		return "lockset"
+	case DetectorDJIT:
+		return "djit"
+	case DetectorHybrid:
+		return "hybrid"
+	default:
+		return "none"
+	}
+}
+
+// Options configures a checking run.
+type Options struct {
+	// Detector selects the algorithm (default DetectorLockset).
+	Detector DetectorKind
+	// Lockset configures the lock-set detector (defaults to the paper's
+	// strongest configuration, HWLC+DR).
+	Lockset lockset.Config
+	// DJIT configures the happens-before detector when selected.
+	DJIT vectorclock.Config
+	// Hybrid configures the hybrid detector when selected.
+	Hybrid hybrid.Config
+	// Deadlocks attaches the lock-order-graph deadlock tool.
+	Deadlocks bool
+	// Memcheck attaches the use-after-free tool.
+	Memcheck bool
+	// HighLevel attaches the view-consistency checker for high-level data
+	// races ([1], discussed in the paper's §2.1).
+	HighLevel bool
+	// Suppressions holds suppression rules in the Valgrind-like format
+	// accepted by internal/suppress.
+	Suppressions string
+	// Seed drives the deterministic scheduler.
+	Seed int64
+	// Quantum is the scheduling quantum (1 = preempt at every operation).
+	Quantum int
+	// MaxSteps bounds the run.
+	MaxSteps int64
+}
+
+// OptionsOriginal mirrors the paper's first experimental configuration.
+func OptionsOriginal() Options { return Options{Lockset: lockset.ConfigOriginal()} }
+
+// OptionsHWLC mirrors the corrected-bus-lock configuration.
+func OptionsHWLC() Options { return Options{Lockset: lockset.ConfigHWLC()} }
+
+// OptionsHWLCDR mirrors the full HWLC+DR configuration.
+func OptionsHWLCDR() Options { return Options{Lockset: lockset.ConfigHWLCDR()} }
+
+// Result is the outcome of a checking run.
+type Result struct {
+	// Collector holds the deduplicated warnings.
+	Collector *report.Collector
+	// VM is the machine the program ran on (stacks and blocks resolve
+	// against it).
+	VM *vm.VM
+	// Err is the guest execution error, if any (including deadlock).
+	Err error
+	// Steps is the number of guest operations executed.
+	Steps int64
+	// LocksetDetector is set when the lock-set detector ran (for its
+	// dynamic counters).
+	LocksetDetector *lockset.Detector
+	// DeadlockDetector is set when the lock-order tool ran.
+	DeadlockDetector *deadlock.Detector
+	// MemcheckDetector is set when memcheck ran.
+	MemcheckDetector *memcheck.Detector
+	// HighLevelDetector is set when the view-consistency checker ran.
+	HighLevelDetector *highlevel.Detector
+}
+
+// Locations returns the number of distinct reported locations.
+func (r *Result) Locations() int { return r.Collector.Locations() }
+
+// Report renders the warnings in Helgrind-like format.
+func (r *Result) Report() string { return r.Collector.Format() }
+
+// Run executes the guest program under the configured tools. The returned
+// error covers configuration problems only; guest failures (panic, deadlock,
+// step limit) are reported in Result.Err so that warnings collected up to
+// that point remain accessible.
+func Run(opt Options, body func(*vm.Thread)) (*Result, error) {
+	if opt.Lockset.Bus == lockset.BusNone && opt.Lockset.Mask == 0 && !opt.Lockset.Destruct {
+		// Zero-value lockset config: default to the paper's best.
+		opt.Lockset = lockset.ConfigHWLCDR()
+	}
+	machine := vm.New(vm.Options{Seed: opt.Seed, Quantum: opt.Quantum, MaxSteps: opt.MaxSteps})
+
+	var sup report.Suppressor
+	if opt.Suppressions != "" {
+		f, err := suppress.ParseString(opt.Suppressions)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad suppressions: %w", err)
+		}
+		sup = f
+	}
+	col := report.NewCollector(machine, sup)
+	res := &Result{Collector: col, VM: machine}
+
+	switch opt.Detector {
+	case DetectorLockset:
+		res.LocksetDetector = lockset.New(opt.Lockset, col)
+		machine.AddTool(res.LocksetDetector)
+	case DetectorDJIT:
+		cfg := opt.DJIT
+		if cfg.Tool == "" && !cfg.LockEdges {
+			cfg = vectorclock.DefaultConfig()
+		}
+		machine.AddTool(vectorclock.New(cfg, col))
+	case DetectorHybrid:
+		machine.AddTool(hybrid.New(opt.Hybrid, col))
+	case DetectorNone:
+		// No race detector.
+	default:
+		return nil, fmt.Errorf("core: unknown detector %d", opt.Detector)
+	}
+	if opt.Deadlocks {
+		res.DeadlockDetector = deadlock.New(deadlock.Config{}, col)
+		machine.AddTool(res.DeadlockDetector)
+	}
+	if opt.Memcheck {
+		res.MemcheckDetector = memcheck.New(memcheck.Config{}, col)
+		machine.AddTool(res.MemcheckDetector)
+	}
+	if opt.HighLevel {
+		res.HighLevelDetector = highlevel.New(highlevel.Config{}, col)
+		machine.AddTool(res.HighLevelDetector)
+	}
+
+	res.Err = machine.Run(body)
+	res.Steps = machine.Steps()
+	if res.HighLevelDetector != nil {
+		res.HighLevelDetector.Finish()
+	}
+	return res, nil
+}
+
+// Tool re-exports for convenience so that callers can attach custom sinks.
+type Tool = trace.Sink

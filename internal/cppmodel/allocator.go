@@ -1,0 +1,72 @@
+package cppmodel
+
+import "repro/internal/vm"
+
+// PoolAllocator models the GNU libstdc++ default container allocator: freed
+// chunks go to a per-size free list and are handed out again WITHOUT any
+// malloc/free the analysis tools could observe. Shadow state from a chunk's
+// previous life therefore survives into its next life — the allocator
+// false-positive family of §4 ("Memory is reused internally and accesses to
+// the reused memory regions are reported as data races ... as Helgrind does
+// not know anything about them").
+//
+// ForceNew (the GLIBCPP_FORCE_NEW environment variable) bypasses the pool:
+// every allocation and free goes to the VM heap, resetting shadow state.
+type PoolAllocator struct {
+	forceNew bool
+	pools    map[int][]*vm.Block
+	// Counters for tests and the harness.
+	allocs   int
+	reuses   int
+	releases int
+}
+
+// NewPoolAllocator creates an allocator; forceNew disables recycling.
+func NewPoolAllocator(forceNew bool) *PoolAllocator {
+	return &PoolAllocator{forceNew: forceNew, pools: make(map[int][]*vm.Block)}
+}
+
+// ForceNew reports whether pooling is disabled.
+func (p *PoolAllocator) ForceNew() bool { return p.forceNew }
+
+// Alloc returns a chunk of at least size bytes. Pooled chunks keep their
+// original tag and shadow state.
+func (p *PoolAllocator) Alloc(t *vm.Thread, size int, tag string) *vm.Block {
+	p.allocs++
+	cls := sizeClass(size)
+	if !p.forceNew {
+		if free := p.pools[cls]; len(free) > 0 {
+			blk := free[len(free)-1]
+			p.pools[cls] = free[:len(free)-1]
+			p.reuses++
+			return blk
+		}
+	}
+	return t.Alloc(cls, tag)
+}
+
+// Free returns the chunk to the pool (or to the VM under ForceNew).
+func (p *PoolAllocator) Free(t *vm.Thread, blk *vm.Block) {
+	p.releases++
+	if p.forceNew {
+		blk.Free(t)
+		return
+	}
+	cls := sizeClass(blk.Size())
+	p.pools[cls] = append(p.pools[cls], blk)
+}
+
+// Reuses returns how many allocations were served from the pool.
+func (p *PoolAllocator) Reuses() int { return p.reuses }
+
+// Allocs returns the total allocation count.
+func (p *PoolAllocator) Allocs() int { return p.allocs }
+
+// sizeClass rounds a request up to its pool size class (16-byte steps, like
+// the libstdc++ power-of-two-ish free lists, simplified).
+func sizeClass(size int) int {
+	if size <= 0 {
+		size = 1
+	}
+	return (size + 15) &^ 15
+}

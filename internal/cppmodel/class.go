@@ -1,0 +1,329 @@
+// Package cppmodel simulates the C++ runtime behaviours that cause the
+// paper's language-specific false positives:
+//
+//   - polymorphic objects whose constructor/destructor chains rewrite the
+//     vptr at every inheritance level (§4.2.1, the destructor FP family),
+//   - the automatic delete-site annotation produced by the ELSA-based
+//     instrumentation pass (§3.1, Fig. 4),
+//   - the GNU libstdc++ copy-on-write string with its bus-locked reference
+//     counter (§4.2.2, Fig. 8/9),
+//   - the pooled container allocator that recycles memory without telling
+//     the tools (§4, the GLIBCPP_FORCE_NEW issue).
+//
+// Guest code builds class descriptors once and instantiates objects through
+// a Runtime, which carries the instrumentation configuration (whether delete
+// sites are annotated, which translation units have source available, and
+// the allocator mode).
+package cppmodel
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// VptrSize is the size of the vtable pointer slot at offset 0.
+const VptrSize = 8
+
+// Field declares one member variable of a class.
+type Field struct {
+	Name string
+	Size int
+}
+
+// Class is a C++ class descriptor. Build roots with NewClass and derived
+// classes with Derive; layout follows the common ABI: the base subobject
+// (including the vptr at offset 0) comes first, derived fields append.
+type Class struct {
+	Name string
+	Base *Class
+	File string // simulated source file for stack frames
+	Line int
+
+	// Ctor and Dtor are optional user bodies run after the compiler-
+	// generated parts (vptr store) of each chain level.
+	Ctor func(t *vm.Thread, obj *Object)
+	Dtor func(t *vm.Thread, obj *Object)
+
+	size    int
+	offsets map[string]fieldInfo
+	vtable  uint64
+	depth   int
+}
+
+type fieldInfo struct {
+	off  int
+	size int
+}
+
+var vtableCounter uint64
+
+// NewClass creates a root class with the given fields.
+func NewClass(name, file string, fields ...Field) *Class {
+	c := &Class{
+		Name:    name,
+		File:    file,
+		Line:    1,
+		size:    VptrSize,
+		offsets: make(map[string]fieldInfo),
+	}
+	vtableCounter++
+	c.vtable = vtableCounter
+	c.addFields(fields)
+	return c
+}
+
+// Derive creates a subclass appending the given fields after the base
+// subobject.
+func (base *Class) Derive(name, file string, fields ...Field) *Class {
+	c := &Class{
+		Name:    name,
+		Base:    base,
+		File:    file,
+		Line:    1,
+		size:    base.size,
+		offsets: make(map[string]fieldInfo),
+		depth:   base.depth + 1,
+	}
+	vtableCounter++
+	c.vtable = vtableCounter
+	c.addFields(fields)
+	return c
+}
+
+func (c *Class) addFields(fields []Field) {
+	for _, f := range fields {
+		if f.Size <= 0 {
+			f.Size = 8
+		}
+		// 4-byte align every field so granules do not straddle members.
+		c.size = (c.size + 3) &^ 3
+		c.offsets[f.Name] = fieldInfo{off: c.size, size: f.Size}
+		c.size += f.Size
+	}
+}
+
+// Size returns the object size in bytes, including inherited fields.
+func (c *Class) Size() int { return c.size }
+
+// IsA reports whether c is other or derives from it.
+func (c *Class) IsA(other *Class) bool {
+	for k := c; k != nil; k = k.Base {
+		if k == other {
+			return true
+		}
+	}
+	return false
+}
+
+// chain returns the inheritance chain, root first.
+func (c *Class) chain() []*Class {
+	var out []*Class
+	for k := c; k != nil; k = k.Base {
+		out = append(out, k)
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// field resolves a field by name anywhere in the hierarchy.
+func (c *Class) field(name string) (fieldInfo, bool) {
+	for k := c; k != nil; k = k.Base {
+		if fi, ok := k.offsets[name]; ok {
+			return fi, true
+		}
+	}
+	return fieldInfo{}, false
+}
+
+// Object is an instance of a Class living in guest memory.
+type Object struct {
+	Class *Class
+	Block *vm.Block
+	rt    *Runtime
+	alive bool
+}
+
+// Options configures the instrumentation and allocator behaviour of a
+// Runtime — the build-process switches of §3.2/§3.3.
+type Options struct {
+	// AnnotateDeletes enables the automatic delete-site annotation (the DR
+	// improvement). It corresponds to routing the build through the
+	// ELSA-based instrumentation wrapper.
+	AnnotateDeletes bool
+	// SourceAvailable reports whether the translation unit defining the
+	// class was instrumented. Parts without source (third-party libraries)
+	// do not emit the annotation even when AnnotateDeletes is on (§3.1:
+	// "Parts of the program where the source code is not available will not
+	// benefit from this annotation"). nil means everything has source.
+	SourceAvailable func(c *Class) bool
+	// ForceNew disables pooled-allocator recycling, like the
+	// GLIBCPP_FORCE_NEW environment variable (§4).
+	ForceNew bool
+}
+
+// Runtime instantiates objects and strings on a VM with the configured
+// instrumentation.
+type Runtime struct {
+	opt   Options
+	pool  *PoolAllocator
+	stats RuntimeStats
+}
+
+// RuntimeStats counts runtime activity (for tests and the harness).
+type RuntimeStats struct {
+	ObjectsNew     int
+	ObjectsDeleted int
+	Annotated      int
+}
+
+// NewRuntime creates a runtime with the given instrumentation options.
+func NewRuntime(opt Options) *Runtime {
+	return &Runtime{opt: opt, pool: NewPoolAllocator(opt.ForceNew)}
+}
+
+// Options returns the runtime's instrumentation options.
+func (rt *Runtime) Options() Options { return rt.opt }
+
+// Stats returns activity counters.
+func (rt *Runtime) Stats() RuntimeStats { return rt.stats }
+
+// Pool returns the runtime's pooled allocator.
+func (rt *Runtime) Pool() *PoolAllocator { return rt.pool }
+
+// New constructs an object of class c: the memory is allocated and the
+// constructor chain runs root-first, each level storing its vtable pointer
+// before the user constructor body — exactly the writes the race detector
+// sees from a real C++ program. As in real C++, each constructor invokes its
+// base constructor from within its own frame, so the recorded stacks nest
+// (Derived::Derived -> Base::Base).
+func (rt *Runtime) New(t *vm.Thread, c *Class) *Object {
+	blk := rt.pool.Alloc(t, c.size, "obj:"+c.Name)
+	obj := &Object{Class: c, Block: blk, rt: rt, alive: true}
+	rt.construct(t, obj, c)
+	rt.stats.ObjectsNew++
+	return obj
+}
+
+func (rt *Runtime) construct(t *vm.Thread, obj *Object, k *Class) {
+	pop := t.Func(k.Name+"::"+ctorName(k.Name), k.File, k.Line)
+	defer pop()
+	if k.Base != nil {
+		rt.construct(t, obj, k.Base)
+	}
+	obj.Block.Store64(t, 0, k.vtable) // compiler-generated vptr store
+	if k.Ctor != nil {
+		k.Ctor(t, obj)
+	}
+}
+
+// Delete destroys the object: optionally the delete-site annotation fires
+// (Fig. 4), then the destructor chain runs most-derived-first, each level
+// rewriting the vptr so the destructor "sees only the properties of its
+// class" (§3.1) — the writes behind the destructor FP family.
+func (rt *Runtime) Delete(t *vm.Thread, obj *Object) {
+	if !obj.alive {
+		// Deleting twice is a guest bug; fall through so memcheck sees the
+		// double free.
+		rt.pool.Free(t, obj.Block)
+		return
+	}
+	obj.alive = false
+	if rt.opt.AnnotateDeletes && rt.sourceAvailable(obj.Class) {
+		// The annotation pass wraps the operand of `delete` in
+		// ca_deletor_single, which issues VALGRIND_HG_DESTRUCT (Fig. 4).
+		pop := t.Func(fmt.Sprintf("ca_deletor_single<%s>", obj.Class.Name), "annotate.h", 12)
+		obj.Block.Request(t, trace.ReqDestruct, 0, obj.Class.size)
+		pop()
+		rt.stats.Annotated++
+	}
+	rt.destruct(t, obj, obj.Class)
+	rt.stats.ObjectsDeleted++
+	rt.pool.Free(t, obj.Block)
+}
+
+// destruct runs one destructor level and recurses into the base, mirroring
+// the real call chain (~Derived calls ~Base from within its own frame).
+func (rt *Runtime) destruct(t *vm.Thread, obj *Object, k *Class) {
+	pop := t.Func(k.Name+"::~"+ctorName(k.Name), k.File, k.Line+1)
+	defer pop()
+	obj.Block.Store64(t, 0, k.vtable) // vptr rewrite for this level
+	if k.Dtor != nil {
+		k.Dtor(t, obj)
+	}
+	if k.Base != nil {
+		rt.destruct(t, obj, k.Base)
+	}
+}
+
+func (rt *Runtime) sourceAvailable(c *Class) bool {
+	if rt.opt.SourceAvailable == nil {
+		return true
+	}
+	return rt.opt.SourceAvailable(c)
+}
+
+// ctorName strips namespaces for the frame name (Foo::Foo).
+func ctorName(name string) string {
+	for i := len(name) - 1; i > 0; i-- {
+		if name[i] == ':' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// Alive reports whether the object has not been deleted.
+func (o *Object) Alive() bool { return o.alive }
+
+// fieldOrFail resolves a field or fails the guest.
+func (o *Object) fieldOrFail(t *vm.Thread, name string) fieldInfo {
+	fi, ok := o.Class.field(name)
+	if !ok {
+		panic(fmt.Sprintf("cppmodel: class %s has no field %q", o.Class.Name, name))
+	}
+	return fi
+}
+
+// Load reads a member variable (as uint64, regardless of declared size).
+func (o *Object) Load(t *vm.Thread, name string) uint64 {
+	fi := o.fieldOrFail(t, name)
+	if fi.size >= 8 {
+		return o.Block.Load64(t, fi.off)
+	}
+	return uint64(o.Block.Load32(t, fi.off))
+}
+
+// Store writes a member variable.
+func (o *Object) Store(t *vm.Thread, name string, v uint64) {
+	fi := o.fieldOrFail(t, name)
+	if fi.size >= 8 {
+		o.Block.Store64(t, fi.off, v)
+	} else {
+		o.Block.Store32(t, fi.off, uint32(v))
+	}
+}
+
+// VCall simulates a virtual call: a read of the vptr slot (the access that
+// puts the vptr granule into a shared state when many threads call virtual
+// methods) followed by the handler body.
+func (o *Object) VCall(t *vm.Thread, method string, body func()) {
+	pop := t.Func(o.Class.Name+"::"+method, o.Class.File, o.Class.Line+2)
+	o.Block.Load64(t, 0) // vtable dispatch
+	if body != nil {
+		body()
+	}
+	pop()
+}
+
+// FieldOff exposes a field's offset for binding vm.AtomicI32 or vm.Cell.
+func (o *Object) FieldOff(name string) int {
+	fi, ok := o.Class.field(name)
+	if !ok {
+		panic(fmt.Sprintf("cppmodel: class %s has no field %q", o.Class.Name, name))
+	}
+	return fi.off
+}

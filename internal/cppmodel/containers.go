@@ -1,0 +1,135 @@
+package cppmodel
+
+import (
+	"sort"
+
+	"repro/internal/vm"
+)
+
+// Vector is a std::vector-like container whose element nodes come from the
+// pooled allocator. Element values live on the Go side; each element has a
+// guest node so the tools see per-element accesses (and pool reuse).
+type Vector struct {
+	rt    *Runtime
+	tag   string
+	elems []velem
+}
+
+type velem struct {
+	blk *vm.Block
+	v   any
+}
+
+// NewVector creates a vector whose nodes are tagged tag.
+func (rt *Runtime) NewVector(tag string) *Vector {
+	return &Vector{rt: rt, tag: tag}
+}
+
+// PushBack appends an element (allocates and writes its node).
+func (v *Vector) PushBack(t *vm.Thread, val any) {
+	blk := v.rt.pool.Alloc(t, 8, v.tag)
+	blk.Store64(t, 0, uint64(len(v.elems)+1))
+	v.elems = append(v.elems, velem{blk: blk, v: val})
+}
+
+// At reads element i.
+func (v *Vector) At(t *vm.Thread, i int) any {
+	e := v.elems[i]
+	e.blk.Load64(t, 0)
+	return e.v
+}
+
+// Len returns the element count without guest accesses.
+func (v *Vector) Len() int { return len(v.elems) }
+
+// Clear releases every node back to the allocator.
+func (v *Vector) Clear(t *vm.Thread) {
+	for _, e := range v.elems {
+		v.rt.pool.Free(t, e.blk)
+	}
+	v.elems = nil
+}
+
+// Map is a std::map<string, T>-like container with one pooled node per
+// entry. Iteration reads every node — which is what makes the Fig. 7
+// returned-reference bug visible: callers iterating the map without the
+// guarding mutex race against mutators.
+type Map struct {
+	rt      *Runtime
+	tag     string
+	entries map[string]*mentry
+}
+
+type mentry struct {
+	blk *vm.Block
+	v   any
+}
+
+// NewMap creates a map whose entry nodes are tagged tag.
+func (rt *Runtime) NewMap(tag string) *Map {
+	return &Map{rt: rt, tag: tag, entries: make(map[string]*mentry)}
+}
+
+// Put inserts or updates a key (allocating a node on insert, writing it on
+// update).
+func (m *Map) Put(t *vm.Thread, key string, val any) {
+	if e, ok := m.entries[key]; ok {
+		e.blk.Store64(t, 0, uint64(len(key)))
+		e.v = val
+		return
+	}
+	blk := m.rt.pool.Alloc(t, 16, m.tag)
+	blk.Store64(t, 0, uint64(len(key)))
+	blk.Store64(t, 8, uint64(len(m.entries)+1))
+	m.entries[key] = &mentry{blk: blk, v: val}
+}
+
+// Get looks a key up (reading its node when present).
+func (m *Map) Get(t *vm.Thread, key string) (any, bool) {
+	e, ok := m.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e.blk.Load64(t, 0)
+	return e.v, true
+}
+
+// Delete removes a key, returning its node to the allocator.
+func (m *Map) Delete(t *vm.Thread, key string) bool {
+	e, ok := m.entries[key]
+	if !ok {
+		return false
+	}
+	m.rt.pool.Free(t, e.blk)
+	delete(m.entries, key)
+	return true
+}
+
+// Len returns the entry count without guest accesses.
+func (m *Map) Len() int { return len(m.entries) }
+
+// ForEach iterates in sorted key order, reading every node. This is the
+// access pattern of iterating a std::map by reference — racy when performed
+// without the map's guarding lock (Fig. 7).
+func (m *Map) ForEach(t *vm.Thread, f func(key string, val any)) {
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := m.entries[k]
+		e.blk.Load64(t, 0)
+		f(k, e.v)
+	}
+}
+
+// Keys returns the sorted keys without guest accesses (harness helper).
+func (m *Map) Keys() []string {
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

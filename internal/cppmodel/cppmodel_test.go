@@ -1,0 +1,507 @@
+package cppmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lockset"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+func newVMWithDetector(seed int64, cfg lockset.Config) (*vm.VM, *report.Collector) {
+	v := vm.New(vm.Options{Seed: seed})
+	col := report.NewCollector(v, nil)
+	v.AddTool(lockset.New(cfg, col))
+	return v, col
+}
+
+func testHierarchy() (*Class, *Class, *Class) {
+	base := NewClass("MessageBase", "message.h", Field{Name: "kind", Size: 4})
+	req := base.Derive("SIPRequest", "request.h", Field{Name: "methodLen", Size: 4})
+	inv := req.Derive("InviteRequest", "invite.h", Field{Name: "sdpLen", Size: 4})
+	return base, req, inv
+}
+
+func TestLayoutAndFields(t *testing.T) {
+	base, req, inv := testHierarchy()
+	if base.Size() != VptrSize+4 {
+		t.Errorf("base size = %d, want %d", base.Size(), VptrSize+4)
+	}
+	if !inv.IsA(base) || !inv.IsA(req) || !inv.IsA(inv) {
+		t.Error("IsA hierarchy broken")
+	}
+	if req.IsA(inv) {
+		t.Error("base must not IsA derived")
+	}
+	v := vm.New(vm.Options{Seed: 1})
+	rt := NewRuntime(Options{})
+	err := v.Run(func(main *vm.Thread) {
+		obj := rt.New(main, inv)
+		obj.Store(main, "kind", 3)
+		obj.Store(main, "methodLen", 6)
+		obj.Store(main, "sdpLen", 120)
+		if obj.Load(main, "kind") != 3 || obj.Load(main, "methodLen") != 6 || obj.Load(main, "sdpLen") != 120 {
+			t.Error("field round-trip failed")
+		}
+		if obj.FieldOff("kind") >= obj.FieldOff("methodLen") ||
+			obj.FieldOff("methodLen") >= obj.FieldOff("sdpLen") {
+			t.Error("derived fields must append after base fields")
+		}
+		rt.Delete(main, obj)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rt.Stats().ObjectsNew != 1 || rt.Stats().ObjectsDeleted != 1 {
+		t.Errorf("stats = %+v", rt.Stats())
+	}
+}
+
+func TestCtorDtorChainOrder(t *testing.T) {
+	var order []string
+	base := NewClass("B", "b.h")
+	base.Ctor = func(t *vm.Thread, o *Object) { order = append(order, "ctor-B") }
+	base.Dtor = func(t *vm.Thread, o *Object) { order = append(order, "dtor-B") }
+	der := base.Derive("D", "d.h")
+	der.Ctor = func(t *vm.Thread, o *Object) { order = append(order, "ctor-D") }
+	der.Dtor = func(t *vm.Thread, o *Object) { order = append(order, "dtor-D") }
+
+	v := vm.New(vm.Options{Seed: 1})
+	rt := NewRuntime(Options{})
+	if err := v.Run(func(main *vm.Thread) {
+		obj := rt.New(main, der)
+		rt.Delete(main, obj)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"ctor-B", "ctor-D", "dtor-D", "dtor-B"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// sharedObjectScenario builds the destructor-FP situation of §4.2.1: an
+// object whose vptr is read by several threads under different locks and
+// which is deleted by a thread other than its creator.
+func sharedObjectScenario(rt *Runtime, cls *Class) func(*vm.Thread) {
+	return func(main *vm.Thread) {
+		v := main.VM()
+		m1 := v.NewMutex("users")
+		m2 := v.NewMutex("other")
+		obj := rt.New(main, cls)
+		w1 := main.Go("w1", func(th *vm.Thread) {
+			m1.Lock(th)
+			obj.VCall(th, "process", nil)
+			m1.Unlock(th)
+		})
+		w2 := main.Go("w2", func(th *vm.Thread) {
+			m2.Lock(th)
+			obj.VCall(th, "process", nil)
+			m2.Unlock(th)
+		})
+		main.Join(w1)
+		main.Join(w2)
+		del := main.Go("deleter", func(th *vm.Thread) {
+			rt.Delete(th, obj)
+		})
+		main.Join(del)
+	}
+}
+
+func TestDtorVptrFalsePositiveAndAnnotation(t *testing.T) {
+	_, _, inv := testHierarchy()
+
+	// Without annotation: the deleter's vptr rewrites are flagged.
+	v1, col1 := newVMWithDetector(1, lockset.ConfigHWLC())
+	rtPlain := NewRuntime(Options{AnnotateDeletes: false})
+	if err := v1.Run(sharedObjectScenario(rtPlain, inv)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if col1.Locations() == 0 {
+		t.Error("unannotated delete of a shared object should be reported")
+	}
+
+	// With annotation: silent.
+	v2, col2 := newVMWithDetector(1, lockset.ConfigHWLCDR())
+	rtAnn := NewRuntime(Options{AnnotateDeletes: true})
+	if err := v2.Run(sharedObjectScenario(rtAnn, inv)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if col2.Locations() != 0 {
+		t.Errorf("annotated delete still reported:\n%s", col2.Format())
+	}
+	if rtAnn.Stats().Annotated != 1 {
+		t.Errorf("annotated = %d, want 1", rtAnn.Stats().Annotated)
+	}
+}
+
+func TestAnnotationCoverageThirdParty(t *testing.T) {
+	// §3.1: classes without source available do not emit the annotation even
+	// under an annotated build, so their deletions still produce warnings.
+	_, _, inv := testHierarchy()
+	third := NewClass("libthird::Handle", "third_party.h")
+
+	v, col := newVMWithDetector(1, lockset.ConfigHWLCDR())
+	rt := NewRuntime(Options{
+		AnnotateDeletes: true,
+		SourceAvailable: func(c *Class) bool { return c != third },
+	})
+	if err := v.Run(func(main *vm.Thread) {
+		sharedObjectScenario(rt, inv)(main)   // annotated: silent
+		sharedObjectScenario(rt, third)(main) // third-party: reported
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if col.Locations() == 0 {
+		t.Error("third-party (unannotated) delete should still be reported")
+	}
+	for _, w := range col.Sites() {
+		frames := v.Stack(w.Stack)
+		found := false
+		for _, f := range frames {
+			if f.Fn == "libthird::Handle::~Handle" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected warning outside third-party dtor:\n%s", report.FormatWarning(w, v))
+		}
+	}
+}
+
+func TestCowStringSemantics(t *testing.T) {
+	v := vm.New(vm.Options{Seed: 1})
+	rt := NewRuntime(Options{})
+	if err := v.Run(func(main *vm.Thread) {
+		s := rt.NewCowString(main, "hello")
+		c := s.Copy(main)
+		if !c.SharedWith(s) {
+			t.Error("copy must share the rep")
+		}
+		if s.Refcount() != 2 {
+			t.Errorf("refcount = %d, want 2", s.Refcount())
+		}
+		if c.Get(main) != "hello" || c.Len(main) != 5 {
+			t.Error("contents wrong after copy")
+		}
+		c.Mutate(main, "world") // shared: must detach
+		if c.SharedWith(s) {
+			t.Error("mutate on shared rep must detach")
+		}
+		if s.Get(main) != "hello" || c.Get(main) != "world" {
+			t.Error("COW detach corrupted contents")
+		}
+		if s.Refcount() != 1 {
+			t.Errorf("source refcount = %d, want 1 after detach", s.Refcount())
+		}
+		s.Mutate(main, "inplace") // sole owner: in place
+		if s.Get(main) != "inplace" {
+			t.Error("in-place mutate failed")
+		}
+		s.Release(main)
+		c.Release(main)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCowStringCrossThreadBusLockFP(t *testing.T) {
+	// The full Fig. 8 program against the real CowString implementation.
+	prog := func(rt *Runtime) func(*vm.Thread) {
+		return func(main *vm.Thread) {
+			text := rt.NewCowString(main, "contents")
+			worker := main.Go("worker", func(th *vm.Thread) {
+				cp := text.Copy(th) // line 10: std::string text = *arg
+				cp.Release(th)
+			})
+			main.Sleep(10)
+			cp := text.Copy(main) // line 22: reported conflict
+			cp.Release(main)
+			main.Join(worker)
+			text.Release(main)
+		}
+	}
+	v1, col1 := newVMWithDetector(1, lockset.ConfigOriginal())
+	if err := v1.Run(prog(NewRuntime(Options{}))); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if col1.Locations() == 0 {
+		t.Error("original model must report the Fig. 8 string copy")
+	}
+	// The warning must point into _M_grab, as in Fig. 9.
+	var inGrab bool
+	for _, w := range col1.Sites() {
+		for _, f := range v1.Stack(w.Stack) {
+			if f.Fn == "std::string::_Rep::_M_grab" {
+				inGrab = true
+			}
+		}
+	}
+	if !inGrab {
+		t.Error("warning should point into std::string::_Rep::_M_grab (Fig. 9)")
+	}
+
+	v2, col2 := newVMWithDetector(1, lockset.ConfigHWLC())
+	if err := v2.Run(prog(NewRuntime(Options{}))); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if col2.Locations() != 0 {
+		t.Errorf("HWLC must silence the Fig. 8 string copy:\n%s", col2.Format())
+	}
+}
+
+func TestPoolAllocatorReuse(t *testing.T) {
+	v := vm.New(vm.Options{Seed: 1})
+	pool := NewPoolAllocator(false)
+	if err := v.Run(func(main *vm.Thread) {
+		a := pool.Alloc(main, 24, "x")
+		pool.Free(main, a)
+		b := pool.Alloc(main, 20, "y") // same size class -> recycled
+		if b != a {
+			t.Error("same-size-class alloc after free should recycle")
+		}
+		c := pool.Alloc(main, 100, "z")
+		if c == a {
+			t.Error("different size class must not recycle the chunk")
+		}
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if pool.Reuses() != 1 {
+		t.Errorf("reuses = %d, want 1", pool.Reuses())
+	}
+}
+
+func TestPoolAllocatorForceNew(t *testing.T) {
+	v := vm.New(vm.Options{Seed: 1})
+	pool := NewPoolAllocator(true)
+	if err := v.Run(func(main *vm.Thread) {
+		a := pool.Alloc(main, 24, "x")
+		pool.Free(main, a)
+		if !a.Freed() {
+			t.Error("ForceNew free must release to the VM")
+		}
+		b := pool.Alloc(main, 24, "x")
+		if b == a {
+			t.Error("ForceNew must not recycle")
+		}
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if pool.Reuses() != 0 {
+		t.Errorf("reuses = %d, want 0 under ForceNew", pool.Reuses())
+	}
+}
+
+func TestAllocatorReuseFalsePositive(t *testing.T) {
+	// E11: pool reuse carries shadow state into an innocent second life.
+	scenario := func(forceNew bool) int {
+		v, col := newVMWithDetector(1, lockset.ConfigHWLCDR())
+		rt := NewRuntime(Options{ForceNew: forceNew})
+		if err := v.Run(func(main *vm.Thread) {
+			vec := rt.NewVector("vec-node")
+			// First life: nodes become shared across two CONCURRENT reader
+			// threads under a proper lock (no warnings, but the shadow state
+			// ends up SHARED with lock-set {m}).
+			m := v.NewMutex("veclock")
+			for i := 0; i < 4; i++ {
+				vec.PushBack(main, i)
+			}
+			reader := func(th *vm.Thread) {
+				m.Lock(th)
+				for i := 0; i < vec.Len(); i++ {
+					vec.At(th, i)
+				}
+				m.Unlock(th)
+			}
+			w1 := main.Go("w1", reader)
+			w2 := main.Go("w2", reader)
+			main.Join(w1)
+			main.Join(w2)
+			vec.Clear(main) // nodes go back to the pool, shadow survives
+			// Second life: a different, single-threaded structure reuses the
+			// chunks. Writes intersect the stale lock-set -> FP (pool mode).
+			w3 := main.Go("second-life", func(th *vm.Thread) {
+				vec2 := rt.NewVector("vec-node-2")
+				for i := 0; i < 4; i++ {
+					vec2.PushBack(th, i)
+				}
+			})
+			main.Join(w3)
+		}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return col.Locations()
+	}
+	pooled := scenario(false)
+	forced := scenario(true)
+	if pooled == 0 {
+		t.Error("pooled reuse should produce the allocator FP family")
+	}
+	if forced != 0 {
+		t.Errorf("GLIBCPP_FORCE_NEW analogue should remove allocator FPs, got %d", forced)
+	}
+}
+
+func TestMapOperations(t *testing.T) {
+	v := vm.New(vm.Options{Seed: 1})
+	rt := NewRuntime(Options{})
+	if err := v.Run(func(main *vm.Thread) {
+		m := rt.NewMap("domain-map")
+		m.Put(main, "a.example.com", 1)
+		m.Put(main, "b.example.com", 2)
+		m.Put(main, "a.example.com", 3) // update
+		if m.Len() != 2 {
+			t.Errorf("len = %d, want 2", m.Len())
+		}
+		if got, ok := m.Get(main, "a.example.com"); !ok || got.(int) != 3 {
+			t.Errorf("get = %v/%v, want 3/true", got, ok)
+		}
+		var seen []string
+		m.ForEach(main, func(k string, _ any) { seen = append(seen, k) })
+		if len(seen) != 2 || seen[0] != "a.example.com" {
+			t.Errorf("ForEach order = %v", seen)
+		}
+		if !m.Delete(main, "b.example.com") || m.Delete(main, "missing") {
+			t.Error("delete misbehaves")
+		}
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDoubleDeleteReachesMemcheckPath(t *testing.T) {
+	// Deleting twice must route to the allocator so the memcheck tool can
+	// observe the double free (under ForceNew, where frees are visible).
+	v := vm.New(vm.Options{Seed: 1})
+	rt := NewRuntime(Options{ForceNew: true})
+	base := NewClass("X", "x.h")
+	var freeEvents int
+	v.AddTool(&freeCounter{n: &freeEvents})
+	if err := v.Run(func(main *vm.Thread) {
+		obj := rt.New(main, base)
+		rt.Delete(main, obj)
+		rt.Delete(main, obj)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if freeEvents != 2 {
+		t.Errorf("free events = %d, want 2", freeEvents)
+	}
+}
+
+type freeCounter struct {
+	trace.BaseSink
+	n *int
+}
+
+func (f *freeCounter) ToolName() string { return "freecounter" }
+func (f *freeCounter) Free(*trace.Block, trace.ThreadID, trace.StackID) {
+	*f.n++
+}
+
+func TestCtorDtorFramesNestLikeCxx(t *testing.T) {
+	// Real C++ stacks nest: Derived::Derived calls Base::Base, ~Derived
+	// calls ~Base. The recorded stack at the BASE level must contain the
+	// derived frame outside it.
+	base := NewClass("B", "b.h")
+	mid := base.Derive("M", "m.h")
+	der := mid.Derive("D", "d.h")
+	v := vm.New(vm.Options{Seed: 1})
+	rec := &stackProbe{vm: v}
+	v.AddTool(rec)
+	rt := NewRuntime(Options{ForceNew: true})
+	if err := v.Run(func(main *vm.Thread) {
+		obj := rt.New(main, der)
+		rt.Delete(main, obj)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// First vptr write is the ROOT level of construction: stack must be
+	// [D::D, M::M, B::B] from outermost to innermost.
+	if len(rec.stacks) < 6 {
+		t.Fatalf("expected >= 6 vptr writes, got %d", len(rec.stacks))
+	}
+	first := rec.stacks[0]
+	if len(first) != 3 || first[0] != "D::D" || first[1] != "M::M" || first[2] != "B::B" {
+		t.Errorf("ctor root-level stack = %v, want [D::D M::M B::B]", first)
+	}
+	// First destructor write is the DERIVED level: [D::~D] only.
+	dtorFirst := rec.stacks[3]
+	if len(dtorFirst) != 1 || dtorFirst[0] != "D::~D" {
+		t.Errorf("dtor first stack = %v, want [D::~D]", dtorFirst)
+	}
+	// Last destructor write is the root inside the chain: [D::~D, M::~M, B::~B].
+	dtorLast := rec.stacks[5]
+	if len(dtorLast) != 3 || dtorLast[2] != "B::~B" {
+		t.Errorf("dtor last stack = %v, want nested to B::~B", dtorLast)
+	}
+}
+
+// stackProbe records the function names of every write access stack.
+type stackProbe struct {
+	trace.BaseSink
+	vm     *vm.VM
+	stacks [][]string
+}
+
+func (p *stackProbe) ToolName() string { return "stackprobe" }
+func (p *stackProbe) Access(a *trace.Access) {
+	if a.Kind != trace.Write {
+		return
+	}
+	frames := p.vm.Stack(a.Stack)
+	names := make([]string, len(frames))
+	for i, f := range frames {
+		names[i] = f.Fn
+	}
+	p.stacks = append(p.stacks, names)
+}
+
+func TestCowStringRefcountProperty(t *testing.T) {
+	// Random copy/release sequences: the refcount always equals the number
+	// of live handles, and the rep is released exactly when it reaches zero.
+	prop := func(ops []uint8) bool {
+		v := vm.New(vm.Options{Seed: 7})
+		rt := NewRuntime(Options{ForceNew: true})
+		ok := true
+		if err := v.Run(func(main *vm.Thread) {
+			handles := []*CowString{rt.NewCowString(main, "x")}
+			for _, op := range ops {
+				switch {
+				case op%3 != 0 && len(handles) > 0: // copy (twice as likely)
+					src := handles[int(op)%len(handles)]
+					handles = append(handles, src.Copy(main))
+				case len(handles) > 1: // release one
+					idx := int(op) % len(handles)
+					handles[idx].Release(main)
+					handles = append(handles[:idx], handles[idx+1:]...)
+				}
+				if len(handles) > 0 && int(handles[0].Refcount()) != len(handles) {
+					ok = false
+					return
+				}
+			}
+			rep := handles[0].rep
+			for _, h := range handles {
+				h.Release(main)
+			}
+			if !rep.block.Freed() {
+				ok = false // last release must free under ForceNew
+			}
+		}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package cppmodel
+
+import (
+	"repro/internal/vm"
+)
+
+// Rep layout offsets (mirroring libstdc++'s std::string::_Rep header).
+const (
+	repOffRefcount = 0 // 4 bytes, modified with LOCK-prefixed instructions
+	repOffLength   = 4 // 4 bytes
+	repOffCapacity = 8 // 4 bytes
+	repSize        = 12
+)
+
+// StringRep is the shared representation behind one or more CowStrings —
+// libstdc++'s _Rep. The reference counter is incremented/decremented with
+// bus-locked instructions but *read* with plain loads (the _M_is_leaked /
+// _M_is_shared checks), the exact mix that confuses the original Helgrind
+// bus-lock model (Fig. 8/9).
+type StringRep struct {
+	block  *vm.Block
+	refcnt *vm.AtomicI32
+	data   string
+}
+
+// CowString is a copy-on-write string handle (GNU libstdc++ std::string
+// before C++11).
+type CowString struct {
+	rt  *Runtime
+	rep *StringRep
+}
+
+// NewCowString constructs a string with a fresh representation. The rep is
+// allocated through the pooled allocator, as the real one is.
+func (rt *Runtime) NewCowString(t *vm.Thread, s string) *CowString {
+	pop := t.Func("std::string::string(char const*)", "basic_string.h", 104)
+	defer pop()
+	blk := rt.pool.Alloc(t, repSize, "string-rep")
+	rep := &StringRep{block: blk, refcnt: vm.AtomicI32At(blk, repOffRefcount)}
+	rep.refcnt.Store(t, 1) // construction: plain store, memory still exclusive
+	blk.Store32(t, repOffLength, uint32(len(s)))
+	blk.Store32(t, repOffCapacity, uint32(len(s)))
+	rep.data = s
+	return &CowString{rt: rt, rep: rep}
+}
+
+// Copy produces a new handle sharing the representation: the libstdc++ copy
+// constructor path through _Rep::_M_grab — a PLAIN read of the refcount (the
+// leak check) followed by a bus-locked increment.
+func (cs *CowString) Copy(t *vm.Thread) *CowString {
+	pop := t.Func("std::string::string(std::string const&)", "basic_string.h", 240)
+	defer pop()
+	popGrab := t.Func("std::string::_Rep::_M_grab", "basic_string.h", 650)
+	cs.rep.refcnt.Load(t)   // _M_is_leaked(): plain read
+	cs.rep.refcnt.Add(t, 1) // LOCK-prefixed increment
+	popGrab()
+	return &CowString{rt: cs.rt, rep: cs.rep}
+}
+
+// Get returns the string contents: reads of the length field plus the data.
+func (cs *CowString) Get(t *vm.Thread) string {
+	cs.rep.block.Load32(t, repOffLength)
+	return cs.rep.data
+}
+
+// Len returns the length (reading the length field).
+func (cs *CowString) Len(t *vm.Thread) int {
+	return int(cs.rep.block.Load32(t, repOffLength))
+}
+
+// Equal compares contents (reads both lengths and data).
+func (cs *CowString) Equal(t *vm.Thread, other *CowString) bool {
+	return cs.Get(t) == other.Get(t)
+}
+
+// Mutate implements copy-on-write assignment: a PLAIN read of the refcount
+// (the uniqueness check), then either an in-place update (sole owner) or a
+// bus-locked detach plus a fresh representation.
+func (cs *CowString) Mutate(t *vm.Thread, s string) {
+	pop := t.Func("std::string::_M_mutate", "basic_string.h", 480)
+	defer pop()
+	if cs.rep.refcnt.Load(t) > 1 { // _M_is_shared(): plain read
+		cs.release(t)
+		blk := cs.rt.pool.Alloc(t, repSize, "string-rep")
+		rep := &StringRep{block: blk, refcnt: vm.AtomicI32At(blk, repOffRefcount)}
+		rep.refcnt.Store(t, 1)
+		blk.Store32(t, repOffLength, uint32(len(s)))
+		blk.Store32(t, repOffCapacity, uint32(len(s)))
+		rep.data = s
+		cs.rep = rep
+		return
+	}
+	cs.rep.block.Store32(t, repOffLength, uint32(len(s)))
+	cs.rep.data = s
+}
+
+// Release destroys this handle (the std::string destructor): a bus-locked
+// decrement; the last owner returns the rep to the allocator.
+func (cs *CowString) Release(t *vm.Thread) {
+	pop := t.Func("std::string::~string", "basic_string.h", 520)
+	defer pop()
+	cs.release(t)
+	cs.rep = nil
+}
+
+func (cs *CowString) release(t *vm.Thread) {
+	popDisp := t.Func("std::string::_Rep::_M_dispose", "basic_string.h", 680)
+	defer popDisp()
+	if cs.rep.refcnt.Add(t, -1) == 0 {
+		cs.rt.pool.Free(t, cs.rep.block)
+	}
+}
+
+// SharedWith reports whether two handles share a representation (test
+// helper; no guest accesses).
+func (cs *CowString) SharedWith(other *CowString) bool { return cs.rep == other.rep }
+
+// Refcount returns the current reference count without guest accesses (test
+// helper).
+func (cs *CowString) Refcount() int32 { return cs.rep.refcnt.Peek() }

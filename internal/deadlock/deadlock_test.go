@@ -1,0 +1,176 @@
+package deadlock
+
+import (
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/vm"
+)
+
+func run(t *testing.T, seed int64, body func(*vm.Thread, *vm.VM)) (*Detector, *report.Collector, error) {
+	t.Helper()
+	v := vm.New(vm.Options{Seed: seed})
+	col := report.NewCollector(v, nil)
+	d := New(Config{}, col)
+	v.AddTool(d)
+	err := v.Run(func(th *vm.Thread) { body(th, v) })
+	return d, col, err
+}
+
+func TestDetectsABBAWithoutManifesting(t *testing.T) {
+	// The threads take the locks in opposite orders but never actually
+	// deadlock (serialised by a semaphore): the lock-order tool still
+	// reports the potential cycle — its advantage over the application's
+	// timeout-based monitor (§3.3).
+	d, col, err := run(t, 1, func(main *vm.Thread, v *vm.VM) {
+		m1 := v.NewMutex("A")
+		m2 := v.NewMutex("B")
+		turn := v.NewSemaphore("turn", 0)
+		a := main.Go("a", func(th *vm.Thread) {
+			m1.Lock(th)
+			m2.Lock(th)
+			m2.Unlock(th)
+			m1.Unlock(th)
+			turn.Post(th)
+		})
+		b := main.Go("b", func(th *vm.Thread) {
+			turn.Wait(th) // strictly after thread a
+			m2.Lock(th)
+			m1.Lock(th)
+			m1.Unlock(th)
+			m2.Unlock(th)
+		})
+		main.Join(a)
+		main.Join(b)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v (the run itself must not deadlock)", err)
+	}
+	if d.Cycles() != 1 {
+		t.Errorf("cycles = %d, want 1", d.Cycles())
+	}
+	if got := col.CountByKind()[report.KindDeadlock]; got != 1 {
+		t.Errorf("deadlock warnings = %d, want 1", got)
+	}
+}
+
+func TestNoCycleConsistentOrder(t *testing.T) {
+	d, col, err := run(t, 1, func(main *vm.Thread, v *vm.VM) {
+		m1 := v.NewMutex("A")
+		m2 := v.NewMutex("B")
+		w := func(th *vm.Thread) {
+			for i := 0; i < 3; i++ {
+				m1.Lock(th)
+				m2.Lock(th)
+				m2.Unlock(th)
+				m1.Unlock(th)
+			}
+		}
+		a := main.Go("a", w)
+		b := main.Go("b", w)
+		main.Join(a)
+		main.Join(b)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d.Cycles() != 0 || col.Locations() != 0 {
+		t.Errorf("consistent lock order reported a cycle:\n%s", col.Format())
+	}
+}
+
+func TestThreeLockCycle(t *testing.T) {
+	d, _, err := run(t, 1, func(main *vm.Thread, v *vm.VM) {
+		a := v.NewMutex("A")
+		b := v.NewMutex("B")
+		c := v.NewMutex("C")
+		pair := func(x, y *vm.Mutex) func(*vm.Thread) {
+			return func(th *vm.Thread) {
+				x.Lock(th)
+				y.Lock(th)
+				y.Unlock(th)
+				x.Unlock(th)
+			}
+		}
+		// A->B, B->C, C->A sequentially (no actual deadlock possible).
+		t1 := main.Go("t1", pair(a, b))
+		main.Join(t1)
+		t2 := main.Go("t2", pair(b, c))
+		main.Join(t2)
+		t3 := main.Go("t3", pair(c, a))
+		main.Join(t3)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d.Cycles() != 1 {
+		t.Errorf("cycles = %d, want 1 (A->B->C->A)", d.Cycles())
+	}
+}
+
+func TestCycleReportedOncePerShape(t *testing.T) {
+	d, _, err := run(t, 1, func(main *vm.Thread, v *vm.VM) {
+		m1 := v.NewMutex("A")
+		m2 := v.NewMutex("B")
+		inv := func(th *vm.Thread) {
+			m2.Lock(th)
+			m1.Lock(th)
+			m1.Unlock(th)
+			m2.Unlock(th)
+		}
+		fwd := func(th *vm.Thread) {
+			m1.Lock(th)
+			m2.Lock(th)
+			m2.Unlock(th)
+			m1.Unlock(th)
+		}
+		t1 := main.Go("t1", fwd)
+		main.Join(t1)
+		// Repeat the inversion several times: still one distinct cycle.
+		for i := 0; i < 3; i++ {
+			t2 := main.Go("t2", inv)
+			main.Join(t2)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d.Cycles() != 1 {
+		t.Errorf("cycles = %d, want 1 (deduplicated)", d.Cycles())
+	}
+}
+
+func TestNestedSameLockOrderViaGate(t *testing.T) {
+	// Gate-protected inversion: A->B under G in one thread, B->A under G in
+	// another. The simple lock-order graph (like Helgrind's) still flags it;
+	// this documents the known conservatism of the approach.
+	d, _, err := run(t, 1, func(main *vm.Thread, v *vm.VM) {
+		g := v.NewMutex("G")
+		m1 := v.NewMutex("A")
+		m2 := v.NewMutex("B")
+		t1 := main.Go("t1", func(th *vm.Thread) {
+			g.Lock(th)
+			m1.Lock(th)
+			m2.Lock(th)
+			m2.Unlock(th)
+			m1.Unlock(th)
+			g.Unlock(th)
+		})
+		main.Join(t1)
+		t2 := main.Go("t2", func(th *vm.Thread) {
+			g.Lock(th)
+			m2.Lock(th)
+			m1.Lock(th)
+			m1.Unlock(th)
+			m2.Unlock(th)
+			g.Unlock(th)
+		})
+		main.Join(t2)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d.Cycles() == 0 {
+		t.Error("gate-protected inversion should still be flagged by the order graph")
+	}
+}

@@ -1,0 +1,181 @@
+package highlevel
+
+import (
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/vm"
+)
+
+// person builds the §2.1 example structure: date-of-birth and age protected
+// by one mutex.
+type person struct {
+	blk *vm.Block
+	mu  *vm.Mutex
+}
+
+func newPerson(t *vm.Thread) *person {
+	return &person{blk: t.Alloc(8, "person"), mu: t.VM().NewMutex("personMu")}
+}
+
+// setSplit updates the two dependent fields in SEPARATE critical sections —
+// the buggy setter pair of the paper's example.
+func (p *person) setSplit(t *vm.Thread, dob, age uint32) {
+	defer t.Func("Person::setDateOfBirth", "person.cpp", 20)()
+	p.mu.Lock(t)
+	p.blk.Store32(t, 0, dob)
+	p.mu.Unlock(t)
+	t.PopFrame()
+	t.PushFrame("Person::setAge", "person.cpp", 30)
+	p.mu.Lock(t)
+	p.blk.Store32(t, 4, age)
+	p.mu.Unlock(t)
+}
+
+// setAtomic updates both fields in one critical section — the fix.
+func (p *person) setAtomic(t *vm.Thread, dob, age uint32) {
+	defer t.Func("Person::set", "person.cpp", 40)()
+	p.mu.Lock(t)
+	p.blk.Store32(t, 0, dob)
+	p.blk.Store32(t, 4, age)
+	p.mu.Unlock(t)
+}
+
+// readBoth reads the pair as a unit.
+func (p *person) readBoth(t *vm.Thread) (uint32, uint32) {
+	defer t.Func("Person::snapshot", "person.cpp", 50)()
+	p.mu.Lock(t)
+	dob := p.blk.Load32(t, 0)
+	age := p.blk.Load32(t, 4)
+	p.mu.Unlock(t)
+	return dob, age
+}
+
+func run(t *testing.T, body func(*vm.Thread, *person)) (*Detector, *report.Collector) {
+	t.Helper()
+	v := vm.New(vm.Options{Seed: 1})
+	col := report.NewCollector(v, nil)
+	d := New(Config{}, col)
+	v.AddTool(d)
+	if err := v.Run(func(main *vm.Thread) {
+		p := newPerson(main)
+		body(main, p)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	d.Finish()
+	return d, col
+}
+
+func TestDateOfBirthAgeExample(t *testing.T) {
+	// The paper's example: writer updates dob and age separately, reader
+	// snapshots both. Every access is locked — no low-level race — but the
+	// view {dob,age} is split: a high-level data race.
+	d, col := run(t, func(main *vm.Thread, p *person) {
+		w := main.Go("writer", func(th *vm.Thread) {
+			for i := 0; i < 3; i++ {
+				p.setSplit(th, uint32(1980+i), uint32(40+i))
+			}
+		})
+		r := main.Go("reader", func(th *vm.Thread) {
+			for i := 0; i < 3; i++ {
+				p.readBoth(th)
+			}
+		})
+		main.Join(w)
+		main.Join(r)
+	})
+	if d.Violations() == 0 {
+		t.Error("split setter pair not reported as a high-level race")
+	}
+	if got := col.CountByKind()[report.KindHighLevel]; got == 0 {
+		t.Errorf("no high-level warnings in the collector: %s", col.Summary())
+	}
+}
+
+func TestAtomicUpdateIsConsistent(t *testing.T) {
+	d, _ := run(t, func(main *vm.Thread, p *person) {
+		w := main.Go("writer", func(th *vm.Thread) {
+			for i := 0; i < 3; i++ {
+				p.setAtomic(th, uint32(1980+i), uint32(40+i))
+			}
+		})
+		r := main.Go("reader", func(th *vm.Thread) {
+			for i := 0; i < 3; i++ {
+				p.readBoth(th)
+			}
+		})
+		main.Join(w)
+		main.Join(r)
+	})
+	if d.Violations() != 0 {
+		t.Errorf("atomic setter reported %d violations", d.Violations())
+	}
+}
+
+func TestSingleThreadNeverViolates(t *testing.T) {
+	d, _ := run(t, func(main *vm.Thread, p *person) {
+		p.setSplit(main, 1980, 40)
+		p.readBoth(main)
+	})
+	if d.Violations() != 0 {
+		t.Errorf("single thread reported %d violations", d.Violations())
+	}
+}
+
+func TestDisjointFieldsAreConsistent(t *testing.T) {
+	// Threads touching disjoint fields under the same lock: chains hold.
+	d, _ := run(t, func(main *vm.Thread, p *person) {
+		a := main.Go("a", func(th *vm.Thread) {
+			p.mu.Lock(th)
+			p.blk.Store32(th, 0, 1)
+			p.mu.Unlock(th)
+		})
+		b := main.Go("b", func(th *vm.Thread) {
+			p.mu.Lock(th)
+			p.blk.Store32(th, 4, 2)
+			p.mu.Unlock(th)
+		})
+		main.Join(a)
+		main.Join(b)
+	})
+	if d.Violations() != 0 {
+		t.Errorf("disjoint accesses reported %d violations", d.Violations())
+	}
+}
+
+func TestSubsetViewsAreConsistent(t *testing.T) {
+	// Reader takes {dob,age}, writer also takes {dob,age} sometimes and
+	// {dob} other times: {dob} ⊆ {dob,age} is a chain — consistent.
+	d, _ := run(t, func(main *vm.Thread, p *person) {
+		w := main.Go("writer", func(th *vm.Thread) {
+			p.setAtomic(th, 1980, 40)
+			p.mu.Lock(th)
+			p.blk.Store32(th, 0, 1981) // dob only: subset view
+			p.mu.Unlock(th)
+		})
+		r := main.Go("reader", func(th *vm.Thread) {
+			p.readBoth(th)
+		})
+		main.Join(w)
+		main.Join(r)
+	})
+	if d.Violations() != 0 {
+		t.Errorf("subset views reported %d violations", d.Violations())
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	d, col := run(t, func(main *vm.Thread, p *person) {
+		w := main.Go("writer", func(th *vm.Thread) { p.setSplit(th, 1980, 40) })
+		r := main.Go("reader", func(th *vm.Thread) { p.readBoth(th) })
+		main.Join(w)
+		main.Join(r)
+	})
+	before := col.Occurrences()
+	d.Finish()
+	d.Finish()
+	if col.Occurrences() != before {
+		t.Error("Finish is not idempotent")
+	}
+}

@@ -1,0 +1,312 @@
+// Package hybrid implements a lock-set / happens-before hybrid race detector
+// in the style of O'Callahan & Choi [12], one of the comparison points of
+// §2.2. A location is reported only when (a) the lock-set discipline is
+// violated — no common lock protects it — AND (b) the two conflicting
+// accesses are not ordered by the happens-before relation built from
+// synchronisation events.
+//
+// The hybrid therefore reports a subset of the pure lock-set findings
+// (fewer false positives from deliberate lock-free ordering) while retaining
+// more schedule robustness than pure happens-before: an ordered-but-
+// unlocked pair is remembered as "suspicious" by its lock-set and still
+// reported if any later schedule breaks the ordering.
+package hybrid
+
+import (
+	"repro/internal/lockset"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Config parameterises the hybrid detector.
+type Config struct {
+	// Tool is the report name; defaults to "hybrid".
+	Tool string
+	// Bus selects the bus-lock model (shared with the lock-set component).
+	Bus lockset.BusModel
+	// Edges selects the happens-before edges honoured. Default MaskFull.
+	Edges trace.EdgeMask
+	// Granule is the shadow granularity (default 4).
+	Granule int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tool == "" {
+		c.Tool = "hybrid"
+	}
+	if c.Edges == 0 {
+		c.Edges = trace.MaskFull
+	}
+	if c.Granule <= 0 {
+		c.Granule = 4
+	}
+	return c
+}
+
+type cell struct {
+	// Lock-set side.
+	set    lockset.SetID
+	inited bool
+	// Happens-before side.
+	lastWrite vclock.Epoch
+	writeStk  trace.StackID
+	reads     vclock.VC
+	readStk   trace.StackID
+	reported  bool
+}
+
+// Detector is the hybrid tool.
+type Detector struct {
+	trace.BaseSink
+	cfg     Config
+	col     *report.Collector
+	sets    *lockset.SetTable
+	threads map[trace.ThreadID]*threadState
+	locks   map[trace.LockID]vclock.VC
+	syncs   map[trace.SyncID]vclock.VC
+	msgs    map[int64]vclock.VC
+	segVC   map[trace.SegmentID]vclock.VC
+	shadow  map[trace.BlockID][]cell
+	freed   map[trace.BlockID]bool
+}
+
+type threadState struct {
+	vc     vclock.VC
+	held   map[trace.LockID]trace.LockKind
+	anyM   lockset.SetID
+	wrM    lockset.SetID
+	anyBus lockset.SetID
+	wrBus  lockset.SetID
+}
+
+// New creates a hybrid detector writing to col.
+func New(cfg Config, col *report.Collector) *Detector {
+	cfg = cfg.withDefaults()
+	return &Detector{
+		cfg:     cfg,
+		col:     col,
+		sets:    lockset.NewSetTable(),
+		threads: make(map[trace.ThreadID]*threadState),
+		locks:   make(map[trace.LockID]vclock.VC),
+		syncs:   make(map[trace.SyncID]vclock.VC),
+		msgs:    make(map[int64]vclock.VC),
+		segVC:   make(map[trace.SegmentID]vclock.VC),
+		shadow:  make(map[trace.BlockID][]cell),
+		freed:   make(map[trace.BlockID]bool),
+	}
+}
+
+// ToolName implements trace.Sink.
+func (d *Detector) ToolName() string { return d.cfg.Tool }
+
+func (d *Detector) thread(t trace.ThreadID) *threadState {
+	ts, ok := d.threads[t]
+	if !ok {
+		ts = &threadState{
+			vc:   vclock.New(int(t)).Tick(int(t)),
+			held: make(map[trace.LockID]trace.LockKind),
+		}
+		ts.recompute(d.sets)
+		d.threads[t] = ts
+	}
+	return ts
+}
+
+func (ts *threadState) recompute(sets *lockset.SetTable) {
+	var anyM, wrM []trace.LockID
+	for l, k := range ts.held {
+		anyM = append(anyM, l)
+		if k == trace.Mutex || k == trace.WLock {
+			wrM = append(wrM, l)
+		}
+	}
+	ts.anyM = sets.Intern(anyM)
+	ts.wrM = sets.Intern(wrM)
+	ts.anyBus = sets.Intern(append(anyM, trace.BusLock))
+	ts.wrBus = sets.Intern(append(wrM, trace.BusLock))
+}
+
+// ThreadStart implements trace.Sink.
+func (d *Detector) ThreadStart(t, parent trace.ThreadID) {
+	child := d.thread(t)
+	if parent != 0 {
+		p := d.thread(parent)
+		child.vc = child.vc.Join(p.vc)
+		p.vc = p.vc.Tick(int(parent))
+	}
+	child.vc = child.vc.Tick(int(t))
+}
+
+// Segment implements trace.Sink.
+func (d *Detector) Segment(ss *trace.SegmentStart) {
+	ts := d.thread(ss.Thread)
+	for _, e := range ss.In {
+		switch e.Kind {
+		case trace.Join:
+			if src, ok := d.segVC[e.From]; ok {
+				ts.vc = ts.vc.Join(src)
+			}
+		case trace.Queue, trace.Cond, trace.Sem:
+			if d.cfg.Edges.Has(e.Kind) {
+				if src, ok := d.segVC[e.From]; ok {
+					ts.vc = ts.vc.Join(src)
+				}
+			}
+		}
+	}
+	ts.vc = ts.vc.Tick(int(ss.Thread))
+	d.segVC[ss.Seg] = ts.vc.Clone()
+}
+
+// Acquire implements trace.Sink.
+func (d *Detector) Acquire(t trace.ThreadID, l trace.LockID, k trace.LockKind, _ trace.StackID) {
+	ts := d.thread(t)
+	ts.held[l] = k
+	ts.recompute(d.sets)
+	if lv, ok := d.locks[l]; ok {
+		ts.vc = ts.vc.Join(lv)
+	}
+}
+
+// Release implements trace.Sink.
+func (d *Detector) Release(t trace.ThreadID, l trace.LockID, _ trace.LockKind, _ trace.StackID) {
+	ts := d.thread(t)
+	delete(ts.held, l)
+	ts.recompute(d.sets)
+	d.locks[l] = ts.vc.Clone()
+	ts.vc = ts.vc.Tick(int(t))
+}
+
+// Sync implements trace.Sink.
+func (d *Detector) Sync(ev *trace.SyncEvent) {
+	ts := d.thread(ev.Thread)
+	switch ev.Op {
+	case trace.QueuePut:
+		if d.cfg.Edges.Has(trace.Queue) {
+			d.msgs[ev.Msg] = ts.vc.Clone()
+		}
+	case trace.QueueGet:
+		if d.cfg.Edges.Has(trace.Queue) {
+			if mv, ok := d.msgs[ev.Msg]; ok {
+				ts.vc = ts.vc.Join(mv)
+				delete(d.msgs, ev.Msg)
+			}
+		}
+	case trace.CondSignal, trace.CondBroadcast:
+		if d.cfg.Edges.Has(trace.Cond) {
+			d.syncs[ev.Obj] = d.syncs[ev.Obj].Join(ts.vc)
+			ts.vc = ts.vc.Tick(int(ev.Thread))
+		}
+	case trace.CondWaitDone:
+		if d.cfg.Edges.Has(trace.Cond) {
+			if cv, ok := d.syncs[ev.Obj]; ok {
+				ts.vc = ts.vc.Join(cv)
+			}
+		}
+	case trace.SemPost:
+		if d.cfg.Edges.Has(trace.Sem) {
+			d.syncs[ev.Obj] = d.syncs[ev.Obj].Join(ts.vc)
+			ts.vc = ts.vc.Tick(int(ev.Thread))
+		}
+	case trace.SemWaitDone:
+		if d.cfg.Edges.Has(trace.Sem) {
+			if sv, ok := d.syncs[ev.Obj]; ok {
+				ts.vc = ts.vc.Join(sv)
+			}
+		}
+	}
+}
+
+// Alloc implements trace.Sink.
+func (d *Detector) Alloc(b *trace.Block) {
+	n := (int(b.Size) + d.cfg.Granule - 1) / d.cfg.Granule
+	d.shadow[b.ID] = make([]cell, n)
+}
+
+// Free implements trace.Sink.
+func (d *Detector) Free(b *trace.Block, _ trace.ThreadID, _ trace.StackID) {
+	d.freed[b.ID] = true
+}
+
+// Access implements trace.Sink: report only when the lock-set is empty AND
+// the accesses are unordered.
+func (d *Detector) Access(a *trace.Access) {
+	sh, ok := d.shadow[a.Block]
+	if !ok || d.freed[a.Block] {
+		return
+	}
+	ts := d.thread(a.Thread)
+	anyM, wrM := ts.anyM, ts.wrM
+	switch d.cfg.Bus {
+	case lockset.BusSingleMutex:
+		if a.Atomic {
+			anyM, wrM = ts.anyBus, ts.wrBus
+		}
+	case lockset.BusRWLock:
+		anyM = ts.anyBus
+		if a.Atomic {
+			wrM = ts.wrBus
+		}
+	}
+	epoch := vclock.Epoch{T: int32(a.Thread), C: ts.vc.Get(int(a.Thread))}
+	lo := int(a.Off) / d.cfg.Granule
+	hi := int(a.Off+a.Size-1) / d.cfg.Granule
+	for gi := lo; gi <= hi && gi < len(sh); gi++ {
+		c := &sh[gi]
+		// Lock-set side: intersect with the mode-appropriate set.
+		eff := anyM
+		if a.Kind == trace.Write {
+			eff = wrM
+		}
+		if !c.inited {
+			c.set = eff
+			c.inited = true
+		} else {
+			c.set = d.sets.Intersect(c.set, eff)
+		}
+		disciplineBroken := c.set == lockset.EmptySet
+
+		// Happens-before side.
+		var unordered bool
+		var prevStack trace.StackID
+		if a.Kind == trace.Read {
+			if !c.lastWrite.Zero() && !c.lastWrite.HappensBefore(ts.vc) {
+				unordered = true
+				prevStack = c.writeStk
+			}
+			c.reads = c.reads.Set(int(a.Thread), epoch.C)
+			c.readStk = a.Stack
+		} else {
+			if !c.lastWrite.Zero() && !c.lastWrite.HappensBefore(ts.vc) {
+				unordered = true
+				prevStack = c.writeStk
+			} else if !c.reads.LEQ(ts.vc) {
+				unordered = true
+				prevStack = c.readStk
+			}
+			c.lastWrite = epoch
+			c.writeStk = a.Stack
+			c.reads = nil
+		}
+
+		if disciplineBroken && unordered && !c.reported {
+			c.reported = true
+			d.col.Add(report.Warning{
+				Tool:      d.cfg.Tool,
+				Kind:      report.KindRace,
+				Thread:    a.Thread,
+				Addr:      a.Addr,
+				Block:     a.Block,
+				Off:       a.Off,
+				Size:      a.Size,
+				Access:    a.Kind,
+				Stack:     a.Stack,
+				PrevStack: prevStack,
+				State:     "no common lock and unordered by happens-before",
+			})
+		}
+	}
+}
+
+var _ trace.Sink = (*Detector)(nil)

@@ -1,0 +1,115 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/lockset"
+	"repro/internal/report"
+	"repro/internal/vm"
+)
+
+func run(t *testing.T, seed int64, cfg Config, body func(*vm.Thread, *vm.VM)) *report.Collector {
+	t.Helper()
+	v := vm.New(vm.Options{Seed: seed})
+	col := report.NewCollector(v, nil)
+	v.AddTool(New(cfg, col))
+	if err := v.Run(func(th *vm.Thread) { body(th, v) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return col
+}
+
+func TestReportsUnlockedUnorderedWrites(t *testing.T) {
+	col := run(t, 1, Config{}, func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(4, "x")
+		a := main.Go("a", func(th *vm.Thread) { b.Store32(th, 0, 1) })
+		c := main.Go("b", func(th *vm.Thread) { b.Store32(th, 0, 2) })
+		main.Join(a)
+		main.Join(c)
+	})
+	if col.Locations() == 0 {
+		t.Error("unlocked unordered writes not reported")
+	}
+}
+
+func TestSilentWhenLocked(t *testing.T) {
+	col := run(t, 1, Config{}, func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(4, "x")
+		m := v.NewMutex("m")
+		w := func(th *vm.Thread) {
+			m.Lock(th)
+			b.Store32(th, 0, 1)
+			m.Unlock(th)
+		}
+		a := main.Go("a", w)
+		c := main.Go("b", w)
+		main.Join(a)
+		main.Join(c)
+	})
+	if col.Locations() != 0 {
+		t.Errorf("locked writes reported:\n%s", col.Format())
+	}
+}
+
+func TestSilentWhenOrderedWithoutLocks(t *testing.T) {
+	// The hybrid's advantage over pure lock-set: deliberately lock-free but
+	// queue-ordered handoff is silent (no false positive), while pure
+	// lock-set with the Helgrind mask reports it.
+	prog := func(main *vm.Thread, v *vm.VM) {
+		q := v.NewQueue("q", 0)
+		w := main.Go("worker", func(th *vm.Thread) {
+			msg, _ := q.Get(th)
+			blk := msg.(*vm.Block)
+			blk.Store32(th, 0, 2)
+		})
+		b := main.Alloc(4, "x")
+		b.Store32(main, 0, 1)
+		q.Put(main, b)
+		main.Join(w)
+	}
+	col := run(t, 1, Config{}, prog)
+	if col.Locations() != 0 {
+		t.Errorf("queue-ordered handoff reported by hybrid:\n%s", col.Format())
+	}
+
+	// Cross-check: the pure lock-set detector with the stock mask reports it.
+	v := vm.New(vm.Options{Seed: 1})
+	lcol := report.NewCollector(v, nil)
+	v.AddTool(lockset.New(lockset.ConfigHWLCDR(), lcol))
+	if err := v.Run(func(th *vm.Thread) { prog(th, v) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if lcol.Locations() == 0 {
+		t.Error("pure lock-set should report the same handoff (it is the Fig. 11 FP)")
+	}
+}
+
+func TestBusLockModelIntegration(t *testing.T) {
+	// COW-string-style refcount under the rwlock bus model: atomic writes
+	// keep the bus lock in the set, so the discipline is not broken.
+	prog := func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(4, "refcnt")
+		sem := v.NewSemaphore("keepalive", 0)
+		a := main.Go("a", func(th *vm.Thread) {
+			b.Load32(th, 0)
+			b.AtomicAdd32(th, 0, 1)
+			sem.Wait(th)
+		})
+		c := main.Go("b", func(th *vm.Thread) {
+			th.Sleep(3)
+			b.Load32(th, 0)
+			b.AtomicAdd32(th, 0, 1)
+			sem.Post(th)
+		})
+		main.Join(a)
+		main.Join(c)
+	}
+	col := run(t, 1, Config{Bus: lockset.BusRWLock}, prog)
+	if col.Locations() != 0 {
+		t.Errorf("atomic refcount reported under rwlock bus model:\n%s", col.Format())
+	}
+	colOrig := run(t, 1, Config{Bus: lockset.BusSingleMutex}, prog)
+	if colOrig.Locations() == 0 {
+		t.Error("single-mutex bus model should report the refcount (discipline broken and unordered)")
+	}
+}

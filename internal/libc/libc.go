@@ -1,0 +1,136 @@
+// Package libc simulates the thread-unsafe C library functions called out in
+// §4.1.3 of the paper: functions that keep their results in static buffers
+// ("The four functions asctime(), ctime(), gmtime() and localtime() return a
+// pointer to static data and hence are NOT thread-safe"), plus strtok's
+// static cursor. Concurrent use from guest threads is a genuine data race
+// that the detectors must find.
+package libc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vm"
+)
+
+// struct tm field offsets inside the static buffer.
+const (
+	tmOffSec  = 0
+	tmOffMin  = 4
+	tmOffHour = 8
+	tmOffMday = 12
+	tmOffMon  = 16
+	tmOffYear = 20
+	tmSize    = 24
+)
+
+// Libc is one process-wide instance of the simulated C library. Allocate it
+// once from the main thread before spawning workers, as a real process's
+// static storage is set up before main.
+type Libc struct {
+	tmBuf     *vm.Block // shared static struct tm (localtime/gmtime)
+	ascBuf    *vm.Block // static char[26] for asctime/ctime
+	strtokSt  *vm.Block // strtok's static cursor
+	strtokS   string
+	strtokPos int
+}
+
+// New allocates the C library's static storage.
+func New(t *vm.Thread) *Libc {
+	return &Libc{
+		tmBuf:    t.Alloc(tmSize, "libc-static-tm"),
+		ascBuf:   t.Alloc(32, "libc-static-asctime"),
+		strtokSt: t.Alloc(8, "libc-static-strtok"),
+	}
+}
+
+// Tm is the decoded broken-down time.
+type Tm struct {
+	Sec, Min, Hour, Mday, Mon, Year int
+}
+
+// Localtime converts a unix-ish timestamp into broken-down time by WRITING
+// the static buffer and reading it back — the §4.1.3 race when called from
+// multiple threads.
+func (lc *Libc) Localtime(t *vm.Thread, unix int64) Tm {
+	pop := t.Func("localtime", "time.c", 87)
+	defer pop()
+	sec := int(unix % 60)
+	min := int((unix / 60) % 60)
+	hour := int((unix / 3600) % 24)
+	day := int(unix/86400) % 28
+	mon := int(unix/2419200) % 12
+	year := 70 + int(unix/29030400)
+	lc.tmBuf.Store32(t, tmOffSec, uint32(sec))
+	lc.tmBuf.Store32(t, tmOffMin, uint32(min))
+	lc.tmBuf.Store32(t, tmOffHour, uint32(hour))
+	lc.tmBuf.Store32(t, tmOffMday, uint32(day+1))
+	lc.tmBuf.Store32(t, tmOffMon, uint32(mon))
+	lc.tmBuf.Store32(t, tmOffYear, uint32(year))
+	return Tm{
+		Sec:  int(lc.tmBuf.Load32(t, tmOffSec)),
+		Min:  int(lc.tmBuf.Load32(t, tmOffMin)),
+		Hour: int(lc.tmBuf.Load32(t, tmOffHour)),
+		Mday: int(lc.tmBuf.Load32(t, tmOffMday)),
+		Mon:  int(lc.tmBuf.Load32(t, tmOffMon)),
+		Year: int(lc.tmBuf.Load32(t, tmOffYear)),
+	}
+}
+
+// Asctime formats the static tm buffer into the static string buffer —
+// reads of one static plus writes of another.
+func (lc *Libc) Asctime(t *vm.Thread) string {
+	pop := t.Func("asctime", "time.c", 143)
+	defer pop()
+	tm := Tm{
+		Sec:  int(lc.tmBuf.Load32(t, tmOffSec)),
+		Min:  int(lc.tmBuf.Load32(t, tmOffMin)),
+		Hour: int(lc.tmBuf.Load32(t, tmOffHour)),
+	}
+	lc.ascBuf.Write(t, 0, 26)
+	return fmt.Sprintf("%02d:%02d:%02d", tm.Hour, tm.Min, tm.Sec)
+}
+
+// Ctime is localtime followed by asctime, as in C.
+func (lc *Libc) Ctime(t *vm.Thread, unix int64) string {
+	pop := t.Func("ctime", "time.c", 151)
+	defer pop()
+	lc.Localtime(t, unix)
+	return lc.Asctime(t)
+}
+
+// Strtok tokenises using a static cursor: pass the string on the first call
+// and "" to continue — the classic non-reentrant API.
+func (lc *Libc) Strtok(t *vm.Thread, s, sep string) string {
+	pop := t.Func("strtok", "string.c", 310)
+	defer pop()
+	if s != "" {
+		lc.strtokSt.Store64(t, 0, uint64(len(s)))
+		lc.strtokS = s
+		lc.strtokPos = 0
+	} else {
+		lc.strtokSt.Load64(t, 0)
+	}
+	// Concurrent unsynchronised use can leave the static cursor pointing
+	// into a different (shorter) string — undefined behaviour in C. Keep the
+	// simulation memory-safe: clamp, return garbage instead of crashing.
+	if lc.strtokPos > len(lc.strtokS) {
+		lc.strtokPos = len(lc.strtokS)
+	}
+	for lc.strtokPos < len(lc.strtokS) && strings.ContainsRune(sep, rune(lc.strtokS[lc.strtokPos])) {
+		lc.strtokPos++
+	}
+	if lc.strtokPos >= len(lc.strtokS) {
+		lc.strtokSt.Store64(t, 0, 0)
+		return ""
+	}
+	start := lc.strtokPos
+	for lc.strtokPos < len(lc.strtokS) && !strings.ContainsRune(sep, rune(lc.strtokS[lc.strtokPos])) {
+		lc.strtokPos++
+	}
+	lc.strtokSt.Store64(t, 0, uint64(lc.strtokPos))
+	if start > lc.strtokPos || lc.strtokPos > len(lc.strtokS) {
+		return ""
+	}
+	return lc.strtokS[start:lc.strtokPos]
+}

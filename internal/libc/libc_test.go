@@ -1,0 +1,120 @@
+package libc
+
+import (
+	"testing"
+
+	"repro/internal/lockset"
+	"repro/internal/report"
+	"repro/internal/vm"
+)
+
+func TestLocaltimeDecodes(t *testing.T) {
+	v := vm.New(vm.Options{Seed: 1})
+	if err := v.Run(func(main *vm.Thread) {
+		lc := New(main)
+		tm := lc.Localtime(main, 3661) // 01:01:01
+		if tm.Hour != 1 || tm.Min != 1 || tm.Sec != 1 {
+			t.Errorf("tm = %+v, want 01:01:01", tm)
+		}
+		if got := lc.Asctime(main); got != "01:01:01" {
+			t.Errorf("asctime = %q", got)
+		}
+		if got := lc.Ctime(main, 7322); got != "02:02:02" {
+			t.Errorf("ctime = %q", got)
+		}
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestStrtokTokenises(t *testing.T) {
+	v := vm.New(vm.Options{Seed: 1})
+	if err := v.Run(func(main *vm.Thread) {
+		lc := New(main)
+		var tokens []string
+		for tok := lc.Strtok(main, "a,b,,c", ","); tok != ""; tok = lc.Strtok(main, "", ",") {
+			tokens = append(tokens, tok)
+		}
+		if len(tokens) != 3 || tokens[0] != "a" || tokens[1] != "b" || tokens[2] != "c" {
+			t.Errorf("tokens = %v", tokens)
+		}
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestConcurrentLocaltimeIsRacy(t *testing.T) {
+	// §4.1.3: localtime from two threads without a lock must be reported.
+	v := vm.New(vm.Options{Seed: 1})
+	col := report.NewCollector(v, nil)
+	v.AddTool(lockset.New(lockset.ConfigHWLCDR(), col))
+	if err := v.Run(func(main *vm.Thread) {
+		lc := New(main)
+		w := func(th *vm.Thread) {
+			for i := 0; i < 3; i++ {
+				lc.Localtime(th, int64(i)*100)
+			}
+		}
+		a := main.Go("a", w)
+		b := main.Go("b", w)
+		main.Join(a)
+		main.Join(b)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if col.Locations() == 0 {
+		t.Error("concurrent localtime not reported")
+	}
+}
+
+func TestLockedLocaltimeIsSilent(t *testing.T) {
+	v := vm.New(vm.Options{Seed: 1})
+	col := report.NewCollector(v, nil)
+	v.AddTool(lockset.New(lockset.ConfigHWLCDR(), col))
+	if err := v.Run(func(main *vm.Thread) {
+		lc := New(main)
+		m := v.NewMutex("timeMu")
+		w := func(th *vm.Thread) {
+			for i := 0; i < 3; i++ {
+				m.Lock(th)
+				lc.Localtime(th, int64(i)*100)
+				m.Unlock(th)
+			}
+		}
+		a := main.Go("a", w)
+		b := main.Go("b", w)
+		main.Join(a)
+		main.Join(b)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if col.Locations() != 0 {
+		t.Errorf("locked localtime reported:\n%s", col.Format())
+	}
+}
+
+func TestConcurrentStrtokSurvives(t *testing.T) {
+	// Concurrent strtok is undefined behaviour in C; the simulation must
+	// stay memory-safe (garbage results are fine) and be reported as racy.
+	for seed := int64(0); seed < 10; seed++ {
+		v := vm.New(vm.Options{Seed: seed})
+		col := report.NewCollector(v, nil)
+		v.AddTool(lockset.New(lockset.ConfigHWLCDR(), col))
+		if err := v.Run(func(main *vm.Thread) {
+			lc := New(main)
+			w := func(s string) func(*vm.Thread) {
+				return func(th *vm.Thread) {
+					for tok := lc.Strtok(th, s, ","); tok != ""; tok = lc.Strtok(th, "", ",") {
+						th.Yield()
+					}
+				}
+			}
+			a := main.Go("a", w("one,two,three,four"))
+			b := main.Go("b", w("x,y"))
+			main.Join(a)
+			main.Join(b)
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

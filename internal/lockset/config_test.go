@@ -1,0 +1,187 @@
+package lockset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Tool != "helgrind" || cfg.Mask != trace.MaskHelgrind || cfg.Granule != 4 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	o := ConfigOriginal()
+	if o.Bus != BusSingleMutex || o.Destruct || !o.ThreadSegments {
+		t.Errorf("Original = %+v", o)
+	}
+	h := ConfigHWLC()
+	if h.Bus != BusRWLock || h.Destruct {
+		t.Errorf("HWLC = %+v", h)
+	}
+	d := ConfigHWLCDR()
+	if d.Bus != BusRWLock || !d.Destruct {
+		t.Errorf("HWLC+DR = %+v", d)
+	}
+}
+
+func TestBusModelStrings(t *testing.T) {
+	if BusNone.String() != "none" || BusSingleMutex.String() != "single-mutex" || BusRWLock.String() != "rwlock" {
+		t.Error("BusModel strings wrong")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[state]string{
+		stNew: "new", stExclusive: "exclusive",
+		stSharedRead: "shared RO", stSharedMod: "shared modified",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Errorf("state %d = %q, want %q", st, st.String(), s)
+		}
+	}
+}
+
+func TestBusNoneAblation(t *testing.T) {
+	// With the bus lock ignored entirely, even all-atomic counters are
+	// reported: the ablation shows why SOME bus-lock model is needed.
+	cfg := Config{Bus: BusNone, ThreadSegments: true}
+	_, col := run(t, 1, cfg, func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(4, "refcount")
+		w := func(th *vm.Thread) { b.AtomicAdd32(th, 0, 1) }
+		a := main.Go("a", w)
+		c := main.Go("b", w)
+		main.Join(a)
+		main.Join(c)
+	})
+	if col.Locations() == 0 {
+		t.Error("BusNone should report all-atomic counters (no bus lock protects them)")
+	}
+}
+
+func TestDynamicRacesCountsOccurrences(t *testing.T) {
+	d, col := run(t, 1, ConfigOriginal(), func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(4, "x")
+		w := func(th *vm.Thread) {
+			defer th.Func("w", "f.cpp", 1)()
+			for i := 0; i < 10; i++ {
+				b.Store32(th, 0, 1)
+			}
+		}
+		a := main.Go("a", w)
+		c := main.Go("b", w)
+		main.Join(a)
+		main.Join(c)
+	})
+	if d.DynamicRaces() <= col.Locations() {
+		t.Errorf("dynamic races (%d) should exceed deduplicated locations (%d)",
+			d.DynamicRaces(), col.Locations())
+	}
+}
+
+func TestWarningFormatMatchesFig9Structure(t *testing.T) {
+	// The rendered warning must carry the Fig. 9 elements: the header line,
+	// the innermost "at" frame, the block provenance and the previous state.
+	v := vm.New(vm.Options{Seed: 1})
+	col := report.NewCollector(v, nil)
+	v.AddTool(New(ConfigOriginal(), col))
+	err := v.Run(func(main *vm.Thread) {
+		b := main.Alloc(21, "string-rep") // "a block of size 21", as in Fig. 9
+		w := func(th *vm.Thread) {
+			defer th.Func("std::string::_Rep::_M_grab", "basic_string.h", 650)()
+			b.Load32(th, 8)
+			b.AtomicAdd32(th, 8, 1)
+		}
+		a := main.Go("a", w)
+		c := main.Go("b", w)
+		main.Join(a)
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := col.Format()
+	for _, want := range []string{
+		"Possible data race write variable at 0x",
+		"at std::string::_Rep::_M_grab (basic_string.h:650)",
+		"is 8 bytes inside a block of size 21 (string-rep) alloc'd by thread 1",
+		"Previous state: shared RO, no locks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGranuleConfig(t *testing.T) {
+	// With an 8-byte granule, two adjacent 4-byte fields share shadow state;
+	// with a 4-byte granule they are independent. A race on field 0 only:
+	cfg4 := ConfigOriginal()
+	prog := func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(8, "x")
+		m := v.NewMutex("m")
+		a := main.Go("racer", func(th *vm.Thread) {
+			defer th.Func("racer", "g.cpp", 1)()
+			b.Store32(th, 0, 1) // unlocked
+		})
+		c := main.Go("locked", func(th *vm.Thread) {
+			defer th.Func("locked", "g.cpp", 2)()
+			m.Lock(th)
+			b.Store32(th, 4, 2) // locked, adjacent field
+			m.Unlock(th)
+		})
+		main.Join(a)
+		main.Join(c)
+		b.Store32(main, 4, 3) // main writes field 4 after joins (ordered)
+	}
+	_, col4 := run(t, 1, cfg4, prog)
+	cfg8 := ConfigOriginal()
+	cfg8.Granule = 8
+	_, col8 := run(t, 1, cfg8, prog)
+	// Coarser granularity can only see MORE conflicts (false sharing).
+	if col8.Locations() < col4.Locations() {
+		t.Errorf("8-byte granule (%d) reported fewer than 4-byte (%d)",
+			col8.Locations(), col4.Locations())
+	}
+}
+
+func TestDestructRequestIgnoredWhenDisabled(t *testing.T) {
+	// A detector with Destruct=false must treat HG_DESTRUCT as a no-op.
+	prog := func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(8, "obj")
+		m := v.NewMutex("m")
+		m2 := v.NewMutex("m2")
+		a := main.Go("a", func(th *vm.Thread) {
+			m.Lock(th)
+			b.Load64(th, 0)
+			m.Unlock(th)
+		})
+		c := main.Go("b", func(th *vm.Thread) {
+			m2.Lock(th)
+			b.Load64(th, 0)
+			m2.Unlock(th)
+		})
+		main.Join(a)
+		main.Join(c)
+		d := main.Go("deleter", func(th *vm.Thread) {
+			b.Request(th, trace.ReqDestruct, 0, 8)
+			b.Store64(th, 0, 0xDEAD)
+		})
+		main.Join(d)
+	}
+	_, colOff := run(t, 1, ConfigHWLC(), prog) // Destruct disabled
+	if colOff.Locations() == 0 {
+		t.Error("HG_DESTRUCT must be inert when the configuration ignores it")
+	}
+	_, colOn := run(t, 1, ConfigHWLCDR(), prog)
+	if colOn.Locations() != 0 {
+		t.Errorf("HG_DESTRUCT honoured config still reported:\n%s", colOn.Format())
+	}
+}

@@ -1,0 +1,200 @@
+package lockset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/report"
+	"repro/internal/vm"
+)
+
+// randomProgram describes a generated workload: per-thread access scripts
+// over a set of variables, where each variable is either consistently
+// guarded by its own mutex or consistently unguarded.
+type randomProgram struct {
+	seed      int64
+	nVars     int
+	nThreads  int
+	unguarded int // index of the unguarded variable, -1 for none
+	scripts   [][]accessOp
+}
+
+type accessOp struct {
+	v     int
+	write bool
+}
+
+// genProgram derives a random program from a PRNG seed.
+func genProgram(seed int64, withBadVar bool) randomProgram {
+	rng := rand.New(rand.NewSource(seed))
+	p := randomProgram{
+		seed:      seed,
+		nVars:     2 + rng.Intn(4),
+		nThreads:  2 + rng.Intn(3),
+		unguarded: -1,
+	}
+	if withBadVar {
+		p.unguarded = rng.Intn(p.nVars)
+	}
+	p.scripts = make([][]accessOp, p.nThreads)
+	for t := range p.scripts {
+		n := 4 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			p.scripts[t] = append(p.scripts[t], accessOp{
+				v:     rng.Intn(p.nVars),
+				write: rng.Intn(2) == 0,
+			})
+		}
+	}
+	if withBadVar {
+		// Guarantee at least two threads WRITE the unguarded variable, so a
+		// lock-discipline violation is certain on every schedule.
+		p.scripts[0] = append(p.scripts[0], accessOp{v: p.unguarded, write: true})
+		p.scripts[1] = append(p.scripts[1], accessOp{v: p.unguarded, write: true})
+	}
+	return p
+}
+
+// run executes the program under the given detector configuration and
+// returns the number of reported locations.
+func (p randomProgram) run(t *testing.T, cfg Config) int {
+	t.Helper()
+	v := vm.New(vm.Options{Seed: p.seed})
+	col := report.NewCollector(v, nil)
+	v.AddTool(New(cfg, col))
+	err := v.Run(func(main *vm.Thread) {
+		vars := make([]*vm.Block, p.nVars)
+		locks := make([]*vm.Mutex, p.nVars)
+		for i := range vars {
+			vars[i] = main.Alloc(4, fmt.Sprintf("var%d", i))
+			locks[i] = v.NewMutex(fmt.Sprintf("m%d", i))
+		}
+		threads := make([]*vm.Thread, p.nThreads)
+		for ti := range threads {
+			script := p.scripts[ti]
+			threads[ti] = main.Go(fmt.Sprintf("t%d", ti), func(th *vm.Thread) {
+				defer th.Func("worker", "prop.cpp", 1)()
+				for oi, op := range script {
+					th.SetLine(10 + op.v) // one site per variable
+					guarded := op.v != p.unguarded
+					if guarded {
+						locks[op.v].Lock(th)
+					}
+					if op.write {
+						vars[op.v].Store32(th, 0, uint32(oi))
+					} else {
+						vars[op.v].Load32(th, 0)
+					}
+					if guarded {
+						locks[op.v].Unlock(th)
+					}
+				}
+			})
+		}
+		for _, th := range threads {
+			main.Join(th)
+		}
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", p.seed, err)
+	}
+	return col.Locations()
+}
+
+func TestPropertyDisciplinedProgramsSilent(t *testing.T) {
+	// Soundness of the no-warning direction: consistently locked programs
+	// never produce lock-set warnings, under any configuration and schedule.
+	configs := []Config{ConfigOriginal(), ConfigHWLC(), ConfigHWLCDR()}
+	prop := func(seed int64) bool {
+		p := genProgram(seed, false)
+		for _, cfg := range configs {
+			if p.run(t, cfg) != 0 {
+				t.Logf("seed %d under %v reported a clean program", seed, cfg.Bus)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUnguardedWriterAlwaysCaught(t *testing.T) {
+	// Completeness on the observed path: a variable written unguarded by at
+	// least two threads violates the discipline on EVERY schedule — the
+	// lock-set approach "should find all possible data-races" of this form.
+	prop := func(seed int64) bool {
+		p := genProgram(seed, true)
+		if p.run(t, ConfigHWLCDR()) == 0 {
+			t.Logf("seed %d missed the unguarded variable", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDetectionIndependentOfSchedule(t *testing.T) {
+	// The same generated program must be caught across many seeds (lock-set
+	// detection of all-unlocked writers does not depend on the
+	// interleaving, unlike §4.3's asymmetric case).
+	base := genProgram(1234, true)
+	for seed := int64(0); seed < 20; seed++ {
+		p := base
+		p.seed = seed
+		if p.run(t, ConfigOriginal()) == 0 {
+			t.Errorf("seed %d missed the unguarded variable", seed)
+		}
+	}
+}
+
+func TestPropertyMoreLocksNeverMoreWarnings(t *testing.T) {
+	// Adding a global lock around EVERY access (on top of per-variable
+	// locks) can only shrink the warning set: the candidate sets only grow.
+	prop := func(seed int64) bool {
+		p := genProgram(seed, true)
+		baseline := p.run(t, ConfigHWLCDR())
+
+		// Same program with a global lock wrapped around all accesses.
+		v := vm.New(vm.Options{Seed: p.seed})
+		col := report.NewCollector(v, nil)
+		v.AddTool(New(ConfigHWLCDR(), col))
+		err := v.Run(func(main *vm.Thread) {
+			global := v.NewMutex("global")
+			vars := make([]*vm.Block, p.nVars)
+			for i := range vars {
+				vars[i] = main.Alloc(4, fmt.Sprintf("var%d", i))
+			}
+			threads := make([]*vm.Thread, p.nThreads)
+			for ti := range threads {
+				script := p.scripts[ti]
+				threads[ti] = main.Go(fmt.Sprintf("t%d", ti), func(th *vm.Thread) {
+					for oi, op := range script {
+						global.Lock(th)
+						if op.write {
+							vars[op.v].Store32(th, 0, uint32(oi))
+						} else {
+							vars[op.v].Load32(th, 0)
+						}
+						global.Unlock(th)
+					}
+				})
+			}
+			for _, th := range threads {
+				main.Join(th)
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", p.seed, err)
+		}
+		return col.Locations() == 0 && baseline >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package lockset
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// SetID identifies an interned lock-set. Helgrind interns lock-sets so that
+// per-location shadow state is a single word and intersections can be
+// memoised; we reproduce that design.
+type SetID int32
+
+// Universe is the lock-set containing every lock — the initial C(v) of the
+// Eraser algorithm ("initialize C(v) to the set of all locks").
+const Universe SetID = -1
+
+// EmptySet is the interned ID of the empty lock-set.
+const EmptySet SetID = 0
+
+// SetTable interns lock-sets and memoises intersections.
+type SetTable struct {
+	sets  [][]trace.LockID
+	index map[string]SetID
+	cache map[[2]SetID]SetID
+}
+
+// NewSetTable creates a table with the empty set pre-interned as ID 0.
+func NewSetTable() *SetTable {
+	st := &SetTable{
+		index: make(map[string]SetID),
+		cache: make(map[[2]SetID]SetID),
+	}
+	st.sets = append(st.sets, nil)
+	st.index[""] = EmptySet
+	return st
+}
+
+// Intern returns the ID for the given set of locks. The input need not be
+// sorted and may contain duplicates.
+func (st *SetTable) Intern(locks []trace.LockID) SetID {
+	if len(locks) == 0 {
+		return EmptySet
+	}
+	sorted := append([]trace.LockID(nil), locks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	uniq := sorted[:1]
+	for _, l := range sorted[1:] {
+		if l != uniq[len(uniq)-1] {
+			uniq = append(uniq, l)
+		}
+	}
+	key := setKey(uniq)
+	if id, ok := st.index[key]; ok {
+		return id
+	}
+	id := SetID(len(st.sets))
+	st.sets = append(st.sets, uniq)
+	st.index[key] = id
+	return id
+}
+
+// Locks returns the locks in an interned set (sorted). The universe has no
+// explicit representation and returns nil.
+func (st *SetTable) Locks(id SetID) []trace.LockID {
+	if id < 0 || int(id) >= len(st.sets) {
+		return nil
+	}
+	return st.sets[id]
+}
+
+// Size returns the cardinality of the set (-1 for the universe).
+func (st *SetTable) Size(id SetID) int {
+	if id == Universe {
+		return -1
+	}
+	return len(st.Locks(id))
+}
+
+// Intersect returns the interned intersection of two sets. The universe is
+// the identity element.
+func (st *SetTable) Intersect(a, b SetID) SetID {
+	if a == Universe {
+		return b
+	}
+	if b == Universe {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	if a == EmptySet || b == EmptySet {
+		return EmptySet
+	}
+	key := [2]SetID{a, b}
+	if a > b {
+		key = [2]SetID{b, a}
+	}
+	if id, ok := st.cache[key]; ok {
+		return id
+	}
+	sa, sb := st.sets[a], st.sets[b]
+	var out []trace.LockID
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] == sb[j]:
+			out = append(out, sa[i])
+			i++
+			j++
+		case sa[i] < sb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	id := st.Intern(out)
+	st.cache[key] = id
+	return id
+}
+
+// Contains reports whether the set contains the lock. The universe contains
+// everything.
+func (st *SetTable) Contains(id SetID, l trace.LockID) bool {
+	if id == Universe {
+		return true
+	}
+	locks := st.Locks(id)
+	i := sort.Search(len(locks), func(i int) bool { return locks[i] >= l })
+	return i < len(locks) && locks[i] == l
+}
+
+// Len returns the number of interned sets.
+func (st *SetTable) Len() int { return len(st.sets) }
+
+func setKey(sorted []trace.LockID) string {
+	b := make([]byte, 0, len(sorted)*4)
+	for _, l := range sorted {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,78 @@
+package memcheck
+
+import (
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/vm"
+)
+
+func run(t *testing.T, body func(*vm.Thread)) (*Detector, *report.Collector) {
+	t.Helper()
+	v := vm.New(vm.Options{Seed: 1})
+	col := report.NewCollector(v, nil)
+	d := New(Config{}, col)
+	v.AddTool(d)
+	if err := v.Run(body); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return d, col
+}
+
+func TestUseAfterFree(t *testing.T) {
+	d, col := run(t, func(main *vm.Thread) {
+		b := main.Alloc(8, "x")
+		b.Store32(main, 0, 1)
+		b.Free(main)
+		b.Load32(main, 0) // UAF
+	})
+	if d.Errors() != 1 {
+		t.Errorf("errors = %d, want 1", d.Errors())
+	}
+	if got := col.CountByKind()[report.KindUseAfterFree]; got != 1 {
+		t.Errorf("UAF warnings = %d, want 1", got)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	_, col := run(t, func(main *vm.Thread) {
+		b := main.Alloc(8, "x")
+		b.Free(main)
+		b.Free(main)
+	})
+	if got := col.CountByKind()[report.KindInvalidFree]; got != 1 {
+		t.Errorf("invalid-free warnings = %d, want 1", got)
+	}
+}
+
+func TestCleanProgramSilent(t *testing.T) {
+	d, col := run(t, func(main *vm.Thread) {
+		for i := 0; i < 10; i++ {
+			b := main.Alloc(16, "x")
+			b.Store64(main, 0, uint64(i))
+			b.Load64(main, 0)
+			b.Free(main)
+		}
+	})
+	if d.Errors() != 0 || col.Locations() != 0 {
+		t.Errorf("clean program reported %d errors:\n%s", d.Errors(), col.Format())
+	}
+}
+
+func TestDtorUseAfterDeleteCaught(t *testing.T) {
+	// §4.2.1's soundness argument: if a guest accesses the object after
+	// delete (free), the memory checker flags it even though the race
+	// detector was told the memory is exclusively owned.
+	d, _ := run(t, func(main *vm.Thread) {
+		obj := main.Alloc(16, "obj:Session")
+		obj.Store64(main, 0, 0xC0FFEE)
+		obj.Free(main)
+		w := main.Go("stale-user", func(th *vm.Thread) {
+			obj.Load64(th, 0) // dangling access from another thread
+		})
+		main.Join(w)
+	})
+	if d.Errors() == 0 {
+		t.Error("dangling access after delete not caught")
+	}
+}

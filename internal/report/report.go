@@ -1,0 +1,257 @@
+// Package report collects, deduplicates, formats and classifies the warnings
+// produced by the analysis tools. It corresponds to the log-file output and
+// "Analysis" step of the paper's debugging process (§3.2, Fig. 3).
+//
+// Helgrind's headline metric — the numbers in Fig. 5 and Fig. 6 — is the
+// count of distinct *reported locations*: warnings are deduplicated by their
+// call-stack signature, not counted per dynamic occurrence. The Collector
+// implements exactly that.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Kind classifies a warning.
+type Kind uint8
+
+// Warning kinds.
+const (
+	// KindRace is a possible data race (lock-set violation or unordered
+	// conflicting accesses, depending on the tool).
+	KindRace Kind = iota
+	// KindDeadlock is a lock-order cycle or an observed deadlock.
+	KindDeadlock
+	// KindUseAfterFree is an access to freed guest memory.
+	KindUseAfterFree
+	// KindInvalidFree is a free of an already-freed block.
+	KindInvalidFree
+	// KindHighLevel is a high-level data race (view inconsistency, [1] in
+	// the paper): every access is locked, but the lock granularity admits
+	// inconsistent intermediate states.
+	KindHighLevel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRace:
+		return "possible data race"
+	case KindDeadlock:
+		return "lock order violation"
+	case KindUseAfterFree:
+		return "invalid access to freed memory"
+	case KindHighLevel:
+		return "high-level data race"
+	default:
+		return "invalid free"
+	}
+}
+
+// Category returns the short token used in suppression files
+// ("Helgrind:Race" matches KindRace).
+func (k Kind) Category() string {
+	switch k {
+	case KindRace:
+		return "Race"
+	case KindDeadlock:
+		return "Deadlock"
+	case KindUseAfterFree:
+		return "UseAfterFree"
+	case KindHighLevel:
+		return "HighLevelRace"
+	default:
+		return "InvalidFree"
+	}
+}
+
+// Warning is a single tool finding. Stack identifies the reporting site and,
+// together with Kind and Tool, forms the deduplication signature.
+type Warning struct {
+	Tool   string
+	Kind   Kind
+	Thread trace.ThreadID
+	Addr   trace.Addr
+	Block  trace.BlockID
+	Off    uint32
+	Size   uint32
+	Access trace.AccessKind
+	Stack  trace.StackID
+	// PrevStack is the other side of the conflict when the tool knows it
+	// (happens-before detectors do; pure lock-set does not).
+	PrevStack trace.StackID
+	// State describes the shadow state at the time of the report, e.g.
+	// "shared RO, no locks" — mirroring Helgrind's "Previous state" line.
+	State string
+	// Count is the number of dynamic occurrences folded into this site.
+	Count int
+}
+
+type siteKey struct {
+	tool  string
+	kind  Kind
+	stack trace.StackID
+}
+
+// Suppressor decides whether a warning should be suppressed given its
+// resolved stack. internal/suppress implements it.
+type Suppressor interface {
+	Suppressed(kind string, frames []trace.Frame) bool
+}
+
+// Collector accumulates warnings with per-site deduplication.
+type Collector struct {
+	res        trace.Resolver
+	sup        Suppressor
+	sites      map[siteKey]*Warning
+	order      []siteKey
+	suppressed int
+	total      int
+}
+
+// NewCollector creates a collector. res resolves stacks and blocks for
+// formatting and suppression matching; sup may be nil.
+func NewCollector(res trace.Resolver, sup Suppressor) *Collector {
+	return &Collector{
+		res:   res,
+		sup:   sup,
+		sites: make(map[siteKey]*Warning),
+	}
+}
+
+// Add records a warning occurrence. The first occurrence at a site retains
+// its details; later ones only bump the count. Add reports whether the
+// warning was a new site (neither folded nor suppressed).
+func (c *Collector) Add(w Warning) bool {
+	c.total++
+	key := siteKey{tool: w.Tool, kind: w.Kind, stack: w.Stack}
+	if prev, ok := c.sites[key]; ok {
+		prev.Count++
+		return false
+	}
+	if c.sup != nil && c.res != nil {
+		if c.sup.Suppressed(w.Kind.Category(), c.res.Stack(w.Stack)) {
+			c.suppressed++
+			return false
+		}
+	}
+	w.Count = 1
+	c.sites[key] = &w
+	c.order = append(c.order, key)
+	return true
+}
+
+// Sites returns the distinct warning sites in first-seen order.
+func (c *Collector) Sites() []*Warning {
+	out := make([]*Warning, 0, len(c.order))
+	for _, k := range c.order {
+		out = append(out, c.sites[k])
+	}
+	return out
+}
+
+// Locations returns the number of distinct reported locations — the Fig. 5/6
+// metric.
+func (c *Collector) Locations() int { return len(c.order) }
+
+// Occurrences returns the total number of dynamic warnings observed,
+// including folded duplicates but excluding suppressed sites.
+func (c *Collector) Occurrences() int { return c.total - c.suppressed }
+
+// SuppressedSites returns the number of sites dropped by suppressions.
+func (c *Collector) SuppressedSites() int { return c.suppressed }
+
+// CountByKind returns the number of distinct sites per warning kind.
+func (c *Collector) CountByKind() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, k := range c.order {
+		m[k.kind]++
+	}
+	return m
+}
+
+// Format renders all warning sites in a Helgrind-like textual format.
+func (c *Collector) Format() string {
+	var b strings.Builder
+	for _, w := range c.Sites() {
+		b.WriteString(FormatWarning(w, c.res))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "== %d distinct location(s), %d occurrence(s), %d suppressed site(s)\n",
+		c.Locations(), c.Occurrences(), c.suppressed)
+	return b.String()
+}
+
+// FormatWarning renders one warning in a Helgrind-like format (cf. Fig. 9 of
+// the paper).
+func FormatWarning(w *Warning, res trace.Resolver) string {
+	var b strings.Builder
+	switch w.Kind {
+	case KindRace:
+		fmt.Fprintf(&b, "==%s== Possible data race %s variable at 0x%X\n", w.Tool, w.Access, w.Addr)
+	case KindDeadlock:
+		fmt.Fprintf(&b, "==%s== Lock order violation involving address 0x%X\n", w.Tool, w.Addr)
+	case KindUseAfterFree:
+		fmt.Fprintf(&b, "==%s== Invalid %s of size %d at 0x%X (freed block)\n", w.Tool, w.Access, w.Size, w.Addr)
+	case KindInvalidFree:
+		fmt.Fprintf(&b, "==%s== Invalid free at 0x%X\n", w.Tool, w.Addr)
+	case KindHighLevel:
+		fmt.Fprintf(&b, "==%s== High-level data race (inconsistent lock granularity)\n", w.Tool)
+	}
+	writeStack(&b, w.Stack, res, "   ")
+	if res != nil {
+		if blk := res.BlockInfo(w.Block); blk != nil {
+			fmt.Fprintf(&b, "==%s== Address 0x%X is %d bytes inside a block of size %d (%s) alloc'd by thread %d\n",
+				w.Tool, w.Addr, w.Off, blk.Size, blk.Tag, blk.Thread)
+			writeStack(&b, blk.Stack, res, "   ")
+		}
+	}
+	if w.PrevStack != trace.NoStack {
+		fmt.Fprintf(&b, "==%s== Conflicts with a previous access\n", w.Tool)
+		writeStack(&b, w.PrevStack, res, "   ")
+	}
+	if w.State != "" {
+		fmt.Fprintf(&b, "==%s== Previous state: %s\n", w.Tool, w.State)
+	}
+	if w.Count > 1 {
+		fmt.Fprintf(&b, "==%s== (%d occurrences at this site)\n", w.Tool, w.Count)
+	}
+	return b.String()
+}
+
+func writeStack(b *strings.Builder, id trace.StackID, res trace.Resolver, indent string) {
+	if res == nil || id == trace.NoStack {
+		return
+	}
+	frames := res.Stack(id)
+	for i := len(frames) - 1; i >= 0; i-- { // innermost first, like Helgrind
+		f := frames[i]
+		pos := i == len(frames)-1
+		prefix := "by"
+		if pos {
+			prefix = "at"
+		}
+		fmt.Fprintf(b, "%s%s %s (%s:%d)\n", indent, prefix, f.Fn, f.File, f.Line)
+	}
+}
+
+// Summary is a compact per-kind rollup.
+func (c *Collector) Summary() string {
+	counts := c.CountByKind()
+	kinds := make([]Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s: %d", k, counts[k]))
+	}
+	if len(parts) == 0 {
+		return "no warnings"
+	}
+	return strings.Join(parts, ", ")
+}

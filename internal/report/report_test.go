@@ -1,0 +1,151 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// fakeResolver implements trace.Resolver for tests.
+type fakeResolver struct {
+	stacks map[trace.StackID][]trace.Frame
+	blocks map[trace.BlockID]*trace.Block
+}
+
+func (f *fakeResolver) Stack(id trace.StackID) []trace.Frame { return f.stacks[id] }
+func (f *fakeResolver) BlockInfo(id trace.BlockID) *trace.Block {
+	return f.blocks[id]
+}
+
+func newResolver() *fakeResolver {
+	return &fakeResolver{
+		stacks: map[trace.StackID][]trace.Frame{
+			1: {{Fn: "main", File: "main.cpp", Line: 10}, {Fn: "worker", File: "w.cpp", Line: 20}},
+			2: {{Fn: "main", File: "main.cpp", Line: 11}},
+		},
+		blocks: map[trace.BlockID]*trace.Block{
+			7: {ID: 7, Base: 0x1000, Size: 24, Tag: "string-rep", Thread: 1, Stack: 2},
+		},
+	}
+}
+
+func TestDedupBySite(t *testing.T) {
+	c := NewCollector(newResolver(), nil)
+	w := Warning{Tool: "helgrind", Kind: KindRace, Stack: 1, Addr: 0x1000, Block: 7}
+	if !c.Add(w) {
+		t.Error("first occurrence should be a new site")
+	}
+	if c.Add(w) {
+		t.Error("second occurrence should fold")
+	}
+	w2 := w
+	w2.Stack = 2
+	if !c.Add(w2) {
+		t.Error("different stack should be a new site")
+	}
+	if c.Locations() != 2 {
+		t.Errorf("locations = %d, want 2", c.Locations())
+	}
+	if c.Occurrences() != 3 {
+		t.Errorf("occurrences = %d, want 3", c.Occurrences())
+	}
+	if c.Sites()[0].Count != 2 {
+		t.Errorf("site count = %d, want 2", c.Sites()[0].Count)
+	}
+}
+
+func TestKindsSeparateSites(t *testing.T) {
+	c := NewCollector(newResolver(), nil)
+	c.Add(Warning{Tool: "x", Kind: KindRace, Stack: 1})
+	c.Add(Warning{Tool: "x", Kind: KindUseAfterFree, Stack: 1})
+	if c.Locations() != 2 {
+		t.Errorf("locations = %d, want 2 (different kinds)", c.Locations())
+	}
+	byKind := c.CountByKind()
+	if byKind[KindRace] != 1 || byKind[KindUseAfterFree] != 1 {
+		t.Errorf("byKind = %v", byKind)
+	}
+}
+
+func TestFormatHelgrindStyle(t *testing.T) {
+	c := NewCollector(newResolver(), nil)
+	c.Add(Warning{
+		Tool: "helgrind", Kind: KindRace, Thread: 2,
+		Addr: 0x1008, Block: 7, Off: 8, Size: 4,
+		Access: trace.Write, Stack: 1, State: "shared RO, no locks",
+	})
+	out := c.Format()
+	for _, want := range []string{
+		"Possible data race write variable at 0x1008",
+		"at worker (w.cpp:20)",
+		"by main (main.cpp:10)",
+		"8 bytes inside a block of size 24 (string-rep) alloc'd by thread 1",
+		"Previous state: shared RO, no locks",
+		"1 distinct location(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type muteAll struct{}
+
+func (muteAll) Suppressed(string, []trace.Frame) bool { return true }
+
+func TestSuppressorApplies(t *testing.T) {
+	c := NewCollector(newResolver(), muteAll{})
+	if c.Add(Warning{Tool: "x", Kind: KindRace, Stack: 1}) {
+		t.Error("suppressed warning reported as new site")
+	}
+	if c.Locations() != 0 || c.SuppressedSites() != 1 {
+		t.Errorf("locations=%d suppressed=%d, want 0/1", c.Locations(), c.SuppressedSites())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c := NewCollector(newResolver(), nil)
+	if c.Summary() != "no warnings" {
+		t.Errorf("empty summary = %q", c.Summary())
+	}
+	c.Add(Warning{Tool: "x", Kind: KindRace, Stack: 1})
+	if !strings.Contains(c.Summary(), "possible data race: 1") {
+		t.Errorf("summary = %q", c.Summary())
+	}
+}
+
+func TestFormatHighLevelWarning(t *testing.T) {
+	c := NewCollector(newResolver(), nil)
+	c.Add(Warning{
+		Tool: "highlevel", Kind: KindHighLevel,
+		Stack: 1, PrevStack: 2,
+		State: "lock L1: a view of 2 variable(s) is split inconsistently by another thread",
+	})
+	out := c.Format()
+	for _, want := range []string{
+		"High-level data race",
+		"Conflicts with a previous access",
+		"at main (main.cpp:11)", // the PrevStack frames
+		"split inconsistently",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("high-level warning missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindCategories(t *testing.T) {
+	want := map[Kind]string{
+		KindRace:         "Race",
+		KindDeadlock:     "Deadlock",
+		KindUseAfterFree: "UseAfterFree",
+		KindInvalidFree:  "InvalidFree",
+		KindHighLevel:    "HighLevelRace",
+	}
+	for k, cat := range want {
+		if k.Category() != cat {
+			t.Errorf("Category(%v) = %q, want %q", k, k.Category(), cat)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package segments maintains the thread-segment graph of Fig. 2 and answers
+// happens-before queries between segments under a configurable edge mask.
+//
+// The VM splits thread timelines at create/join and at higher-level
+// synchronisation operations (queue put/get, condition signal/wait, semaphore
+// post/wait) and announces each new segment with its incoming edges. A Graph
+// built with trace.MaskHelgrind sees only program order and create/join —
+// what Helgrind plus the Visual Threads improvement understands — while
+// trace.MaskFull additionally honours the higher-level edges (the paper's
+// future-work extension that removes the Fig. 11 ownership-transfer false
+// positives).
+package segments
+
+import (
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+type segment struct {
+	thread trace.ThreadID
+	clock  uint32    // this thread's logical clock at segment start
+	vc     vclock.VC // knowledge of all threads at segment start
+}
+
+// Graph is a thread-segment happens-before structure. It is not safe for
+// concurrent use; the VM delivers events sequentially.
+type Graph struct {
+	mask     trace.EdgeMask
+	segs     map[trace.SegmentID]*segment
+	perTh    map[trace.ThreadID]uint32 // last issued clock per thread
+	segCount int
+}
+
+// NewGraph creates a segment graph honouring the given edge kinds.
+func NewGraph(mask trace.EdgeMask) *Graph {
+	return &Graph{
+		mask:  mask,
+		segs:  make(map[trace.SegmentID]*segment),
+		perTh: make(map[trace.ThreadID]uint32),
+	}
+}
+
+// Mask returns the edge mask the graph honours.
+func (g *Graph) Mask() trace.EdgeMask { return g.mask }
+
+// Len returns the number of segments recorded.
+func (g *Graph) Len() int { return g.segCount }
+
+// Add records a new segment from a trace.SegmentStart event. Edges whose
+// kind is excluded by the mask are ignored, which weakens — never breaks —
+// the happens-before relation the graph reports.
+func (g *Graph) Add(ss *trace.SegmentStart) {
+	clock := g.perTh[ss.Thread] + 1
+	g.perTh[ss.Thread] = clock
+	vc := vclock.New(0)
+	for _, e := range ss.In {
+		if !g.mask.Has(e.Kind) {
+			continue
+		}
+		if from, ok := g.segs[e.From]; ok {
+			vc = vc.Join(from.vc)
+			// The predecessor segment itself happened: include its own tick.
+			vc = vc.Set(int(from.thread), maxU32(vc.Get(int(from.thread)), from.clock))
+		}
+	}
+	vc = vc.Set(int(ss.Thread), clock)
+	g.segs[ss.Seg] = &segment{thread: ss.Thread, clock: clock, vc: vc}
+	g.segCount++
+}
+
+// HappensBefore reports whether segment a fully happens-before segment b;
+// that is, every event in a is ordered before every event in b. Equal
+// segments are not ordered before themselves.
+func (g *Graph) HappensBefore(a, b trace.SegmentID) bool {
+	if a == b {
+		return false
+	}
+	sa, oka := g.segs[a]
+	sb, okb := g.segs[b]
+	if !oka || !okb {
+		return false
+	}
+	return sb.vc.Get(int(sa.thread)) >= sa.clock
+}
+
+// Ordered reports whether the two segments are ordered either way.
+func (g *Graph) Ordered(a, b trace.SegmentID) bool {
+	return a == b || g.HappensBefore(a, b) || g.HappensBefore(b, a)
+}
+
+// Thread returns the thread a segment belongs to (0 when unknown).
+func (g *Graph) Thread(s trace.SegmentID) trace.ThreadID {
+	if seg, ok := g.segs[s]; ok {
+		return seg.thread
+	}
+	return 0
+}
+
+func maxU32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

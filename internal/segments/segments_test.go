@@ -1,0 +1,246 @@
+package segments
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func seg(id trace.SegmentID, th trace.ThreadID, in ...trace.SegmentEdge) *trace.SegmentStart {
+	return &trace.SegmentStart{Seg: id, Thread: th, In: in}
+}
+
+func TestCreateJoinOrdering(t *testing.T) {
+	g := NewGraph(trace.MaskHelgrind)
+	// Fig. 2: main TS1, create -> child TS3 + main TS2, join -> main TS4.
+	g.Add(seg(1, 1))
+	g.Add(seg(3, 2, trace.SegmentEdge{From: 1, Kind: trace.Create}))
+	g.Add(seg(2, 1, trace.SegmentEdge{From: 1, Kind: trace.Program}))
+	g.Add(seg(4, 1,
+		trace.SegmentEdge{From: 2, Kind: trace.Program},
+		trace.SegmentEdge{From: 3, Kind: trace.Join}))
+
+	cases := []struct {
+		a, b trace.SegmentID
+		want bool
+	}{
+		{1, 2, true},  // program order
+		{1, 3, true},  // create edge
+		{1, 4, true},  // transitive
+		{3, 4, true},  // join edge
+		{2, 3, false}, // concurrent: parent after create vs child
+		{3, 2, false},
+		{4, 1, false}, // no backwards ordering
+		{2, 4, true},
+	}
+	for _, c := range cases {
+		if got := g.HappensBefore(c.a, c.b); got != c.want {
+			t.Errorf("HappensBefore(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if g.Ordered(2, 3) {
+		t.Error("2 and 3 must be concurrent")
+	}
+	if !g.Ordered(1, 4) {
+		t.Error("1 and 4 must be ordered")
+	}
+}
+
+func TestMaskFiltersQueueEdges(t *testing.T) {
+	build := func(mask trace.EdgeMask) *Graph {
+		g := NewGraph(mask)
+		g.Add(seg(1, 1))                                                  // producer pre-put
+		g.Add(seg(2, 2))                                                  // consumer pre-get
+		g.Add(seg(3, 1, trace.SegmentEdge{From: 1, Kind: trace.Program})) // producer post-put
+		g.Add(seg(4, 2,
+			trace.SegmentEdge{From: 2, Kind: trace.Program},
+			trace.SegmentEdge{From: 1, Kind: trace.Queue})) // consumer post-get
+		return g
+	}
+	helgrind := build(trace.MaskHelgrind)
+	if helgrind.HappensBefore(1, 4) {
+		t.Error("Helgrind mask must ignore queue edges (Fig. 11 false positive)")
+	}
+	full := build(trace.MaskFull)
+	if !full.HappensBefore(1, 4) {
+		t.Error("full mask must honour queue edges")
+	}
+}
+
+func TestSelfNotOrdered(t *testing.T) {
+	g := NewGraph(trace.MaskFull)
+	g.Add(seg(1, 1))
+	if g.HappensBefore(1, 1) {
+		t.Error("a segment must not happen-before itself")
+	}
+	if !g.Ordered(1, 1) {
+		t.Error("a segment is trivially ordered with itself")
+	}
+}
+
+func TestUnknownSegments(t *testing.T) {
+	g := NewGraph(trace.MaskFull)
+	if g.HappensBefore(5, 6) {
+		t.Error("unknown segments must not be ordered")
+	}
+	if g.Thread(5) != 0 {
+		t.Error("unknown segment thread must be 0")
+	}
+}
+
+// TestChainProperty builds random fork chains and checks that program order
+// is always transitively respected and that happens-before is antisymmetric.
+func TestChainProperty(t *testing.T) {
+	prop := func(lengths []uint8) bool {
+		g := NewGraph(trace.MaskHelgrind)
+		id := trace.SegmentID(1)
+		var prev trace.SegmentID
+		var chain []trace.SegmentID
+		n := len(lengths)%20 + 2
+		for i := 0; i < n; i++ {
+			if prev == 0 {
+				g.Add(seg(id, 1))
+			} else {
+				g.Add(seg(id, 1, trace.SegmentEdge{From: prev, Kind: trace.Program}))
+			}
+			chain = append(chain, id)
+			prev = id
+			id++
+		}
+		for i := 0; i < len(chain); i++ {
+			for j := i + 1; j < len(chain); j++ {
+				if !g.HappensBefore(chain[i], chain[j]) {
+					return false
+				}
+				if g.HappensBefore(chain[j], chain[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiamondForkJoin(t *testing.T) {
+	// main forks two children; both join back. Children concurrent with each
+	// other; everything ordered with pre-fork and post-join.
+	g := NewGraph(trace.MaskHelgrind)
+	g.Add(seg(1, 1))                                                  // main pre-fork
+	g.Add(seg(2, 2, trace.SegmentEdge{From: 1, Kind: trace.Create}))  // child A
+	g.Add(seg(3, 1, trace.SegmentEdge{From: 1, Kind: trace.Program})) // main between forks
+	g.Add(seg(4, 3, trace.SegmentEdge{From: 3, Kind: trace.Create}))  // child B
+	g.Add(seg(5, 1, trace.SegmentEdge{From: 3, Kind: trace.Program})) // main after forks
+	g.Add(seg(6, 1,
+		trace.SegmentEdge{From: 5, Kind: trace.Program},
+		trace.SegmentEdge{From: 2, Kind: trace.Join})) // joined A
+	g.Add(seg(7, 1,
+		trace.SegmentEdge{From: 6, Kind: trace.Program},
+		trace.SegmentEdge{From: 4, Kind: trace.Join})) // joined B
+
+	if g.Ordered(2, 4) {
+		t.Error("children must be concurrent")
+	}
+	for _, s := range []trace.SegmentID{2, 4} {
+		if !g.HappensBefore(1, s) {
+			t.Errorf("pre-fork must order before child %d", s)
+		}
+		if !g.HappensBefore(s, 7) {
+			t.Errorf("child %d must order before post-join", s)
+		}
+	}
+	if !g.HappensBefore(2, 6) {
+		t.Error("child A must order before its join segment")
+	}
+	if g.HappensBefore(4, 6) {
+		t.Error("child B must not order before A's join segment")
+	}
+}
+
+// TestRandomDAGMatchesReference builds random segment DAGs and checks
+// HappensBefore against plain BFS reachability over the masked edges — the
+// vector-clock implementation must agree with the graph-theoretic truth.
+func TestRandomDAGMatchesReference(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nThreads := 2 + rng.Intn(3)
+		perThread := 2 + rng.Intn(5)
+		g := NewGraph(trace.MaskHelgrind)
+
+		type node struct {
+			id trace.SegmentID
+			in []trace.SegmentEdge
+		}
+		var nodes []node
+		id := trace.SegmentID(1)
+		last := make([]trace.SegmentID, nThreads+1)
+		// Interleave thread timelines; occasionally add a cross edge of a
+		// random kind (only Create/Join count under the mask).
+		for round := 0; round < perThread; round++ {
+			for th := 1; th <= nThreads; th++ {
+				var in []trace.SegmentEdge
+				if last[th] != 0 {
+					in = append(in, trace.SegmentEdge{From: last[th], Kind: trace.Program})
+				}
+				if rng.Intn(3) == 0 {
+					src := 1 + rng.Intn(nThreads)
+					if last[src] != 0 && src != th {
+						kinds := []trace.EdgeKind{trace.Create, trace.Join, trace.Queue, trace.Cond}
+						in = append(in, trace.SegmentEdge{From: last[src], Kind: kinds[rng.Intn(len(kinds))]})
+					}
+				}
+				nodes = append(nodes, node{id: id, in: in})
+				g.Add(&trace.SegmentStart{Seg: id, Thread: trace.ThreadID(th), In: in})
+				last[th] = id
+				id++
+			}
+		}
+		// Reference reachability over masked edges.
+		succ := make(map[trace.SegmentID][]trace.SegmentID)
+		for _, n := range nodes {
+			for _, e := range n.in {
+				if trace.MaskHelgrind.Has(e.Kind) {
+					succ[e.From] = append(succ[e.From], n.id)
+				}
+			}
+		}
+		reaches := func(a, b trace.SegmentID) bool {
+			if a == b {
+				return false
+			}
+			seen := map[trace.SegmentID]bool{a: true}
+			stack := []trace.SegmentID{a}
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, nxt := range succ[cur] {
+					if nxt == b {
+						return true
+					}
+					if !seen[nxt] {
+						seen[nxt] = true
+						stack = append(stack, nxt)
+					}
+				}
+			}
+			return false
+		}
+		for _, a := range nodes {
+			for _, b := range nodes {
+				if g.HappensBefore(a.id, b.id) != reaches(a.id, b.id) {
+					t.Logf("seed %d: HB(%d,%d)=%v, reference=%v", seed, a.id, b.id,
+						g.HappensBefore(a.id, b.id), reaches(a.id, b.id))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,150 @@
+package sip
+
+import (
+	"repro/internal/cppmodel"
+	"repro/internal/vm"
+)
+
+// Classes bundles the server's C++ class hierarchy — the polymorphic object
+// families whose construction, virtual dispatch and (cross-thread)
+// destruction generate the access patterns of §4.2. One instance is shared
+// by a Server and its tests.
+type Classes struct {
+	MessageBase *cppmodel.Class
+	Request     *cppmodel.Class
+	Invite      *cppmodel.Class
+	Ack         *cppmodel.Class
+	Bye         *cppmodel.Class
+	Cancel      *cppmodel.Class
+	Options     *cppmodel.Class
+	Register    *cppmodel.Class
+	Response    *cppmodel.Class
+
+	TransactionBase   *cppmodel.Class
+	ServerTransaction *cppmodel.Class
+
+	DialogBase   *cppmodel.Class
+	InviteDialog *cppmodel.Class
+
+	Binding    *cppmodel.Class
+	DomainData *cppmodel.Class
+
+	HeaderBase    *cppmodel.Class
+	ViaHeader     *cppmodel.Class
+	FromHeader    *cppmodel.Class
+	ToHeader      *cppmodel.Class
+	CallIDHeader  *cppmodel.Class
+	CSeqHeader    *cppmodel.Class
+	ContactHeader *cppmodel.Class
+	UAHeader      *cppmodel.Class
+
+	byMethod map[Method]*cppmodel.Class
+}
+
+// NewClasses builds the hierarchy. The base classes carry destructor bodies
+// that reset their own fields — the compiler-generated-plus-user destructor
+// writes that, together with the vptr rewrites, form the §4.2.1 false
+// positive family.
+func NewClasses() *Classes {
+	c := &Classes{}
+	c.MessageBase = cppmodel.NewClass("MessageBase", "message.h",
+		cppmodel.Field{Name: "kind", Size: 4},
+		cppmodel.Field{Name: "recvTime", Size: 8})
+	c.MessageBase.Dtor = func(t *vm.Thread, o *cppmodel.Object) {
+		o.Store(t, "kind", 0)
+	}
+	c.Request = c.MessageBase.Derive("SIPRequest", "request.h",
+		cppmodel.Field{Name: "cseq", Size: 4})
+	c.Invite = c.Request.Derive("InviteRequest", "invite.h",
+		cppmodel.Field{Name: "sdpLen", Size: 4})
+	c.Ack = c.Request.Derive("AckRequest", "ack.h")
+	c.Bye = c.Request.Derive("ByeRequest", "bye.h")
+	c.Cancel = c.Request.Derive("CancelRequest", "cancel.h")
+	c.Options = c.Request.Derive("OptionsRequest", "options.h")
+	c.Register = c.Request.Derive("RegisterRequest", "register.h",
+		cppmodel.Field{Name: "expires", Size: 4})
+	c.Response = c.MessageBase.Derive("SIPResponse", "response.h",
+		cppmodel.Field{Name: "status", Size: 4})
+
+	c.TransactionBase = cppmodel.NewClass("TransactionBase", "transaction.h",
+		cppmodel.Field{Name: "state", Size: 4},
+		cppmodel.Field{Name: "retransmits", Size: 4})
+	c.TransactionBase.Dtor = func(t *vm.Thread, o *cppmodel.Object) {
+		o.Store(t, "state", 0) // terminated
+	}
+	c.ServerTransaction = c.TransactionBase.Derive("ServerTransaction", "transaction.h",
+		cppmodel.Field{Name: "lastStatus", Size: 4})
+	c.ServerTransaction.Dtor = func(t *vm.Thread, o *cppmodel.Object) {
+		o.Store(t, "lastStatus", 0)
+	}
+
+	c.DialogBase = cppmodel.NewClass("DialogBase", "dialog.h",
+		cppmodel.Field{Name: "state", Size: 4},
+		cppmodel.Field{Name: "lastActivity", Size: 8})
+	c.DialogBase.Dtor = func(t *vm.Thread, o *cppmodel.Object) {
+		o.Store(t, "state", 0) // dead
+	}
+	c.InviteDialog = c.DialogBase.Derive("InviteDialog", "dialog.h",
+		cppmodel.Field{Name: "localSeq", Size: 4},
+		cppmodel.Field{Name: "remoteSeq", Size: 4})
+	c.InviteDialog.Dtor = func(t *vm.Thread, o *cppmodel.Object) {
+		o.Store(t, "remoteSeq", 0)
+	}
+
+	c.Binding = cppmodel.NewClass("Binding", "registrar.h",
+		cppmodel.Field{Name: "expires", Size: 4},
+		cppmodel.Field{Name: "flags", Size: 4})
+	c.Binding.Dtor = func(t *vm.Thread, o *cppmodel.Object) {
+		o.Store(t, "flags", 0)
+	}
+	c.DomainData = cppmodel.NewClass("DomainData", "domains.h",
+		cppmodel.Field{Name: "priority", Size: 4},
+		cppmodel.Field{Name: "failovers", Size: 4})
+
+	// Parsed header fields are polymorphic objects too (HeaderFieldImpl
+	// hierarchy): they live inside dialogs and bindings and are destroyed by
+	// whichever worker tears the parent down.
+	c.HeaderBase = cppmodel.NewClass("HeaderFieldBase", "headers.h",
+		cppmodel.Field{Name: "hash", Size: 4},
+		cppmodel.Field{Name: "parsed", Size: 4})
+	c.HeaderBase.Dtor = func(t *vm.Thread, o *cppmodel.Object) {
+		o.Store(t, "parsed", 0)
+	}
+	c.ViaHeader = c.HeaderBase.Derive("ViaHeader", "headers.h",
+		cppmodel.Field{Name: "branch", Size: 4})
+	c.FromHeader = c.HeaderBase.Derive("FromHeader", "headers.h",
+		cppmodel.Field{Name: "tag", Size: 4})
+	c.ToHeader = c.HeaderBase.Derive("ToHeader", "headers.h",
+		cppmodel.Field{Name: "tag", Size: 4})
+	c.CallIDHeader = c.HeaderBase.Derive("CallIDHeader", "headers.h",
+		cppmodel.Field{Name: "host", Size: 4})
+	c.CSeqHeader = c.HeaderBase.Derive("CSeqHeader", "headers.h",
+		cppmodel.Field{Name: "seq", Size: 4})
+	c.ContactHeader = c.HeaderBase.Derive("ContactHeader", "headers.h",
+		cppmodel.Field{Name: "expires", Size: 4})
+	c.UAHeader = c.HeaderBase.Derive("UserAgentHeader", "headers.h",
+		cppmodel.Field{Name: "vendor", Size: 4})
+
+	c.byMethod = map[Method]*cppmodel.Class{
+		INVITE:   c.Invite,
+		ACK:      c.Ack,
+		BYE:      c.Bye,
+		CANCEL:   c.Cancel,
+		OPTIONS:  c.Options,
+		REGISTER: c.Register,
+	}
+	return c
+}
+
+// DialogHeaders returns the header classes a dialog retains, in order.
+func (c *Classes) DialogHeaders() []*cppmodel.Class {
+	return []*cppmodel.Class{c.ViaHeader, c.FromHeader, c.ToHeader, c.CallIDHeader, c.CSeqHeader, c.ContactHeader}
+}
+
+// ForMethod returns the request class for a method.
+func (c *Classes) ForMethod(m Method) *cppmodel.Class {
+	if cls, ok := c.byMethod[m]; ok {
+		return cls
+	}
+	return c.Request
+}

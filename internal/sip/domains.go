@@ -1,0 +1,141 @@
+package sip
+
+import (
+	"fmt"
+
+	"repro/internal/cppmodel"
+	"repro/internal/vm"
+)
+
+// DomainDataManager owns the per-domain routing data. It contains the
+// paper's Fig. 7 bug behind a switch: getDomainData() takes the guarding
+// mutex only for the duration of RETURNING the reference —
+//
+//	map<string,DomainData*> & ServerModulesManagerImpl::getDomainData()
+//	{
+//	    MutexPtr mut(m_pMutex); // Guard
+//	    return m_DomainData;
+//	}
+//
+// — so callers iterate the live map unguarded while the refresher thread
+// mutates it under the lock. "This bug requires to rewrite the function and
+// all functions that use it" (§4.1.2); the fixed variant (RefReturn=false)
+// holds the lock across the iteration.
+type DomainDataManager struct {
+	rt        *cppmodel.Runtime
+	mu        *vm.Mutex
+	data      *cppmodel.Map
+	entries   map[string]*domainEntry
+	refReturn bool // Fig. 7 bug enabled
+	refreshes int
+}
+
+type domainEntry struct {
+	obj     *cppmodel.Object
+	gateway *cppmodel.CowString
+}
+
+// NewDomainDataManager builds routing data for the given domains. Call from
+// the main thread during server initialisation.
+func NewDomainDataManager(t *vm.Thread, cls *Classes, rt *cppmodel.Runtime, domains []string, refReturnBug bool) *DomainDataManager {
+	m := &DomainDataManager{
+		rt:        rt,
+		mu:        t.VM().NewMutex("domainMu"),
+		data:      rt.NewMap("domain-map"),
+		entries:   make(map[string]*domainEntry),
+		refReturn: refReturnBug,
+	}
+	for i, d := range domains {
+		obj := rt.New(t, cls.DomainData)
+		obj.Store(t, "priority", uint64(i+1))
+		gw := rt.NewCowString(t, "gw."+d)
+		m.entries[d] = &domainEntry{obj: obj, gateway: gw}
+		m.data.Put(t, d, d)
+	}
+	return m
+}
+
+// getDomainData is the Fig. 7 getter: the guard protects only the return.
+func (m *DomainDataManager) getDomainData(t *vm.Thread) *cppmodel.Map {
+	pop := t.Func("ServerModulesManagerImpl::getDomainData", "modules.cpp", 211)
+	defer pop()
+	m.mu.Lock(t)
+	m.mu.Unlock(t) // MutexPtr guard goes out of scope with the return
+	return m.data
+}
+
+// Route picks the best-priority domain entry for the target domain and
+// returns a COPY of its gateway string. With the Fig. 7 bug the iteration
+// and the priority reads run without the lock.
+func (m *DomainDataManager) Route(t *vm.Thread, domain string) (*cppmodel.CowString, bool) {
+	pop := t.Func("ServerModulesManagerImpl::route", "modules.cpp", 240)
+	defer pop()
+	var found *domainEntry
+	scan := func() {
+		m.data.ForEach(t, func(k string, _ any) {
+			e := m.entries[k]
+			e.obj.Load(t, "priority") // compare priorities
+			if k == domain {
+				found = e
+			}
+		})
+	}
+	if m.refReturn {
+		dd := m.getDomainData(t)
+		_ = dd
+		scan() // iterating the returned reference WITHOUT the guard
+	} else {
+		m.mu.Lock(t)
+		scan()
+		m.mu.Unlock(t)
+	}
+	if found == nil {
+		return nil, false
+	}
+	// The gateway string is copied after the guard is gone in both variants:
+	// the string itself is reference counted, which is safe on real hardware
+	// (bus-locked counts) but confuses the original bus-lock model.
+	t.SetLine(262)
+	return found.gateway.Copy(t), true
+}
+
+// Refresh is called periodically by the refresher thread: it updates
+// priorities and rewrites map nodes under the lock.
+func (m *DomainDataManager) Refresh(t *vm.Thread) {
+	pop := t.Func("ServerModulesManagerImpl::refreshDomains", "modules.cpp", 300)
+	defer pop()
+	m.refreshes++
+	m.mu.Lock(t)
+	i := 0
+	for _, k := range m.data.Keys() {
+		e := m.entries[k]
+		e.obj.Store(t, "priority", uint64((m.refreshes+i)%5+1))
+		e.obj.Store(t, "failovers", uint64(m.refreshes))
+		m.data.Put(t, k, k) // rewrite the node, as a real refresh would
+		i++
+	}
+	m.mu.Unlock(t)
+}
+
+// Shutdown deletes the domain objects (from whatever thread runs shutdown).
+func (m *DomainDataManager) Shutdown(t *vm.Thread) {
+	pop := t.Func("ServerModulesManagerImpl::shutdown", "modules.cpp", 340)
+	defer pop()
+	m.mu.Lock(t)
+	keys := m.data.Keys()
+	m.mu.Unlock(t)
+	for _, k := range keys {
+		e := m.entries[k]
+		e.gateway.Release(t)
+		m.rt.Delete(t, e.obj) // deleted outside the guard, by the stopper
+		m.data.Delete(t, k)
+		delete(m.entries, k)
+	}
+}
+
+// Refreshes returns how many refresh cycles ran (test helper).
+func (m *DomainDataManager) Refreshes() int { return m.refreshes }
+
+func (m *DomainDataManager) String() string {
+	return fmt.Sprintf("DomainDataManager(%d domains, refReturn=%v)", len(m.entries), m.refReturn)
+}

@@ -1,0 +1,120 @@
+package sip
+
+import (
+	"testing"
+
+	"repro/internal/cppmodel"
+	"repro/internal/lockset"
+	"repro/internal/report"
+	"repro/internal/vm"
+)
+
+func domainsFixture(t *testing.T, seed int64, refReturn bool, det *lockset.Config,
+	body func(main *vm.Thread, m *DomainDataManager)) *report.Collector {
+	t.Helper()
+	v := vm.New(vm.Options{Seed: seed, Quantum: 3})
+	var col *report.Collector
+	if det != nil {
+		col = report.NewCollector(v, nil)
+		v.AddTool(lockset.New(*det, col))
+	}
+	rt := cppmodel.NewRuntime(cppmodel.Options{ForceNew: true})
+	if err := v.Run(func(main *vm.Thread) {
+		m := NewDomainDataManager(main, NewClasses(), rt, []string{"a.example.com", "b.example.com"}, refReturn)
+		body(main, m)
+		m.Shutdown(main)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return col
+}
+
+func TestRouteFindsDomain(t *testing.T) {
+	domainsFixture(t, 1, false, nil, func(main *vm.Thread, m *DomainDataManager) {
+		gw, ok := m.Route(main, "a.example.com")
+		if !ok {
+			t.Fatal("route for known domain not found")
+		}
+		if got := gw.Get(main); got != "gw.a.example.com" {
+			t.Errorf("gateway = %q", got)
+		}
+		gw.Release(main)
+		if _, ok := m.Route(main, "unknown.example.com"); ok {
+			t.Error("route for unknown domain should fail")
+		}
+	})
+}
+
+func TestRefreshUpdatesPriorities(t *testing.T) {
+	domainsFixture(t, 1, false, nil, func(main *vm.Thread, m *DomainDataManager) {
+		m.Refresh(main)
+		m.Refresh(main)
+		if m.Refreshes() != 2 {
+			t.Errorf("refreshes = %d, want 2", m.Refreshes())
+		}
+	})
+}
+
+func TestFig7BugDetectedOnlyWhenPresent(t *testing.T) {
+	// Concurrent Route (workers) vs Refresh (refresher): with the Fig. 7 bug
+	// the iteration runs unguarded and races; with the fixed getter the run
+	// is silent.
+	scenario := func(main *vm.Thread, m *DomainDataManager) {
+		refresher := main.Go("refresher", func(th *vm.Thread) {
+			for i := 0; i < 4; i++ {
+				m.Refresh(th)
+				th.Sleep(3)
+			}
+		})
+		workers := make([]*vm.Thread, 2)
+		for i := range workers {
+			workers[i] = main.Go("worker", func(th *vm.Thread) {
+				for j := 0; j < 4; j++ {
+					if gw, ok := m.Route(th, "a.example.com"); ok {
+						gw.Release(th)
+					}
+					th.Sleep(2)
+				}
+			})
+		}
+		main.Join(refresher)
+		for _, w := range workers {
+			main.Join(w)
+		}
+	}
+	det := lockset.ConfigHWLCDR()
+	colBuggy := domainsFixture(t, 1, true, &det, scenario)
+	if colBuggy.Locations() == 0 {
+		t.Error("Fig. 7 returned-reference bug not reported")
+	}
+	colFixed := domainsFixture(t, 1, false, &det, scenario)
+	if colFixed.Locations() != 0 {
+		t.Errorf("fixed getter still reported:\n%s", colFixed.Format())
+	}
+}
+
+func TestClassesHierarchy(t *testing.T) {
+	c := NewClasses()
+	if !c.Invite.IsA(c.Request) || !c.Invite.IsA(c.MessageBase) {
+		t.Error("InviteRequest must derive from SIPRequest and MessageBase")
+	}
+	if !c.Response.IsA(c.MessageBase) || c.Response.IsA(c.Request) {
+		t.Error("SIPResponse derives from MessageBase only")
+	}
+	for _, m := range Methods {
+		if c.ForMethod(m) == nil {
+			t.Errorf("no class for method %s", m)
+		}
+	}
+	if c.ForMethod("UNKNOWN") != c.Request {
+		t.Error("unknown methods fall back to SIPRequest")
+	}
+	if len(c.DialogHeaders()) != 6 {
+		t.Errorf("dialog headers = %d, want 6", len(c.DialogHeaders()))
+	}
+	for _, h := range c.DialogHeaders() {
+		if !h.IsA(c.HeaderBase) {
+			t.Errorf("header class %s must derive from HeaderFieldBase", h.Name)
+		}
+	}
+}

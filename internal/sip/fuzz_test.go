@@ -1,0 +1,56 @@
+package sip
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"INVITE sip:bob@b.example.com SIP/2.0\r\nFrom: a\r\nTo: b\r\nCall-ID: c\r\n\r\n",
+		"SIP/2.0 200 OK\r\n\r\n",
+		"REGISTER sip:h SIP/2.0\r\nFrom: sip:x@h\r\nTo: sip:x@h\r\nCall-ID: id\r\nContact: sip:x@c\r\nExpires: 3600\r\n\r\n",
+		"GARBAGE",
+		"INVITE sip:x SIP/2.0\r\nContent-Length: 99\r\n\r\nshort",
+		"OPTIONS sip:h SIP/2.0\r\nVia: a\r\nVia: b\r\nFrom: f\r\nTo: t\r\nCall-ID: c\r\n\r\n",
+		"BYE sip:x@y SIP/2.0\nFrom: f\nTo: t\nCall-ID: c\nCSeq: 2 BYE\n\n",
+		"",
+		"\r\n\r\n",
+		"INVITE sip:x SIP/2.0\r\n: novalue\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		m, err := Parse(raw)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted messages must re-serialise to something that parses to an
+		// equivalent message.
+		again, err := Parse(m.Serialize())
+		if err != nil {
+			t.Fatalf("serialise/reparse failed: %v\noriginal: %q\nwire: %q", err, raw, m.Serialize())
+		}
+		if again.Method != m.Method || again.Status != m.Status {
+			t.Fatalf("round trip changed identity: %v/%d vs %v/%d", m.Method, m.Status, again.Method, again.Status)
+		}
+		if again.CallID() != m.CallID() || again.Body != m.Body {
+			t.Fatalf("round trip changed content: %q/%q vs %q/%q", m.CallID(), m.Body, again.CallID(), again.Body)
+		}
+	})
+}
+
+func FuzzUserDomainOf(f *testing.F) {
+	for _, s := range []string{"sip:a@b", "sip:x", "a@b@c", "", "sip:u@h;p=1", "sip:u@h:5060"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, uri string) {
+		u := UserOf(uri)
+		d := DomainOf(uri)
+		if strings.ContainsAny(d, ";:") {
+			t.Fatalf("DomainOf(%q) = %q retains parameters", uri, d)
+		}
+		_ = u
+	})
+}

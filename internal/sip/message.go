@@ -1,0 +1,263 @@
+// Package sip implements the system under test of the paper's evaluation: a
+// signalling (SIP proxy/registrar) server in the spirit of the 500 kLOC
+// commercial VoIP application of §3.3, shrunk to its concurrency-relevant
+// skeleton. It runs as a guest program on internal/vm, builds its domain
+// objects through internal/cppmodel (polymorphic messages, transactions,
+// dialogs, bindings, copy-on-write strings) and contains the paper's §4.1
+// true-bug catalogue behind configuration switches.
+package sip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Method is a SIP request method.
+type Method string
+
+// Supported methods.
+const (
+	INVITE   Method = "INVITE"
+	ACK      Method = "ACK"
+	BYE      Method = "BYE"
+	CANCEL   Method = "CANCEL"
+	OPTIONS  Method = "OPTIONS"
+	REGISTER Method = "REGISTER"
+)
+
+// Methods lists all supported methods.
+var Methods = []Method{INVITE, ACK, BYE, CANCEL, OPTIONS, REGISTER}
+
+// Message is a parsed SIP message (request or response).
+type Message struct {
+	// Request fields.
+	Method Method
+	URI    string
+	// Response fields.
+	Status int
+	Reason string
+
+	headerOrder []string
+	headers     map[string][]string
+	Body        string
+}
+
+// NewRequest builds a request message.
+func NewRequest(m Method, uri string) *Message {
+	return &Message{Method: m, URI: uri, headers: make(map[string][]string)}
+}
+
+// NewResponse builds a response message.
+func NewResponse(status int, reason string) *Message {
+	return &Message{Status: status, Reason: reason, headers: make(map[string][]string)}
+}
+
+// IsRequest reports whether the message is a request.
+func (m *Message) IsRequest() bool { return m.Method != "" }
+
+// AddHeader appends a header value.
+func (m *Message) AddHeader(name, value string) *Message {
+	key := canonicalHeader(name)
+	if _, ok := m.headers[key]; !ok {
+		m.headerOrder = append(m.headerOrder, key)
+	}
+	m.headers[key] = append(m.headers[key], value)
+	return m
+}
+
+// SetHeader replaces a header.
+func (m *Message) SetHeader(name, value string) *Message {
+	key := canonicalHeader(name)
+	if _, ok := m.headers[key]; !ok {
+		m.headerOrder = append(m.headerOrder, key)
+	}
+	m.headers[key] = []string{value}
+	return m
+}
+
+// Header returns the first value of a header ("" when absent).
+func (m *Message) Header(name string) string {
+	vs := m.headers[canonicalHeader(name)]
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0]
+}
+
+// HeaderValues returns all values of a header.
+func (m *Message) HeaderValues(name string) []string {
+	return m.headers[canonicalHeader(name)]
+}
+
+// HeaderNames returns the header names in first-seen order.
+func (m *Message) HeaderNames() []string {
+	return append([]string(nil), m.headerOrder...)
+}
+
+// CallID is a convenience accessor.
+func (m *Message) CallID() string { return m.Header("Call-ID") }
+
+// From is a convenience accessor.
+func (m *Message) From() string { return m.Header("From") }
+
+// To is a convenience accessor.
+func (m *Message) To() string { return m.Header("To") }
+
+// CSeq parses the CSeq header, returning sequence and method.
+func (m *Message) CSeq() (int, Method) {
+	parts := strings.Fields(m.Header("CSeq"))
+	if len(parts) != 2 {
+		return 0, ""
+	}
+	n, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, ""
+	}
+	return n, Method(parts[1])
+}
+
+// Serialize renders the message in wire format.
+func (m *Message) Serialize() string {
+	var b strings.Builder
+	if m.IsRequest() {
+		fmt.Fprintf(&b, "%s %s SIP/2.0\r\n", m.Method, m.URI)
+	} else {
+		fmt.Fprintf(&b, "SIP/2.0 %d %s\r\n", m.Status, m.Reason)
+	}
+	for _, name := range m.headerOrder {
+		for _, v := range m.headers[name] {
+			fmt.Fprintf(&b, "%s: %s\r\n", name, v)
+		}
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n\r\n%s", len(m.Body), m.Body)
+	return b.String()
+}
+
+// Parse decodes a wire-format message. It accepts both \r\n and \n line
+// endings.
+func Parse(raw string) (*Message, error) {
+	raw = strings.ReplaceAll(raw, "\r\n", "\n")
+	head, body, _ := strings.Cut(raw, "\n\n")
+	lines := strings.Split(head, "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+		return nil, fmt.Errorf("sip: empty message")
+	}
+	msg, err := parseStartLine(strings.TrimSpace(lines[0]))
+	if err != nil {
+		return nil, err
+	}
+	declaredLen := -1
+	for i, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("sip: malformed header line %d: %q", i+2, line)
+		}
+		name = strings.TrimSpace(name)
+		value = strings.TrimSpace(value)
+		if name == "" {
+			return nil, fmt.Errorf("sip: empty header name on line %d", i+2)
+		}
+		if canonicalHeader(name) == "Content-Length" {
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sip: bad Content-Length %q", value)
+			}
+			declaredLen = n
+			continue
+		}
+		msg.AddHeader(name, value)
+	}
+	if declaredLen >= 0 && declaredLen <= len(body) {
+		body = body[:declaredLen]
+	}
+	msg.Body = body
+	if msg.IsRequest() {
+		if msg.CallID() == "" {
+			return nil, fmt.Errorf("sip: request without Call-ID")
+		}
+		if msg.From() == "" || msg.To() == "" {
+			return nil, fmt.Errorf("sip: request without From/To")
+		}
+	}
+	return msg, nil
+}
+
+func parseStartLine(line string) (*Message, error) {
+	if strings.HasPrefix(line, "SIP/2.0 ") {
+		rest := strings.TrimPrefix(line, "SIP/2.0 ")
+		code, reason, _ := strings.Cut(rest, " ")
+		status, err := strconv.Atoi(code)
+		if err != nil || status < 100 || status > 699 {
+			return nil, fmt.Errorf("sip: bad status line %q", line)
+		}
+		return NewResponse(status, reason), nil
+	}
+	parts := strings.Fields(line)
+	if len(parts) != 3 || parts[2] != "SIP/2.0" {
+		return nil, fmt.Errorf("sip: bad request line %q", line)
+	}
+	method := Method(parts[0])
+	if !validMethod(method) {
+		return nil, fmt.Errorf("sip: unknown method %q", parts[0])
+	}
+	if !strings.HasPrefix(parts[1], "sip:") {
+		return nil, fmt.Errorf("sip: bad request URI %q", parts[1])
+	}
+	return NewRequest(method, parts[1]), nil
+}
+
+func validMethod(m Method) bool {
+	for _, k := range Methods {
+		if m == k {
+			return true
+		}
+	}
+	return false
+}
+
+// canonicalHeader normalises header capitalisation (Call-ID, CSeq, Via, ...).
+func canonicalHeader(name string) string {
+	switch strings.ToLower(name) {
+	case "call-id":
+		return "Call-ID"
+	case "cseq":
+		return "CSeq"
+	case "content-length":
+		return "Content-Length"
+	}
+	parts := strings.Split(strings.ToLower(name), "-")
+	for i, p := range parts {
+		if p != "" {
+			parts[i] = strings.ToUpper(p[:1]) + p[1:]
+		}
+	}
+	return strings.Join(parts, "-")
+}
+
+// UserOf extracts the user part of a sip: URI ("sip:alice@host" -> "alice").
+func UserOf(uri string) string {
+	s := strings.TrimPrefix(uri, "sip:")
+	user, _, ok := strings.Cut(s, "@")
+	if !ok {
+		return s
+	}
+	return user
+}
+
+// DomainOf extracts the host part of a sip: URI ("sip:alice@host" -> "host").
+func DomainOf(uri string) string {
+	s := strings.TrimPrefix(uri, "sip:")
+	_, host, ok := strings.Cut(s, "@")
+	if !ok {
+		return s
+	}
+	if i := strings.IndexAny(host, ";:"); i >= 0 {
+		host = host[:i]
+	}
+	return host
+}

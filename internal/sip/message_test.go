@@ -1,0 +1,184 @@
+package sip
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRequest(t *testing.T) {
+	raw := "INVITE sip:bob@b.example.com SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP client.a.example.com\r\n" +
+		"From: sip:alice@a.example.com\r\n" +
+		"To: sip:bob@b.example.com\r\n" +
+		"Call-ID: abc123@client\r\n" +
+		"CSeq: 1 INVITE\r\n" +
+		"Contact: sip:alice@client.a.example.com\r\n" +
+		"Content-Length: 8\r\n\r\nv=0 o=-x"
+	m, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !m.IsRequest() || m.Method != INVITE {
+		t.Errorf("method = %v", m.Method)
+	}
+	if m.URI != "sip:bob@b.example.com" {
+		t.Errorf("uri = %q", m.URI)
+	}
+	if m.CallID() != "abc123@client" {
+		t.Errorf("callid = %q", m.CallID())
+	}
+	seq, method := m.CSeq()
+	if seq != 1 || method != INVITE {
+		t.Errorf("cseq = %d %v", seq, method)
+	}
+	if m.Body != "v=0 o=-x" {
+		t.Errorf("body = %q", m.Body)
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	raw := "SIP/2.0 200 OK\r\nCall-ID: x@y\r\nContent-Length: 0\r\n\r\n"
+	m, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.IsRequest() || m.Status != 200 || m.Reason != "OK" {
+		t.Errorf("status = %d %q", m.Status, m.Reason)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FOO sip:x SIP/2.0\r\nCall-ID: a\r\nFrom: b\r\nTo: c\r\n\r\n", // unknown method
+		"INVITE bob SIP/2.0\r\nCall-ID: a\r\n\r\n",                    // bad URI
+		"INVITE sip:bob@x SIP/2.0\r\nFrom: a\r\nTo: b\r\n\r\n",        // missing Call-ID
+		"INVITE sip:bob@x SIP/2.0\r\nCall-ID: a\r\n\r\n",              // missing From/To
+		"SIP/2.0 abc OK\r\n\r\n",                                      // bad status
+		"SIP/2.0 99 Weird\r\n\r\n",                                    // out-of-range status
+		"INVITE sip:bob@x SIP/2.0\r\nNoColonHere\r\n\r\n",             // malformed header
+		"INVITE sip:bob@x SIP/2.0\r\nContent-Length: -4\r\n\r\n",      // bad length
+		"INVITE sip:bob@x\r\n\r\n",                                    // bad request line
+	}
+	for _, raw := range bad {
+		if _, err := Parse(raw); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", raw)
+		}
+	}
+}
+
+func TestHeaderCanonicalisation(t *testing.T) {
+	m := NewRequest(OPTIONS, "sip:x")
+	m.SetHeader("call-id", "a")
+	m.SetHeader("CSEQ", "1 OPTIONS")
+	m.SetHeader("content-type", "application/sdp")
+	if m.Header("Call-ID") != "a" {
+		t.Error("call-id canonicalisation failed")
+	}
+	if m.Header("CSeq") != "1 OPTIONS" {
+		t.Error("cseq canonicalisation failed")
+	}
+	if m.Header("Content-Type") != "application/sdp" {
+		t.Error("hyphenated canonicalisation failed")
+	}
+}
+
+func TestMultiValueHeaders(t *testing.T) {
+	m := NewRequest(INVITE, "sip:x@y")
+	m.AddHeader("Via", "hop1")
+	m.AddHeader("Via", "hop2")
+	if got := m.HeaderValues("Via"); len(got) != 2 || got[0] != "hop1" || got[1] != "hop2" {
+		t.Errorf("via values = %v", got)
+	}
+	wire := m.Serialize()
+	if strings.Count(wire, "Via:") != 2 {
+		t.Errorf("serialized Via count wrong:\n%s", wire)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	methods := Methods
+	prop := func(mIdx uint8, user, host string, seq uint16, body string) bool {
+		user = sanitizeToken(user)
+		host = sanitizeToken(host)
+		if user == "" {
+			user = "u"
+		}
+		if host == "" {
+			host = "h"
+		}
+		body = strings.Map(func(r rune) rune {
+			if r == '\r' || r == '\n' {
+				return '.'
+			}
+			return r
+		}, body)
+		method := methods[int(mIdx)%len(methods)]
+		m := NewRequest(method, fmt.Sprintf("sip:%s@%s", user, host))
+		m.SetHeader("Via", "SIP/2.0/UDP somewhere")
+		m.SetHeader("From", fmt.Sprintf("sip:%s@%s", user, host))
+		m.SetHeader("To", fmt.Sprintf("sip:peer@%s", host))
+		m.SetHeader("Call-ID", fmt.Sprintf("%s-%d@x", user, seq))
+		m.SetHeader("CSeq", fmt.Sprintf("%d %s", seq, method))
+		m.Body = body
+
+		parsed, err := Parse(m.Serialize())
+		if err != nil {
+			return false
+		}
+		return parsed.Method == m.Method &&
+			parsed.URI == m.URI &&
+			parsed.CallID() == m.CallID() &&
+			parsed.From() == m.From() &&
+			parsed.To() == m.To() &&
+			parsed.Body == m.Body
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeToken(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() > 12 {
+		return b.String()[:12]
+	}
+	return b.String()
+}
+
+func TestUserAndDomainOf(t *testing.T) {
+	cases := []struct {
+		uri, user, domain string
+	}{
+		{"sip:alice@a.example.com", "alice", "a.example.com"},
+		{"sip:bob@h;transport=udp", "bob", "h"},
+		{"sip:host.only", "host.only", "host.only"},
+		{"sip:x@h:5060", "x", "h"},
+	}
+	for _, c := range cases {
+		if got := UserOf(c.uri); got != c.user {
+			t.Errorf("UserOf(%q) = %q, want %q", c.uri, got, c.user)
+		}
+		if got := DomainOf(c.uri); got != c.domain {
+			t.Errorf("DomainOf(%q) = %q, want %q", c.uri, got, c.domain)
+		}
+	}
+}
+
+func TestContentLengthTruncation(t *testing.T) {
+	raw := "OPTIONS sip:h SIP/2.0\r\nFrom: a\r\nTo: b\r\nCall-ID: c\r\nContent-Length: 3\r\n\r\nabcdef"
+	m, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Body != "abc" {
+		t.Errorf("body = %q, want %q", m.Body, "abc")
+	}
+}

@@ -1,0 +1,925 @@
+package sip
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cppmodel"
+	"repro/internal/libc"
+	"repro/internal/vm"
+)
+
+// sortedKeys returns a map's keys in sorted order, for deterministic guest
+// iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Pattern selects the server's concurrency architecture.
+type Pattern uint8
+
+// Concurrency patterns.
+const (
+	// ThreadPerRequest spawns one worker thread per message — the pattern of
+	// the application under test (§3.3, Fig. 10). Ownership passes to the
+	// worker via thread creation, which the thread-segment refinement
+	// understands.
+	ThreadPerRequest Pattern = iota
+	// ThreadPool uses a fixed pool of workers fed by a message queue — the
+	// planned architecture of §4.2.3 (Fig. 11), whose ownership transfer the
+	// stock lock-set algorithm does not understand.
+	ThreadPool
+)
+
+func (p Pattern) String() string {
+	if p == ThreadPerRequest {
+		return "thread-per-request"
+	}
+	return "thread-pool"
+}
+
+// Bugs gates the §4.1 true-bug catalogue. Every flag defaults to the state
+// the paper's experiments ran with (see PaperBugs).
+type Bugs struct {
+	// DeadlockMonitorRace seeds the race inside the application's own
+	// timed-lock deadlock detection (§4.1 "One of the first reported data
+	// races was in the application's deadlock detection code"). The paper
+	// disabled that code for further experiments, so PaperBugs leaves it
+	// off.
+	DeadlockMonitorRace bool
+	// InitOrderRace starts the stats flusher before the routing table is
+	// initialised (§4.1.1).
+	InitOrderRace bool
+	// ShutdownRace destroys the statistics object while a background thread
+	// still uses it (§4.1.1).
+	ShutdownRace bool
+	// RefReturn enables the Fig. 7 returned-reference bug.
+	RefReturn bool
+	// LibcStatic formats log timestamps through the non-thread-safe libc
+	// functions without a lock (§4.1.3).
+	LibcStatic bool
+	// BenignCounter bumps an unprotected hit counter per request — a benign
+	// race ("or just a benign race", §4.1).
+	BenignCounter bool
+	// GaugeRace maintains the active-call gauge without the dialog lock —
+	// another of the paper's "lot of real defects" (§4.1).
+	GaugeRace bool
+	// TimerRace makes the retransmission timer read transaction state
+	// without the table lock (§4.1's pattern of partially locked
+	// subsystems).
+	TimerRace bool
+}
+
+// PaperBugs returns the bug configuration of the paper's Fig. 5/6 runs: all
+// real bugs present except the deadlock-monitor race, which was disabled
+// after its discovery.
+func PaperBugs() Bugs {
+	return Bugs{
+		InitOrderRace: true,
+		ShutdownRace:  true,
+		RefReturn:     true,
+		LibcStatic:    true,
+		BenignCounter: true,
+		GaugeRace:     true,
+		TimerRace:     true,
+	}
+}
+
+// NoBugs returns a fully fixed configuration (for differential tests).
+func NoBugs() Bugs { return Bugs{} }
+
+// Config parameterises the server.
+type Config struct {
+	Pattern Pattern
+	// Workers is the pool size for ThreadPool (default 4).
+	Workers int
+	// Domains the proxy routes for (default two example domains).
+	Domains []string
+	// RefreshInterval is the domain refresher period in virtual ticks.
+	RefreshInterval int64
+	// FlushInterval is the stats flusher period in virtual ticks.
+	FlushInterval int64
+	// LockTimeout is the application-level deadlock-detection timeout.
+	LockTimeout int64
+	// TimerInterval is the transaction retransmission-timer period.
+	TimerInterval int64
+	Bugs          Bugs
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if len(c.Domains) == 0 {
+		c.Domains = []string{"a.example.com", "b.example.com"}
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = 40
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 60
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 200
+	}
+	if c.TimerInterval <= 0 {
+		c.TimerInterval = 50
+	}
+	return c
+}
+
+// statsClass is the StatsRegistry class shared by all servers (built once).
+var statsClass = cppmodel.NewClass("StatsRegistry", "stats.h",
+	cppmodel.Field{Name: "invites", Size: 4},
+	cppmodel.Field{Name: "registers", Size: 4},
+	cppmodel.Field{Name: "byes", Size: 4},
+	cppmodel.Field{Name: "options", Size: 4},
+	cppmodel.Field{Name: "acks", Size: 4},
+	cppmodel.Field{Name: "errors", Size: 4},
+	cppmodel.Field{Name: "flushes", Size: 4})
+
+func init() {
+	// The registry destructor clears its counters — field writes that race
+	// with a still-running flusher when the shutdown order is wrong.
+	statsClass.Dtor = func(t *vm.Thread, o *cppmodel.Object) {
+		o.Store(t, "invites", 0)
+		o.Store(t, "flushes", 0)
+	}
+}
+
+// Server is the SIP proxy/registrar under test.
+type Server struct {
+	v   *vm.VM
+	rt  *cppmodel.Runtime
+	cls *Classes
+	lc  *libc.Libc
+	cfg Config
+
+	inQ  *vm.Queue
+	outQ *vm.Queue
+
+	regMu    *vm.Mutex
+	dialogMu *vm.Mutex
+	transMu  *vm.Mutex
+	statsMu  *vm.Mutex
+	logMu    *vm.Mutex
+
+	bindings     map[string]*binding
+	dialogs      map[string]*dialog
+	transactions map[string]*cppmodel.Object
+
+	stats      *cppmodel.Object
+	shutFlag   *vm.Block
+	gauge      *vm.Block
+	hitCounter *vm.Block
+	routeReady *vm.Block
+	monitor    *vm.Block
+	logBuf     *vm.Block
+
+	domains *DomainDataManager
+	caps    *cppmodel.CowString // capability string, init once, read shared
+
+	listener     *vm.Thread
+	poolWorkers  []*vm.Thread
+	jobs         *vm.Queue
+	refresher    *vm.Thread
+	flusher      *vm.Thread
+	timer        *vm.Thread
+	refresherCtl *vm.Queue
+	flusherCtl   *vm.Queue
+	timerCtl     *vm.Queue
+
+	handled   int
+	responses int
+	stopped   bool
+}
+
+type binding struct {
+	obj     *cppmodel.Object
+	contact *cppmodel.CowString
+	hdrs    []*headerField
+	user    string
+}
+
+type dialog struct {
+	obj    *cppmodel.Object
+	trans  *cppmodel.Object
+	callID *cppmodel.CowString
+	from   *cppmodel.CowString
+	to     *cppmodel.CowString
+	hdrs   []*headerField
+}
+
+// headerField is a parsed header retained by a dialog or binding: a
+// polymorphic object plus its value string.
+type headerField struct {
+	obj   *cppmodel.Object
+	value *cppmodel.CowString
+	name  string
+}
+
+// packet is what the listener hands to workers: the wire bytes plus a guest
+// buffer the listener initialised (the "message data" of Fig. 10/11).
+type packet struct {
+	raw string
+	buf *vm.Block
+}
+
+// NewServer creates a server bound to a VM and C++ runtime. Call Start from
+// the guest main thread before injecting traffic.
+func NewServer(v *vm.VM, rt *cppmodel.Runtime, lc *libc.Libc, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		v:            v,
+		rt:           rt,
+		cls:          NewClasses(),
+		lc:           lc,
+		cfg:          cfg,
+		bindings:     make(map[string]*binding),
+		dialogs:      make(map[string]*dialog),
+		transactions: make(map[string]*cppmodel.Object),
+	}
+}
+
+// Classes exposes the server's class hierarchy (for tests).
+func (s *Server) Classes() *Classes { return s.cls }
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Handled returns the number of processed requests.
+func (s *Server) Handled() int { return s.handled }
+
+// Responses returns the server's response queue; drain it from a sink
+// thread.
+func (s *Server) Responses() *vm.Queue { return s.outQ }
+
+// Start initialises server state and spawns the background and worker
+// threads. It must run on the guest main thread.
+func (s *Server) Start(t *vm.Thread) {
+	pop := t.Func("Server::start", "server.cpp", 52)
+	defer pop()
+	s.inQ = s.v.NewQueue("sip-in", 64)
+	s.outQ = s.v.NewQueue("sip-out", 0)
+	s.regMu = s.v.NewMutex("registrarMu")
+	s.dialogMu = s.v.NewMutex("dialogMu")
+	s.transMu = s.v.NewMutex("transactionMu")
+	s.statsMu = s.v.NewMutex("statsMu")
+	s.logMu = s.v.NewMutex("logMu")
+	s.refresherCtl = s.v.NewQueue("refresher-ctl", 1)
+	s.flusherCtl = s.v.NewQueue("flusher-ctl", 1)
+	s.timerCtl = s.v.NewQueue("timer-ctl", 1)
+
+	s.stats = s.rt.New(t, statsClass)
+	s.shutFlag = t.Alloc(4, "shutdown-flag")
+	s.gauge = t.Alloc(4, "gauge-active-calls")
+	s.hitCounter = t.Alloc(4, "benign-hitcounter")
+	s.routeReady = t.Alloc(4, "routes-ready")
+	s.monitor = t.Alloc(8, "monitor-stats")
+	s.logBuf = t.Alloc(64, "log-buffer")
+	s.caps = s.rt.NewCowString(t, "INVITE,ACK,BYE,CANCEL,OPTIONS,REGISTER")
+
+	if s.cfg.Bugs.InitOrderRace {
+		// BUG (§4.1.1): the flusher starts before the routing table is
+		// ready; it polls routeReady while main is still writing it.
+		s.flusher = t.Go("stats-flusher", s.runFlusher)
+		s.domains = NewDomainDataManager(t, s.cls, s.rt, s.cfg.Domains, s.cfg.Bugs.RefReturn)
+		t.SetLine(81)
+		s.routeReady.Store32(t, 0, 1)
+	} else {
+		s.domains = NewDomainDataManager(t, s.cls, s.rt, s.cfg.Domains, s.cfg.Bugs.RefReturn)
+		s.routeReady.Store32(t, 0, 1)
+		s.flusher = t.Go("stats-flusher", s.runFlusher)
+	}
+	s.refresher = t.Go("domain-refresher", s.runRefresher)
+	s.timer = t.Go("retransmit-timer", s.runTimer)
+
+	switch s.cfg.Pattern {
+	case ThreadPerRequest:
+		s.listener = t.Go("listener", s.runListenerPerRequest)
+	case ThreadPool:
+		s.jobs = s.v.NewQueue("sip-jobs", 0)
+		s.listener = t.Go("listener", s.runListenerPool)
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.poolWorkers = append(s.poolWorkers, t.Go(fmt.Sprintf("pool-%d", i), s.runPoolWorker))
+		}
+	}
+}
+
+// Inject delivers one wire-format message to the server.
+func (s *Server) Inject(t *vm.Thread, raw string) {
+	s.inQ.Put(t, raw)
+}
+
+// Stop shuts the server down: drains workers, stops background threads and
+// destroys long-lived state. With Bugs.ShutdownRace the statistics object is
+// destroyed while the flusher may still be using it (§4.1.1).
+func (s *Server) Stop(t *vm.Thread) {
+	pop := t.Func("Server::stop", "server.cpp", 130)
+	defer pop()
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.inQ.Close(t)
+	t.Join(s.listener)
+	for _, w := range s.poolWorkers {
+		t.Join(w)
+	}
+
+	if s.cfg.Bugs.ShutdownRace {
+		// BUG (§4.1.1): "a data structure was destroyed before a thread
+		// using it terminated" — the stats object dies while the flusher is
+		// possibly mid-flush, with only a plain flag telling it to stop.
+		t.SetLine(140)
+		s.shutFlag.Store32(t, 0, 1)
+		t.SetLine(141)
+		s.rt.Delete(t, s.stats)
+		s.flusherCtl.Close(t)
+		t.Join(s.flusher)
+	} else {
+		s.flusherCtl.Close(t)
+		t.Join(s.flusher)
+		s.rt.Delete(t, s.stats)
+	}
+	s.refresherCtl.Close(t)
+	t.Join(s.refresher)
+	s.timerCtl.Close(t)
+	t.Join(s.timer)
+
+	// Tear down leftover dialogs and bindings (destructor family from the
+	// stopping thread). Iterate in sorted order: guest execution must be
+	// deterministic for a given seed.
+	for _, id := range sortedKeys(s.dialogs) {
+		s.destroyDialog(t, s.dialogs[id])
+		delete(s.dialogs, id)
+	}
+	for _, u := range sortedKeys(s.bindings) {
+		b := s.bindings[u]
+		b.contact.Release(t)
+		s.rt.Delete(t, b.obj)
+		for _, h := range b.hdrs {
+			h.value.Release(t)
+			s.rt.Delete(t, h.obj)
+		}
+		delete(s.bindings, u)
+	}
+	for _, branch := range sortedKeys(s.transactions) {
+		s.rt.Delete(t, s.transactions[branch])
+		delete(s.transactions, branch)
+	}
+	s.domains.Shutdown(t)
+	s.caps.Release(t)
+	s.outQ.Close(t)
+}
+
+// ---- background threads ----
+
+func (s *Server) runFlusher(t *vm.Thread) {
+	pop := t.Func("StatsFlusher::run", "stats.cpp", 30)
+	defer pop()
+	for {
+		// Init-order bug: poll the routing-ready flag with a plain read.
+		s.routeReady.Load32(t, 0)
+		if s.cfg.Bugs.ShutdownRace {
+			// Shutdown bug: the "please stop" signal is a plain flag.
+			t.SetLine(36)
+			if s.shutFlag.Load32(t, 0) != 0 {
+				return
+			}
+		}
+		if _, ok := s.flusherCtl.GetTimeout(t, s.cfg.FlushInterval); ok || s.flusherCtl.Closed() {
+			return
+		}
+		s.statsMu.Lock(t)
+		t.SetLine(39)
+		total := s.stats.Load(t, "invites") + s.stats.Load(t, "registers") +
+			s.stats.Load(t, "byes") + s.stats.Load(t, "options")
+		s.stats.Store(t, "flushes", s.stats.Load(t, "flushes")+1)
+		s.statsMu.Unlock(t)
+		s.log(t, fmt.Sprintf("flush total=%d", total), 44)
+	}
+}
+
+func (s *Server) runRefresher(t *vm.Thread) {
+	pop := t.Func("DomainRefresher::run", "modules.cpp", 380)
+	defer pop()
+	for {
+		if _, ok := s.refresherCtl.GetTimeout(t, s.cfg.RefreshInterval); ok || s.refresherCtl.Closed() {
+			return
+		}
+		s.domains.Refresh(t)
+	}
+}
+
+// runTimer is the transaction retransmission timer: it periodically walks
+// the transaction table and updates retransmission state. With the TimerRace
+// bug the status read happens before taking the table lock.
+func (s *Server) runTimer(t *vm.Thread) {
+	pop := t.Func("RetransmitTimer::run", "timer.cpp", 22)
+	defer pop()
+	for {
+		if _, ok := s.timerCtl.GetTimeout(t, s.cfg.TimerInterval); ok || s.timerCtl.Closed() {
+			return
+		}
+		if s.cfg.Bugs.TimerRace {
+			// BUG: refresh transaction status without the table lock.
+			for _, branch := range sortedKeys(s.transactions) {
+				obj := s.transactions[branch]
+				t.SetLine(31)
+				obj.Store(t, "lastStatus", obj.Load(t, "lastStatus"))
+				break // touching one is enough to be wrong
+			}
+		}
+		s.transMu.Lock(t)
+		for _, branch := range sortedKeys(s.transactions) {
+			obj := s.transactions[branch]
+			obj.VCall(t, "onTimer", func() {
+				t.SetLine(40)
+				obj.Store(t, "retransmits", obj.Load(t, "retransmits")+1)
+			})
+		}
+		s.transMu.Unlock(t)
+	}
+}
+
+// ---- listeners / workers ----
+
+// runListenerPerRequest implements Fig. 10: the listener initialises the
+// packet buffer and passes ownership to a freshly created worker thread.
+func (s *Server) runListenerPerRequest(t *vm.Thread) {
+	pop := t.Func("Listener::run", "listener.cpp", 20)
+	defer pop()
+	var workers []*vm.Thread
+	n := 0
+	for {
+		msg, ok := s.inQ.Get(t)
+		if !ok {
+			break
+		}
+		p := s.makePacket(t, msg.(string))
+		n++
+		w := t.Go(fmt.Sprintf("req-%d", n), func(wt *vm.Thread) {
+			s.handlePacket(wt, p)
+		})
+		workers = append(workers, w)
+	}
+	for _, w := range workers {
+		t.Join(w)
+	}
+}
+
+// runListenerPool implements Fig. 11: the listener initialises the packet
+// buffer AFTER the pool threads were created and passes it through the job
+// queue — the ownership transfer the stock detector cannot see.
+func (s *Server) runListenerPool(t *vm.Thread) {
+	pop := t.Func("Listener::run", "listener.cpp", 20)
+	defer pop()
+	for {
+		msg, ok := s.inQ.Get(t)
+		if !ok {
+			break
+		}
+		p := s.makePacket(t, msg.(string))
+		s.jobs.Put(t, p)
+	}
+	s.jobs.Close(t)
+}
+
+func (s *Server) runPoolWorker(t *vm.Thread) {
+	pop := t.Func("PoolWorker::run", "pool.cpp", 15)
+	defer pop()
+	for {
+		job, ok := s.jobs.Get(t)
+		if !ok {
+			return
+		}
+		s.handlePacket(t, job.(*packet))
+	}
+}
+
+// makePacket initialises the shared message buffer ("setup data").
+func (s *Server) makePacket(t *vm.Thread, raw string) *packet {
+	pop := t.Func("Listener::readPacket", "listener.cpp", 44)
+	defer pop()
+	buf := t.Alloc(16, "packet-buffer")
+	buf.Store32(t, 0, uint32(len(raw)))
+	buf.Store64(t, 8, uint64(t.Now()))
+	return &packet{raw: raw, buf: buf}
+}
+
+// ---- request handling ----
+
+func (s *Server) handlePacket(t *vm.Thread, p *packet) {
+	pop := t.Func("Server::handleRequest", "server.cpp", 200)
+	defer pop()
+
+	// "process data" (Fig. 10/11): read the buffer the listener wrote and
+	// stamp it processed — the first write that trips the stock detector
+	// when ownership travelled through a queue instead of a thread create.
+	p.buf.Load32(t, 0)
+	p.buf.Load64(t, 8)
+	t.SetLine(204)
+	p.buf.Store32(t, 0, 1)
+
+	if s.cfg.Bugs.BenignCounter {
+		// Benign race: monotonic hit counter, statistics only.
+		t.SetLine(206)
+		s.hitCounter.Store32(t, 0, s.hitCounter.Load32(t, 0)+1)
+	}
+
+	msg, err := Parse(p.raw)
+	if err != nil {
+		s.bumpStat(t, "errors")
+		s.respondRaw(t, NewResponse(400, "Bad Request").Serialize())
+		return
+	}
+	logLines := map[Method]int{REGISTER: 215, INVITE: 216, ACK: 217, BYE: 218, CANCEL: 219, OPTIONS: 220}
+	s.log(t, string(msg.Method)+" "+msg.CallID(), logLines[msg.Method])
+
+	mo := s.newMessageObject(t, msg)
+	switch msg.Method {
+	case REGISTER:
+		s.handleRegister(t, msg, mo)
+	case INVITE:
+		s.handleInvite(t, msg, mo)
+	case ACK:
+		s.handleAck(t, msg, mo)
+	case BYE:
+		s.handleBye(t, msg, mo)
+	case CANCEL:
+		s.handleCancel(t, msg, mo)
+	case OPTIONS:
+		s.handleOptions(t, msg, mo)
+	}
+	s.deleteMessageObject(t, mo)
+	s.handled++
+}
+
+// messageObject bundles the polymorphic request object with its header
+// strings.
+type messageObject struct {
+	obj    *cppmodel.Object
+	callID *cppmodel.CowString
+	from   *cppmodel.CowString
+	to     *cppmodel.CowString
+}
+
+func (s *Server) newMessageObject(t *vm.Thread, msg *Message) *messageObject {
+	pop := t.Func("MessageFactory::create", "factory.cpp", 31)
+	defer pop()
+	obj := s.rt.New(t, s.cls.ForMethod(msg.Method))
+	obj.Store(t, "kind", uint64(len(msg.Method)))
+	obj.Store(t, "recvTime", uint64(t.Now()))
+	seq, _ := msg.CSeq()
+	obj.Store(t, "cseq", uint64(seq))
+	return &messageObject{
+		obj:    obj,
+		callID: s.rt.NewCowString(t, msg.CallID()),
+		from:   s.rt.NewCowString(t, msg.From()),
+		to:     s.rt.NewCowString(t, msg.To()),
+	}
+}
+
+func (s *Server) deleteMessageObject(t *vm.Thread, mo *messageObject) {
+	pop := t.Func("MessageFactory::destroy", "factory.cpp", 60)
+	defer pop()
+	mo.callID.Release(t)
+	mo.from.Release(t)
+	mo.to.Release(t)
+	s.rt.Delete(t, mo.obj)
+}
+
+// bindingHeaderFields materialises the header objects a registrar binding
+// retains.
+func (s *Server) bindingHeaderFields(t *vm.Thread, msg *Message, contact string) []*headerField {
+	pop := t.Func("Registrar::parseBinding", "registrar.cpp", 60)
+	defer pop()
+	mk := func(line int, cls *cppmodel.Class, name, val string) *headerField {
+		t.SetLine(line)
+		h := &headerField{obj: s.rt.New(t, cls), value: s.rt.NewCowString(t, val), name: name}
+		h.obj.Store(t, "hash", uint64(len(val)))
+		return h
+	}
+	return []*headerField{
+		mk(62, s.cls.ViaHeader, "Via", msg.Header("Via")),
+		mk(63, s.cls.CallIDHeader, "Call-ID", msg.CallID()),
+		mk(64, s.cls.ContactHeader, "Contact", contact),
+		mk(65, s.cls.UAHeader, "User-Agent", "softphone/1.0"),
+	}
+}
+
+func (s *Server) handleRegister(t *vm.Thread, msg *Message, mo *messageObject) {
+	pop := t.Func("Registrar::handleRegister", "registrar.cpp", 80)
+	defer pop()
+	user := UserOf(msg.From())
+	contact := msg.Header("Contact")
+	if contact == "" {
+		contact = msg.From()
+	}
+
+	// The registrar validates the home domain through the routing data —
+	// the same Fig. 7 path the proxy uses.
+	if gw, ok := s.domains.Route(t, DomainOf(msg.From())); ok {
+		gw.Release(t)
+	}
+
+	nb := &binding{
+		obj:     s.rt.New(t, s.cls.Binding),
+		contact: s.rt.NewCowString(t, contact),
+		user:    user,
+	}
+	nb.obj.Store(t, "expires", 3600)
+	nb.hdrs = s.bindingHeaderFields(t, msg, contact)
+
+	s.lockGuarded(t, s.regMu)
+	old := s.bindings[user]
+	s.bindings[user] = nb
+	nb.obj.VCall(t, "activate", nil)
+	s.regMu.Unlock(t)
+
+	if old != nil {
+		// Audit-log the replaced contact — strings created by the ORIGINAL
+		// registering worker, copied here without any common lock: the
+		// Fig. 8 access mix.
+		t.SetLine(97)
+		audit := old.contact.Copy(t)
+		audit.Release(t)
+		for i, h := range old.hdrs {
+			t.SetLine(99 + i)
+			v := h.value.Copy(t)
+			v.Release(t)
+		}
+		// Delete the old binding outside the critical section ("keep the
+		// lock hot path short") — the §4.2.1 destructor pattern.
+		t.SetLine(104)
+		s.rt.Delete(t, old.obj)
+		for _, h := range old.hdrs {
+			h.value.Release(t)
+			s.rt.Delete(t, h.obj)
+		}
+		old.contact.Release(t)
+	}
+	s.bumpStat(t, "registers")
+	s.respond(t, msg, 200, "OK")
+}
+
+// parseHeaderFields materialises the retained header objects for a dialog or
+// binding — the HeaderFieldImpl instances a real stack allocates per
+// transaction.
+func (s *Server) parseHeaderFields(t *vm.Thread, msg *Message) []*headerField {
+	pop := t.Func("HeaderParser::parseAll", "headers.cpp", 70)
+	defer pop()
+	if s.cfg.Bugs.LibcStatic {
+		// Via parameter splitting through strtok's static cursor (§4.1.3).
+		s.lc.Strtok(t, msg.Header("Via"), "/; ")
+		s.lc.Strtok(t, "", "/; ")
+	}
+	names := []string{"Via", "From", "To", "Call-ID", "CSeq", "Contact"}
+	out := make([]*headerField, 0, len(names))
+	for i, cls := range s.cls.DialogHeaders() {
+		name := names[i]
+		val := msg.Header(name)
+		if val == "" {
+			val = "-"
+		}
+		t.SetLine(74 + i)
+		h := &headerField{
+			obj:   s.rt.New(t, cls),
+			value: s.rt.NewCowString(t, val),
+			name:  name,
+		}
+		h.obj.Store(t, "hash", uint64(len(val)))
+		h.obj.Store(t, "parsed", 1)
+		out = append(out, h)
+	}
+	return out
+}
+
+func (s *Server) handleInvite(t *vm.Thread, msg *Message, mo *messageObject) {
+	pop := t.Func("Proxy::handleInvite", "proxy.cpp", 120)
+	defer pop()
+
+	gw, ok := s.domains.Route(t, DomainOf(msg.To()))
+	if ok {
+		gw.Get(t) // forward target
+		gw.Release(t)
+	}
+
+	d := &dialog{
+		obj:    s.rt.New(t, s.cls.InviteDialog),
+		trans:  s.rt.New(t, s.cls.ServerTransaction),
+		callID: mo.callID.Copy(t),
+		from:   mo.from.Copy(t),
+		to:     mo.to.Copy(t),
+		hdrs:   s.parseHeaderFields(t, msg),
+	}
+	seq, _ := msg.CSeq()
+	d.obj.Store(t, "state", 1) // proceeding
+	d.obj.Store(t, "remoteSeq", uint64(seq))
+	d.trans.Store(t, "state", 1)
+	d.trans.Store(t, "lastStatus", 180)
+
+	s.lockGuarded(t, s.dialogMu)
+	s.dialogs[msg.CallID()] = d
+	s.dialogMu.Unlock(t)
+
+	s.transMu.Lock(t)
+	s.transactions[msg.CallID()] = d.trans
+	s.transMu.Unlock(t)
+
+	if s.cfg.Bugs.GaugeRace {
+		// BUG: active-call gauge maintained outside the dialog lock.
+		t.SetLine(150)
+		s.gauge.Store32(t, 0, s.gauge.Load32(t, 0)+1)
+	}
+	s.bumpStat(t, "invites")
+	s.respond(t, msg, 180, "Ringing")
+	s.respond(t, msg, 200, "OK")
+}
+
+func (s *Server) handleAck(t *vm.Thread, msg *Message, mo *messageObject) {
+	pop := t.Func("Proxy::handleAck", "proxy.cpp", 170)
+	defer pop()
+	s.lockGuarded(t, s.dialogMu)
+	d := s.dialogs[msg.CallID()]
+	if d != nil {
+		d.obj.VCall(t, "onAck", func() {
+			d.obj.Store(t, "state", 2) // confirmed
+			d.obj.Store(t, "lastActivity", uint64(t.Now()))
+		})
+	}
+	s.dialogMu.Unlock(t)
+	if d != nil {
+		// Caller-id for the access log, copied outside the dialog lock: the
+		// string rep belongs to the INVITE worker.
+		t.SetLine(183)
+		who := d.from.Copy(t)
+		who.Release(t)
+	}
+	s.bumpStat(t, "acks")
+}
+
+func (s *Server) handleBye(t *vm.Thread, msg *Message, mo *messageObject) {
+	pop := t.Func("Proxy::handleBye", "proxy.cpp", 210)
+	defer pop()
+	s.lockGuarded(t, s.dialogMu)
+	d := s.dialogs[msg.CallID()]
+	delete(s.dialogs, msg.CallID())
+	s.dialogMu.Unlock(t)
+
+	if d != nil {
+		// Call-detail record built from the dialog's strings after the lock
+		// was dropped (Fig. 8 mix again, one site per copied field).
+		t.SetLine(219)
+		cdrFrom := d.from.Copy(t)
+		t.SetLine(220)
+		cdrTo := d.to.Copy(t)
+		cdrFrom.Release(t)
+		cdrTo.Release(t)
+		for i, h := range d.hdrs {
+			t.SetLine(224 + i)
+			v := h.value.Copy(t)
+			v.Release(t)
+		}
+		s.destroyDialog(t, d)
+		if s.cfg.Bugs.GaugeRace {
+			t.SetLine(233)
+			s.gauge.Store32(t, 0, s.gauge.Load32(t, 0)-1)
+		}
+	}
+	s.bumpStat(t, "byes")
+	s.respond(t, msg, 200, "OK")
+}
+
+// destroyDialog deletes the dialog and transaction objects — typically from
+// a thread other than the one that created them (§4.2.1's FP family). The
+// transaction is unlinked from the retransmission table under the lock but
+// deleted outside it.
+func (s *Server) destroyDialog(t *vm.Thread, d *dialog) {
+	pop := t.Func("Proxy::destroyDialog", "proxy.cpp", 240)
+	defer pop()
+	d.obj.VCall(t, "onTerminate", nil)
+	s.transMu.Lock(t)
+	for _, branch := range sortedKeys(s.transactions) {
+		if s.transactions[branch] == d.trans {
+			delete(s.transactions, branch)
+			break
+		}
+	}
+	s.transMu.Unlock(t)
+	s.rt.Delete(t, d.obj)
+	s.rt.Delete(t, d.trans)
+	for _, h := range d.hdrs {
+		h.value.Release(t)
+		s.rt.Delete(t, h.obj)
+	}
+	d.callID.Release(t)
+	d.from.Release(t)
+	d.to.Release(t)
+}
+
+func (s *Server) handleCancel(t *vm.Thread, msg *Message, mo *messageObject) {
+	pop := t.Func("Proxy::handleCancel", "proxy.cpp", 260)
+	defer pop()
+	s.lockGuarded(t, s.dialogMu)
+	d := s.dialogs[msg.CallID()]
+	delete(s.dialogs, msg.CallID())
+	s.dialogMu.Unlock(t)
+	if d != nil {
+		s.destroyDialog(t, d)
+		if s.cfg.Bugs.GaugeRace {
+			t.SetLine(272)
+			s.gauge.Store32(t, 0, s.gauge.Load32(t, 0)-1)
+		}
+		s.respond(t, msg, 487, "Request Terminated")
+	} else {
+		s.respond(t, msg, 481, "Transaction Does Not Exist")
+	}
+}
+
+func (s *Server) handleOptions(t *vm.Thread, msg *Message, mo *messageObject) {
+	pop := t.Func("Proxy::handleOptions", "proxy.cpp", 300)
+	defer pop()
+	// Capability string: initialised once by main, copied by every worker
+	// without a lock (read-mostly shared rep).
+	t.SetLine(303)
+	caps := s.caps.Copy(t)
+	capsVal := caps.Get(t)
+	caps.Release(t)
+	s.bumpStat(t, "options")
+	resp := NewResponse(200, "OK")
+	resp.SetHeader("Allow", capsVal)
+	resp.SetHeader("Call-ID", msg.CallID())
+	s.respondRaw(t, resp.Serialize())
+}
+
+// ---- helpers ----
+
+// lockGuarded is the application's deadlock-monitored lock acquisition
+// (§3.3): a timed lock with bookkeeping. The bookkeeping itself is the §4.1
+// seeded race when Bugs.DeadlockMonitorRace is on.
+func (s *Server) lockGuarded(t *vm.Thread, m *vm.Mutex) {
+	if !s.cfg.Bugs.DeadlockMonitorRace {
+		m.Lock(t)
+		return
+	}
+	pop := t.Func("DeadlockMonitor::lock", "dlmon.cpp", 25)
+	defer pop()
+	// Racy bookkeeping: plain read-modify-write of shared counters.
+	s.monitor.Store32(t, 0, s.monitor.Load32(t, 0)+1)
+	for !m.LockTimeout(t, s.cfg.LockTimeout) {
+		t.SetLine(31)
+		s.monitor.Store32(t, 4, s.monitor.Load32(t, 4)+1) // suspected deadlocks
+	}
+	s.monitor.Store32(t, 0, s.monitor.Load32(t, 0)-1)
+}
+
+func (s *Server) bumpStat(t *vm.Thread, field string) {
+	pop := t.Func("StatsRegistry::bump", "stats.cpp", 80)
+	defer pop()
+	s.statsMu.Lock(t)
+	s.stats.Store(t, field, s.stats.Load(t, field)+1)
+	s.statsMu.Unlock(t)
+}
+
+func (s *Server) respond(t *vm.Thread, req *Message, status int, reason string) {
+	pop := t.Func("Transport::respond", "transport.cpp", 50)
+	defer pop()
+	ro := s.rt.New(t, s.cls.Response)
+	ro.Store(t, "status", uint64(status))
+	resp := NewResponse(status, reason)
+	resp.SetHeader("Call-ID", req.CallID())
+	resp.SetHeader("From", req.From())
+	resp.SetHeader("To", req.To())
+	resp.SetHeader("CSeq", req.Header("CSeq"))
+	s.respondRaw(t, resp.Serialize())
+	s.rt.Delete(t, ro)
+}
+
+func (s *Server) respondRaw(t *vm.Thread, raw string) {
+	s.outQ.Put(t, raw)
+	s.responses++
+}
+
+// log writes an entry to the shared log buffer. Timestamp formatting goes
+// through libc's static buffers — unlocked when the LibcStatic bug is on.
+func (s *Server) log(t *vm.Thread, what string, line int) {
+	pop := t.Func("Logger::log", "logger.cpp", line)
+	defer pop()
+	if s.cfg.Bugs.LibcStatic {
+		s.lc.Localtime(t, t.Now()) // static tm buffer, no lock
+		s.logMu.Lock(t)
+	} else {
+		s.logMu.Lock(t)
+		s.lc.Localtime(t, t.Now()) // serialised by the log lock
+	}
+	s.logBuf.Write(t, 0, 32)
+	s.logMu.Unlock(t)
+	_ = what
+}

@@ -1,0 +1,268 @@
+package sip
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cppmodel"
+	"repro/internal/libc"
+	"repro/internal/lockset"
+	"repro/internal/report"
+	"repro/internal/vm"
+)
+
+// serve runs the server with the given config, feeds it messages from a
+// client thread, and returns the server plus the collected responses.
+func serve(t *testing.T, seed int64, cfg Config, det *lockset.Config, msgs []string) (*Server, []string, *report.Collector) {
+	t.Helper()
+	v := vm.New(vm.Options{Seed: seed, Quantum: 3})
+	var col *report.Collector
+	if det != nil {
+		col = report.NewCollector(v, nil)
+		v.AddTool(lockset.New(*det, col))
+	}
+	rt := cppmodel.NewRuntime(cppmodel.Options{
+		ForceNew:        true,
+		AnnotateDeletes: det != nil && det.Destruct,
+	})
+	var srv *Server
+	var responses []string
+	err := v.Run(func(main *vm.Thread) {
+		lc := libc.New(main)
+		srv = NewServer(v, rt, lc, cfg)
+		srv.Start(main)
+		sink := main.Go("sink", func(th *vm.Thread) {
+			for {
+				r, ok := srv.Responses().Get(th)
+				if !ok {
+					return
+				}
+				responses = append(responses, r.(string))
+			}
+		})
+		client := main.Go("client", func(th *vm.Thread) {
+			for _, m := range msgs {
+				srv.Inject(th, m)
+				th.Sleep(300)
+			}
+		})
+		main.Join(client)
+		srv.Stop(main)
+		main.Join(sink)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return srv, responses, col
+}
+
+func request(method Method, callID, user string, seq int) string {
+	m := NewRequest(method, "sip:peer@a.example.com")
+	m.SetHeader("Via", "SIP/2.0/UDP client")
+	m.SetHeader("From", "sip:"+user+"@a.example.com")
+	m.SetHeader("To", "sip:peer@a.example.com")
+	m.SetHeader("Call-ID", callID)
+	m.SetHeader("CSeq", formatCSeq(seq, method))
+	m.SetHeader("Contact", "sip:"+user+"@client")
+	return m.Serialize()
+}
+
+func formatCSeq(seq int, m Method) string {
+	return strings.TrimSpace(strings.Join([]string{itoa(seq), string(m)}, " "))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := []byte{}
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestRegisterCreatesBinding(t *testing.T) {
+	srv, responses, _ := serve(t, 1, Config{Bugs: NoBugs()}, nil, []string{
+		request(REGISTER, "r1", "alice", 1),
+	})
+	if srv.Handled() != 1 {
+		t.Errorf("handled = %d, want 1", srv.Handled())
+	}
+	if len(responses) != 1 || !strings.Contains(responses[0], "200 OK") {
+		t.Errorf("responses = %v, want one 200 OK", responses)
+	}
+}
+
+func TestCallFlowCreatesAndDestroysDialog(t *testing.T) {
+	srv, responses, _ := serve(t, 1, Config{Bugs: NoBugs()}, nil, []string{
+		request(INVITE, "call1", "alice", 1),
+		request(ACK, "call1", "alice", 1),
+		request(BYE, "call1", "alice", 2),
+	})
+	if srv.Handled() != 3 {
+		t.Fatalf("handled = %d, want 3", srv.Handled())
+	}
+	// INVITE -> 180 + 200; BYE -> 200.
+	var ok200, ringing int
+	for _, r := range responses {
+		if strings.Contains(r, "180 Ringing") {
+			ringing++
+		}
+		if strings.Contains(r, "200 OK") {
+			ok200++
+		}
+	}
+	if ringing != 1 || ok200 != 2 {
+		t.Errorf("ringing=%d ok=%d, want 1 and 2", ringing, ok200)
+	}
+}
+
+func TestCancelWithoutDialog(t *testing.T) {
+	_, responses, _ := serve(t, 1, Config{Bugs: NoBugs()}, nil, []string{
+		request(CANCEL, "nope", "alice", 1),
+	})
+	if len(responses) != 1 || !strings.Contains(responses[0], "481") {
+		t.Errorf("responses = %v, want 481", responses)
+	}
+}
+
+func TestMalformedGets400(t *testing.T) {
+	_, responses, _ := serve(t, 1, Config{Bugs: NoBugs()}, nil, []string{
+		"GARBAGE\r\n\r\n",
+	})
+	if len(responses) != 1 || !strings.Contains(responses[0], "400") {
+		t.Errorf("responses = %v, want 400", responses)
+	}
+}
+
+func TestOptionsAdvertisesCapabilities(t *testing.T) {
+	_, responses, _ := serve(t, 1, Config{Bugs: NoBugs()}, nil, []string{
+		request(OPTIONS, "opt1", "alice", 1),
+	})
+	if len(responses) != 1 || !strings.Contains(responses[0], "INVITE,ACK,BYE") {
+		t.Errorf("responses = %v, want Allow capabilities", responses)
+	}
+}
+
+func TestNoBugsNoDetectableTrueRaces(t *testing.T) {
+	// With the whole §4.1 catalogue fixed and the strongest detector
+	// configuration, only the known FP families may remain — and DR plus
+	// HWLC remove those, so the run must be almost silent. Allow the
+	// benign/other families zero here because BenignCounter is off.
+	det := lockset.ConfigHWLCDR()
+	cfgBugs := Config{Bugs: NoBugs()}
+	_, _, col := serve(t, 1, cfgBugs, &det, []string{
+		request(REGISTER, "r1", "alice", 1),
+		request(INVITE, "c1", "alice", 1),
+		request(ACK, "c1", "alice", 1),
+		request(BYE, "c1", "alice", 2),
+		request(OPTIONS, "o1", "alice", 1),
+	})
+	if col.Locations() != 0 {
+		t.Errorf("bug-free server under HWLC+DR reported %d locations:\n%s",
+			col.Locations(), col.Format())
+	}
+}
+
+func TestBugsProduceWarnings(t *testing.T) {
+	det := lockset.ConfigHWLCDR()
+	_, _, col := serve(t, 1, Config{Bugs: PaperBugs()}, &det, []string{
+		request(REGISTER, "r1", "alice", 1),
+		request(INVITE, "c1", "alice", 1),
+		request(ACK, "c1", "alice", 1),
+		request(BYE, "c1", "alice", 2),
+	})
+	if col.Locations() == 0 {
+		t.Error("seeded bugs produced no warnings under HWLC+DR")
+	}
+}
+
+func TestDeadlockMonitorRaceDetected(t *testing.T) {
+	// §4.1: "One of the first reported data races was in the application's
+	// deadlock detection code."
+	det := lockset.ConfigHWLCDR()
+	bugs := NoBugs()
+	bugs.DeadlockMonitorRace = true
+	_, _, col := serve(t, 1, Config{Bugs: bugs}, &det, []string{
+		request(REGISTER, "r1", "alice", 1),
+		request(REGISTER, "r2", "bob", 1),
+		request(INVITE, "c1", "alice", 1),
+		request(BYE, "c1", "alice", 2),
+	})
+	if !strings.Contains(col.Format(), "DeadlockMonitor::lock") {
+		t.Errorf("deadlock-monitor race not reported:\n%s", col.Format())
+	}
+}
+
+func TestThreadPoolModeProcessesAll(t *testing.T) {
+	cfg := Config{Pattern: ThreadPool, Workers: 3, Bugs: NoBugs()}
+	srv, responses, _ := serve(t, 1, cfg, nil, []string{
+		request(REGISTER, "r1", "alice", 1),
+		request(INVITE, "c1", "alice", 1),
+		request(BYE, "c1", "alice", 2),
+		request(OPTIONS, "o1", "alice", 1),
+	})
+	if srv.Handled() != 4 {
+		t.Errorf("handled = %d, want 4", srv.Handled())
+	}
+	if len(responses) < 4 {
+		t.Errorf("responses = %d, want >= 4", len(responses))
+	}
+}
+
+func TestReRegisterReplacesBinding(t *testing.T) {
+	srv, responses, _ := serve(t, 1, Config{Bugs: NoBugs()}, nil, []string{
+		request(REGISTER, "r1", "alice", 1),
+		request(REGISTER, "r2", "alice", 2),
+	})
+	if srv.Handled() != 2 {
+		t.Errorf("handled = %d", srv.Handled())
+	}
+	if len(responses) != 2 {
+		t.Errorf("responses = %d, want 2", len(responses))
+	}
+}
+
+func TestServerDeterministic(t *testing.T) {
+	msgs := []string{
+		request(REGISTER, "r1", "alice", 1),
+		request(INVITE, "c1", "alice", 1),
+		request(BYE, "c1", "alice", 2),
+	}
+	det := lockset.ConfigOriginal()
+	_, _, col1 := serve(t, 9, Config{Bugs: PaperBugs()}, &det, msgs)
+	_, _, col2 := serve(t, 9, Config{Bugs: PaperBugs()}, &det, msgs)
+	if col1.Locations() != col2.Locations() {
+		t.Errorf("same seed, different locations: %d vs %d", col1.Locations(), col2.Locations())
+	}
+}
+
+func TestTimerRaceDetected(t *testing.T) {
+	det := lockset.ConfigHWLCDR()
+	bugs := NoBugs()
+	bugs.TimerRace = true
+	_, _, col := serve(t, 1, Config{Bugs: bugs, TimerInterval: 20}, &det, []string{
+		request(INVITE, "c1", "alice", 1),
+		request(ACK, "c1", "alice", 1),
+		request(BYE, "c1", "alice", 2),
+	})
+	if !strings.Contains(col.Format(), "RetransmitTimer::run") {
+		t.Errorf("timer race not reported:\n%s", col.Format())
+	}
+}
+
+func TestTimerMaintainsRetransmits(t *testing.T) {
+	// Without bugs, the timer must tick transactions under the lock with no
+	// warnings at all.
+	det := lockset.ConfigHWLCDR()
+	_, _, col := serve(t, 1, Config{Bugs: NoBugs(), TimerInterval: 10}, &det, []string{
+		request(INVITE, "c1", "alice", 1),
+		request(ACK, "c1", "alice", 1),
+		request(BYE, "c1", "alice", 2),
+	})
+	if col.Locations() != 0 {
+		t.Errorf("bug-free timer run reported:\n%s", col.Format())
+	}
+}

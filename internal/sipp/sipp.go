@@ -1,0 +1,264 @@
+// Package sipp is the traffic generator of the paper's test bed (§3.3): a
+// SIPp-like driver that replays scripted request scenarios against the SIP
+// server. The eight test cases T1–T8 correspond to the rows of Fig. 5/6;
+// each exercises a different mix of code paths and volume, which is what
+// produces the per-row variation in reported locations.
+package sipp
+
+import (
+	"fmt"
+
+	"repro/internal/sip"
+	"repro/internal/vm"
+)
+
+// Scenario generates the wire messages of one protocol exchange for one
+// simulated user agent.
+type Scenario struct {
+	Name string
+	// Messages produces the exchange for call i of client user.
+	Messages func(user, domain string, i int) []string
+}
+
+// RegisterScenario is a REGISTER/200 exchange.
+var RegisterScenario = Scenario{
+	Name: "register",
+	Messages: func(user, domain string, i int) []string {
+		return []string{registerMsg(user, domain, i)}
+	},
+}
+
+// CallScenario is a complete INVITE/180/200 - ACK - BYE/200 call.
+var CallScenario = Scenario{
+	Name: "call",
+	Messages: func(user, domain string, i int) []string {
+		callID := fmt.Sprintf("%s-call-%d@client.invalid", user, i)
+		return []string{
+			inviteMsg(user, domain, callID, 1),
+			ackMsg(user, domain, callID, 1),
+			byeMsg(user, domain, callID, 2),
+		}
+	},
+}
+
+// OptionsScenario is an OPTIONS keepalive probe.
+var OptionsScenario = Scenario{
+	Name: "options",
+	Messages: func(user, domain string, i int) []string {
+		return []string{optionsMsg(user, domain, i)}
+	},
+}
+
+// AbandonedCallScenario is an INVITE immediately CANCELled.
+var AbandonedCallScenario = Scenario{
+	Name: "abandoned",
+	Messages: func(user, domain string, i int) []string {
+		callID := fmt.Sprintf("%s-abort-%d@client.invalid", user, i)
+		return []string{
+			inviteMsg(user, domain, callID, 1),
+			cancelMsg(user, domain, callID, 1),
+		}
+	},
+}
+
+// ReRegisterScenario registers the same user twice (binding replacement).
+var ReRegisterScenario = Scenario{
+	Name: "reregister",
+	Messages: func(user, domain string, i int) []string {
+		return []string{
+			registerMsg(user, domain, 2*i),
+			registerMsg(user, domain, 2*i+1),
+		}
+	},
+}
+
+// MalformedScenario sends garbage to exercise the error path.
+var MalformedScenario = Scenario{
+	Name: "malformed",
+	Messages: func(user, domain string, i int) []string {
+		return []string{"NOTAMETHOD sip:x SIP/1.0\r\n\r\n"}
+	},
+}
+
+// Step is one weighted scenario within a test case.
+type Step struct {
+	Scenario Scenario
+	// Repeat is how many exchanges each client performs.
+	Repeat int
+}
+
+// TestCase is one row of Fig. 5/6.
+type TestCase struct {
+	ID   string
+	Name string
+	// Clients is the number of concurrent driver threads.
+	Clients int
+	// Steps run sequentially per client.
+	Steps []Step
+	// PaceTicks is the virtual-time gap between injected messages.
+	PaceTicks int64
+}
+
+// Cases returns the eight test cases T1–T8 (§3.3: "eight of eleven test
+// cases used for the experiments on the SIP proxy server ran without
+// changes"). The mixes are reconstructed from the paper's description of the
+// application (registrations, call setup, keepalives, abandoned calls,
+// churn, shutdown under load).
+func Cases() []TestCase {
+	return []TestCase{
+		{
+			ID: "T1", Name: "registration storm", Clients: 4, PaceTicks: 400,
+			Steps: []Step{{RegisterScenario, 6}, {ReRegisterScenario, 3}},
+		},
+		{
+			ID: "T2", Name: "basic calls", Clients: 2, PaceTicks: 500,
+			Steps: []Step{{RegisterScenario, 1}, {CallScenario, 4}},
+		},
+		{
+			ID: "T3", Name: "keepalive probes", Clients: 2, PaceTicks: 450,
+			Steps: []Step{{OptionsScenario, 8}, {CallScenario, 1}},
+		},
+		{
+			ID: "T4", Name: "concurrent dialogs", Clients: 5, PaceTicks: 350,
+			Steps: []Step{{RegisterScenario, 1}, {CallScenario, 4}},
+		},
+		{
+			ID: "T5", Name: "mixed load", Clients: 5, PaceTicks: 350,
+			Steps: []Step{{RegisterScenario, 2}, {CallScenario, 3}, {OptionsScenario, 3}, {ReRegisterScenario, 2}},
+		},
+		{
+			ID: "T6", Name: "churn stress", Clients: 6, PaceTicks: 300,
+			Steps: []Step{{ReRegisterScenario, 3}, {CallScenario, 3}, {AbandonedCallScenario, 2}, {MalformedScenario, 1}},
+		},
+		{
+			ID: "T7", Name: "multi-domain routing", Clients: 3, PaceTicks: 450,
+			Steps: []Step{{RegisterScenario, 1}, {CallScenario, 3}, {OptionsScenario, 2}},
+		},
+		{
+			ID: "T8", Name: "shutdown under load", Clients: 4, PaceTicks: 250,
+			Steps: []Step{{RegisterScenario, 2}, {CallScenario, 2}, {AbandonedCallScenario, 1}},
+		},
+	}
+}
+
+// CaseByID looks a test case up ("T1".."T8").
+func CaseByID(id string) (TestCase, bool) {
+	for _, tc := range Cases() {
+		if tc.ID == id {
+			return tc, true
+		}
+	}
+	return TestCase{}, false
+}
+
+// MessageCount returns the number of messages the case injects.
+func (tc TestCase) MessageCount() int {
+	perClient := 0
+	for _, st := range tc.Steps {
+		for i := 0; i < st.Repeat; i++ {
+			perClient += len(st.Scenario.Messages("u", "d", i))
+		}
+	}
+	return perClient * tc.Clients
+}
+
+// Drive injects the test case's traffic into the server from Clients
+// concurrent guest threads, with a sink thread draining responses. It
+// returns once every client finished, handing back the sink thread: the
+// caller stops the server (which closes the response queue) and then joins
+// the sink.
+func (tc TestCase) Drive(t *vm.Thread, srv *sip.Server, domains []string) *vm.Thread {
+	sink := t.Go("sipp-sink", func(th *vm.Thread) {
+		for {
+			if _, ok := srv.Responses().Get(th); !ok {
+				return
+			}
+		}
+	})
+	clients := make([]*vm.Thread, tc.Clients)
+	for c := 0; c < tc.Clients; c++ {
+		c := c
+		clients[c] = t.Go(fmt.Sprintf("sipp-client-%d", c), func(th *vm.Thread) {
+			user := fmt.Sprintf("user%d", c)
+			domain := domains[c%len(domains)]
+			for _, st := range tc.Steps {
+				for i := 0; i < st.Repeat; i++ {
+					for _, raw := range st.Scenario.Messages(user, domain, i) {
+						srv.Inject(th, raw)
+						th.Sleep(tc.PaceTicks)
+					}
+				}
+			}
+		})
+	}
+	for _, c := range clients {
+		t.Join(c)
+	}
+	return sink
+}
+
+// ---- wire message builders ----
+
+func registerMsg(user, domain string, i int) string {
+	m := sip.NewRequest(sip.REGISTER, "sip:"+domain)
+	m.SetHeader("Via", "SIP/2.0/UDP client.invalid")
+	m.SetHeader("From", fmt.Sprintf("sip:%s@%s", user, domain))
+	m.SetHeader("To", fmt.Sprintf("sip:%s@%s", user, domain))
+	m.SetHeader("Call-ID", fmt.Sprintf("%s-reg-%d@client.invalid", user, i))
+	m.SetHeader("CSeq", fmt.Sprintf("%d REGISTER", i+1))
+	m.SetHeader("Contact", fmt.Sprintf("sip:%s@client-%d.invalid", user, i))
+	m.SetHeader("Expires", "3600")
+	return m.Serialize()
+}
+
+func inviteMsg(user, domain, callID string, seq int) string {
+	m := sip.NewRequest(sip.INVITE, fmt.Sprintf("sip:peer@%s", domain))
+	m.SetHeader("Via", "SIP/2.0/UDP client.invalid")
+	m.SetHeader("From", fmt.Sprintf("sip:%s@%s", user, domain))
+	m.SetHeader("To", fmt.Sprintf("sip:peer@%s", domain))
+	m.SetHeader("Call-ID", callID)
+	m.SetHeader("CSeq", fmt.Sprintf("%d INVITE", seq))
+	m.SetHeader("Contact", fmt.Sprintf("sip:%s@client.invalid", user))
+	m.Body = "v=0 o=- s=call"
+	return m.Serialize()
+}
+
+func ackMsg(user, domain, callID string, seq int) string {
+	m := sip.NewRequest(sip.ACK, fmt.Sprintf("sip:peer@%s", domain))
+	m.SetHeader("Via", "SIP/2.0/UDP client.invalid")
+	m.SetHeader("From", fmt.Sprintf("sip:%s@%s", user, domain))
+	m.SetHeader("To", fmt.Sprintf("sip:peer@%s", domain))
+	m.SetHeader("Call-ID", callID)
+	m.SetHeader("CSeq", fmt.Sprintf("%d ACK", seq))
+	return m.Serialize()
+}
+
+func byeMsg(user, domain, callID string, seq int) string {
+	m := sip.NewRequest(sip.BYE, fmt.Sprintf("sip:peer@%s", domain))
+	m.SetHeader("Via", "SIP/2.0/UDP client.invalid")
+	m.SetHeader("From", fmt.Sprintf("sip:%s@%s", user, domain))
+	m.SetHeader("To", fmt.Sprintf("sip:peer@%s", domain))
+	m.SetHeader("Call-ID", callID)
+	m.SetHeader("CSeq", fmt.Sprintf("%d BYE", seq))
+	return m.Serialize()
+}
+
+func cancelMsg(user, domain, callID string, seq int) string {
+	m := sip.NewRequest(sip.CANCEL, fmt.Sprintf("sip:peer@%s", domain))
+	m.SetHeader("Via", "SIP/2.0/UDP client.invalid")
+	m.SetHeader("From", fmt.Sprintf("sip:%s@%s", user, domain))
+	m.SetHeader("To", fmt.Sprintf("sip:peer@%s", domain))
+	m.SetHeader("Call-ID", callID)
+	m.SetHeader("CSeq", fmt.Sprintf("%d CANCEL", seq))
+	return m.Serialize()
+}
+
+func optionsMsg(user, domain string, i int) string {
+	m := sip.NewRequest(sip.OPTIONS, "sip:"+domain)
+	m.SetHeader("Via", "SIP/2.0/UDP client.invalid")
+	m.SetHeader("From", fmt.Sprintf("sip:%s@%s", user, domain))
+	m.SetHeader("To", "sip:"+domain)
+	m.SetHeader("Call-ID", fmt.Sprintf("%s-opt-%d@client.invalid", user, i))
+	m.SetHeader("CSeq", fmt.Sprintf("%d OPTIONS", i+1))
+	return m.Serialize()
+}

@@ -1,0 +1,98 @@
+package sipp
+
+import (
+	"testing"
+
+	"repro/internal/sip"
+)
+
+func TestCasesWellFormed(t *testing.T) {
+	cases := Cases()
+	if len(cases) != 8 {
+		t.Fatalf("got %d cases, want 8 (T1..T8)", len(cases))
+	}
+	seen := map[string]bool{}
+	for i, tc := range cases {
+		want := "T" + string(rune('1'+i))
+		if tc.ID != want {
+			t.Errorf("case %d ID = %s, want %s", i, tc.ID, want)
+		}
+		if seen[tc.ID] {
+			t.Errorf("duplicate case %s", tc.ID)
+		}
+		seen[tc.ID] = true
+		if tc.Clients <= 0 || len(tc.Steps) == 0 || tc.PaceTicks <= 0 {
+			t.Errorf("case %s badly formed: %+v", tc.ID, tc)
+		}
+		if tc.MessageCount() <= 0 {
+			t.Errorf("case %s has no messages", tc.ID)
+		}
+	}
+}
+
+func TestCaseByID(t *testing.T) {
+	if _, ok := CaseByID("T5"); !ok {
+		t.Error("T5 not found")
+	}
+	if _, ok := CaseByID("T9"); ok {
+		t.Error("T9 should not exist")
+	}
+}
+
+func TestScenarioMessagesParse(t *testing.T) {
+	scenarios := []Scenario{
+		RegisterScenario, CallScenario, OptionsScenario,
+		AbandonedCallScenario, ReRegisterScenario,
+	}
+	for _, sc := range scenarios {
+		for i := 0; i < 3; i++ {
+			for _, raw := range sc.Messages("alice", "a.example.com", i) {
+				if _, err := sip.Parse(raw); err != nil {
+					t.Errorf("scenario %s message %d unparseable: %v\n%s", sc.Name, i, err, raw)
+				}
+			}
+		}
+	}
+}
+
+func TestMalformedScenarioIsMalformed(t *testing.T) {
+	for _, raw := range MalformedScenario.Messages("u", "d", 0) {
+		if _, err := sip.Parse(raw); err == nil {
+			t.Error("malformed scenario parsed successfully")
+		}
+	}
+}
+
+func TestCallScenarioSharesCallID(t *testing.T) {
+	msgs := CallScenario.Messages("alice", "d", 7)
+	if len(msgs) != 3 {
+		t.Fatalf("call = %d messages, want 3", len(msgs))
+	}
+	var ids []string
+	for _, raw := range msgs {
+		m, err := sip.Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, m.CallID())
+	}
+	if ids[0] != ids[1] || ids[1] != ids[2] {
+		t.Errorf("call legs have different Call-IDs: %v", ids)
+	}
+	// Distinct calls get distinct IDs.
+	other, _ := sip.Parse(CallScenario.Messages("alice", "d", 8)[0])
+	if other.CallID() == ids[0] {
+		t.Error("different calls share a Call-ID")
+	}
+}
+
+func TestMessageCountMatchesSteps(t *testing.T) {
+	tc := TestCase{
+		ID: "X", Clients: 3, PaceTicks: 1,
+		Steps: []Step{{RegisterScenario, 2}, {CallScenario, 1}},
+	}
+	// register: 1 msg x2, call: 3 msgs x1 => 5 per client, 15 total.
+	if got := tc.MessageCount(); got != 15 {
+		t.Errorf("MessageCount = %d, want 15", got)
+	}
+}

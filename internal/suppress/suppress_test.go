@@ -1,0 +1,203 @@
+package suppress
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+const sample = `
+# COW string refcount in libstdc++, cf. Fig. 9
+{
+   cow-string-grab
+   Helgrind:Race
+   fun:std::string::_Rep::_M_grab*
+   fun:std::string::string
+   ...
+}
+{
+   third-party-lib
+   *:*
+   fun:libthird_*
+}
+`
+
+func frames(names ...string) []trace.Frame {
+	// Innermost LAST, as the VM records them.
+	out := make([]trace.Frame, len(names))
+	for i, n := range names {
+		out[len(names)-1-i] = trace.Frame{Fn: n}
+	}
+	return out
+}
+
+func TestParse(t *testing.T) {
+	f, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(f.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(f.Rules))
+	}
+	r := f.Rules[0]
+	if r.Name != "cow-string-grab" || r.Kind != "Race" || len(r.Frames) != 3 {
+		t.Errorf("rule = %+v", r)
+	}
+}
+
+func TestMatchInnermostOut(t *testing.T) {
+	f, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// Stack: innermost _M_grab, then string ctor, then main.
+	if !f.Suppressed("Race", frames("std::string::_Rep::_M_grab(alloc,alloc)", "std::string::string", "main")) {
+		t.Error("matching stack not suppressed")
+	}
+	// Wrong innermost frame.
+	if f.Suppressed("Race", frames("std::string::assign", "std::string::string", "main")) {
+		t.Error("non-matching stack suppressed")
+	}
+	// Kind mismatch.
+	if f.Suppressed("deadlock", frames("std::string::_Rep::_M_grab", "std::string::string")) {
+		t.Error("kind mismatch suppressed")
+	}
+}
+
+func TestWildcardRule(t *testing.T) {
+	f, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !f.Suppressed("possible data race", frames("libthird_init", "main")) {
+		t.Error("wildcard kind+frame rule should match")
+	}
+	if f.Suppressed("possible data race", frames("ourcode", "libthird_init")) {
+		t.Error("rule must anchor at the innermost frame")
+	}
+}
+
+func TestEllipsis(t *testing.T) {
+	f, err := ParseString(`
+{
+   deep
+   Race
+   fun:inner
+   ...
+   fun:outer
+}
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !f.Suppressed("Race", frames("inner", "mid1", "mid2", "outer")) {
+		t.Error("ellipsis should skip middle frames")
+	}
+	if !f.Suppressed("Race", frames("inner", "outer")) {
+		t.Error("ellipsis should match zero frames")
+	}
+	if f.Suppressed("Race", frames("inner", "mid")) {
+		t.Error("missing outer frame should not match")
+	}
+}
+
+func TestHitsCounting(t *testing.T) {
+	f, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	st := frames("std::string::_Rep::_M_grab", "std::string::string")
+	f.Suppressed("Race", st)
+	f.Suppressed("Race", st)
+	if f.Hits()["cow-string-grab"] != 2 {
+		t.Errorf("hits = %v, want cow-string-grab:2", f.Hits())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"{\n noname",            // unterminated
+		"}",                     // stray close
+		"{\n}",                  // missing name
+		"orphan line",           // content outside rule
+		"{\n x\n Race\n bad\n}", // unknown directive
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestGlobPattern(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"a*c", "abbbc", true},
+		{"a*c", "ac", true},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"*", "anything", true},
+		{"std::*::_M_grab*", "std::string::_M_grab(x)", true},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.pat, c.s); got != c.want {
+			t.Errorf("matchPattern(%q,%q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestNilFileNeverSuppresses(t *testing.T) {
+	var f *File
+	if f.Suppressed("Race", frames("x")) {
+		t.Error("nil file must not suppress")
+	}
+}
+
+func FuzzMatchPattern(f *testing.F) {
+	f.Add("a*c", "abc")
+	f.Add("*", "")
+	f.Add("a?c*", "axcyz")
+	f.Add("**a**", "bba")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, pat, s string) {
+		if len(pat) > 64 || len(s) > 256 {
+			t.Skip()
+		}
+		got := matchPattern(pat, s)
+		want := refMatch(pat, s)
+		if got != want {
+			t.Fatalf("matchPattern(%q, %q) = %v, reference = %v", pat, s, got, want)
+		}
+	})
+}
+
+// refMatch is a simple dynamic-programming reference for glob matching.
+func refMatch(pat, s string) bool {
+	dp := make([][]bool, len(pat)+1)
+	for i := range dp {
+		dp[i] = make([]bool, len(s)+1)
+	}
+	dp[0][0] = true
+	for i := 1; i <= len(pat); i++ {
+		if pat[i-1] == '*' {
+			dp[i][0] = dp[i-1][0]
+		}
+	}
+	for i := 1; i <= len(pat); i++ {
+		for j := 1; j <= len(s); j++ {
+			switch pat[i-1] {
+			case '*':
+				dp[i][j] = dp[i-1][j] || dp[i][j-1]
+			case '?':
+				dp[i][j] = dp[i-1][j-1]
+			default:
+				dp[i][j] = dp[i-1][j-1] && pat[i-1] == s[j-1]
+			}
+		}
+	}
+	return dp[len(pat)][len(s)]
+}

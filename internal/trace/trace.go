@@ -1,0 +1,336 @@
+// Package trace defines the event model shared between the virtual machine
+// (internal/vm) and the analysis tools (internal/lockset, internal/vectorclock,
+// internal/deadlock, ...).
+//
+// The VM plays the role of the Valgrind core from the paper: it executes the
+// guest program and emits a totally-ordered stream of events — memory
+// accesses, synchronisation operations, allocations, thread-segment starts
+// and client requests. Tools play the role of Valgrind "skins" (Helgrind,
+// Memcheck): they observe the stream through the Sink interface and produce
+// warnings. Because the VM runs at most one guest thread at a time, events
+// are delivered strictly sequentially and tools need no locking of their own.
+package trace
+
+// ThreadID identifies a guest thread. The main thread is always 1.
+type ThreadID int32
+
+// SegmentID identifies a thread segment (Fig. 2 of the paper). Segments are
+// maximal runs of a thread's execution not interrupted by a synchronisation
+// point that creates a happens-before edge (thread create/join always; queue,
+// condition-variable and semaphore operations additionally, so that tools can
+// opt in to the paper's "higher level synchronisation" extension).
+type SegmentID int32
+
+// LockID identifies a guest mutex or read-write lock. ID 0 is reserved for
+// the detector-internal pseudo bus lock that models the x86 LOCK prefix; the
+// VM numbers real locks from 1.
+type LockID int32
+
+// BusLock is the reserved LockID for the hardware bus lock pseudo-lock.
+const BusLock LockID = 0
+
+// SyncID identifies a guest condition variable, semaphore or message queue.
+type SyncID int32
+
+// StackID is an index into the VM's interned call-stack table.
+type StackID int32
+
+// NoStack is the StackID used when no guest frames are recorded.
+const NoStack StackID = 0
+
+// BlockID identifies a guest heap allocation.
+type BlockID int32
+
+// Addr is a simulated guest address.
+type Addr uint64
+
+// AccessKind distinguishes reads from writes.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	Read AccessKind = iota
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Access describes one guest memory access.
+type Access struct {
+	Thread ThreadID
+	Seg    SegmentID
+	Block  BlockID
+	Addr   Addr   // absolute guest address
+	Off    uint32 // offset within the block
+	Size   uint32 // access width in bytes
+	Kind   AccessKind
+	Atomic bool // true when the access is part of a bus-locked (LOCK-prefixed) instruction
+	Stack  StackID
+}
+
+// LockKind distinguishes the mode in which a lock is held.
+type LockKind uint8
+
+// Lock modes. A plain mutex is always held in Mutex mode; a read-write lock
+// is held in RLock or WLock mode.
+const (
+	Mutex LockKind = iota
+	RLock
+	WLock
+)
+
+func (k LockKind) String() string {
+	switch k {
+	case Mutex:
+		return "mutex"
+	case RLock:
+		return "rdlock"
+	default:
+		return "wrlock"
+	}
+}
+
+// EdgeKind labels a happens-before edge between two thread segments.
+type EdgeKind uint8
+
+// Edge kinds. Program is the sequential edge from a thread's previous
+// segment; Create/Join arise from thread lifecycle; Queue/Cond/Sem arise from
+// higher-level synchronisation and are only honoured by tools that enable the
+// corresponding extension.
+const (
+	Program EdgeKind = 1 << iota
+	Create
+	Join
+	Queue
+	Cond
+	Sem
+)
+
+// EdgeMask selects which edge kinds a tool honours when evaluating
+// happens-before between segments.
+type EdgeMask uint8
+
+// Predefined edge masks.
+const (
+	// MaskHelgrind is what the paper's (Visual Threads-enhanced) Helgrind
+	// understands: program order plus thread create/join.
+	MaskHelgrind EdgeMask = EdgeMask(Program | Create | Join)
+	// MaskFull additionally honours message-queue, condition-variable and
+	// semaphore edges — the paper's future-work extension (§4.4, Fig. 11).
+	MaskFull EdgeMask = EdgeMask(Program | Create | Join | Queue | Cond | Sem)
+)
+
+// Has reports whether the mask includes the given edge kind.
+func (m EdgeMask) Has(k EdgeKind) bool { return EdgeMask(k)&m != 0 }
+
+// SegmentEdge is one incoming happens-before edge of a new segment.
+type SegmentEdge struct {
+	From SegmentID
+	Kind EdgeKind
+}
+
+// SegmentStart announces a new thread segment together with all of its
+// incoming edges. All edges into a segment are known at the moment the
+// segment begins, so tools can compute the segment's vector clock eagerly.
+type SegmentStart struct {
+	Seg    SegmentID
+	Thread ThreadID
+	In     []SegmentEdge
+}
+
+// SyncOp identifies the raw synchronisation operation behind a segment split.
+type SyncOp uint8
+
+// Raw synchronisation operations.
+const (
+	QueuePut SyncOp = iota
+	QueueGet
+	CondSignal
+	CondBroadcast
+	CondWaitDone // wait has returned (after reacquiring the mutex)
+	SemPost
+	SemWaitDone
+)
+
+func (op SyncOp) String() string {
+	switch op {
+	case QueuePut:
+		return "queue-put"
+	case QueueGet:
+		return "queue-get"
+	case CondSignal:
+		return "cond-signal"
+	case CondBroadcast:
+		return "cond-broadcast"
+	case CondWaitDone:
+		return "cond-wait"
+	case SemPost:
+		return "sem-post"
+	default:
+		return "sem-wait"
+	}
+}
+
+// SyncEvent is a raw higher-level synchronisation event. Msg pairs a QueueGet
+// with the QueuePut that produced the message, enabling precise per-message
+// happens-before in vector-clock tools.
+type SyncEvent struct {
+	Op     SyncOp
+	Obj    SyncID
+	Thread ThreadID
+	Msg    int64 // message sequence number for QueuePut/QueueGet; 0 otherwise
+	Stack  StackID
+}
+
+// Block describes a guest heap allocation.
+type Block struct {
+	ID     BlockID
+	Base   Addr
+	Size   uint32
+	Tag    string // origin tag, e.g. "obj:InviteRequest" or "string-rep"
+	Thread ThreadID
+	Stack  StackID
+	Freed  bool
+}
+
+// Contains reports whether the address range [a, a+size) lies in the block.
+func (b *Block) Contains(a Addr, size uint32) bool {
+	return a >= b.Base && a+Addr(size) <= b.Base+Addr(b.Size)
+}
+
+// RequestKind identifies a client request — the user-space calls that are
+// no-ops under normal execution but are interpreted by the analysis tools
+// (the paper's VALGRIND_HG_DESTRUCT mechanism, Fig. 4).
+type RequestKind uint8
+
+// Client request kinds.
+const (
+	// ReqDestruct marks an object's memory as exclusively owned by the
+	// requesting thread just before its destructor chain runs.
+	ReqDestruct RequestKind = iota
+	// ReqBenign marks a range as intentionally racy; tools suppress
+	// warnings for it.
+	ReqBenign
+	// ReqCleanMemory tells tools to reset shadow state for a range, as a
+	// real allocator would via malloc/free. The pooled allocator does NOT
+	// issue this on reuse, which is exactly the §4 allocator false-positive
+	// family.
+	ReqCleanMemory
+)
+
+func (k RequestKind) String() string {
+	switch k {
+	case ReqDestruct:
+		return "HG_DESTRUCT"
+	case ReqBenign:
+		return "HG_BENIGN"
+	default:
+		return "HG_CLEAN_MEMORY"
+	}
+}
+
+// Request is a client request event.
+type Request struct {
+	Kind   RequestKind
+	Thread ThreadID
+	Block  BlockID
+	Off    uint32
+	Size   uint32
+	Stack  StackID
+}
+
+// Sink receives the VM event stream. Implementations must not retain the
+// pointers they are handed beyond the call (the VM reuses event structs).
+type Sink interface {
+	// ToolName returns a short identifier used in reports.
+	ToolName() string
+	// Access is called for every guest memory access.
+	Access(a *Access)
+	// Acquire is called after a lock is acquired in the given mode.
+	Acquire(t ThreadID, l LockID, k LockKind, s StackID)
+	// Contended is called when a thread is about to BLOCK waiting for a
+	// lock. Lock-order tools need the attempt, not just the grant: in an
+	// actual deadlock the grant never happens.
+	Contended(t ThreadID, l LockID, s StackID)
+	// Release is called before a lock is released.
+	Release(t ThreadID, l LockID, k LockKind, s StackID)
+	// Alloc is called after a heap block is allocated.
+	Alloc(b *Block)
+	// Free is called before a heap block is freed.
+	Free(b *Block, t ThreadID, s StackID)
+	// Segment is called when a new thread segment starts.
+	Segment(ss *SegmentStart)
+	// Sync is called for raw higher-level synchronisation operations.
+	Sync(ev *SyncEvent)
+	// Request is called for client requests.
+	Request(r *Request)
+	// ThreadStart is called when a guest thread starts (parent 0 for main).
+	ThreadStart(t, parent ThreadID)
+	// ThreadExit is called when a guest thread finishes.
+	ThreadExit(t ThreadID)
+}
+
+// BaseSink is a no-op Sink intended for embedding, so tools implement only
+// the callbacks they need.
+type BaseSink struct{}
+
+// ToolName implements Sink.
+func (BaseSink) ToolName() string { return "base" }
+
+// Access implements Sink.
+func (BaseSink) Access(*Access) {}
+
+// Acquire implements Sink.
+func (BaseSink) Acquire(ThreadID, LockID, LockKind, StackID) {}
+
+// Contended implements Sink.
+func (BaseSink) Contended(ThreadID, LockID, StackID) {}
+
+// Release implements Sink.
+func (BaseSink) Release(ThreadID, LockID, LockKind, StackID) {}
+
+// Alloc implements Sink.
+func (BaseSink) Alloc(*Block) {}
+
+// Free implements Sink.
+func (BaseSink) Free(*Block, ThreadID, StackID) {}
+
+// Segment implements Sink.
+func (BaseSink) Segment(*SegmentStart) {}
+
+// Sync implements Sink.
+func (BaseSink) Sync(*SyncEvent) {}
+
+// Request implements Sink.
+func (BaseSink) Request(*Request) {}
+
+// ThreadStart implements Sink.
+func (BaseSink) ThreadStart(t, parent ThreadID) {}
+
+// ThreadExit implements Sink.
+func (BaseSink) ThreadExit(ThreadID) {}
+
+var _ Sink = BaseSink{}
+
+// Frame is one guest call-stack frame. Guest code records frames explicitly
+// (the VM has no real program counter); File/Line identify the simulated
+// source location, mirroring the debug info Helgrind prints.
+type Frame struct {
+	Fn   string
+	File string
+	Line int
+}
+
+// Resolver resolves interned IDs back to human-readable data at reporting
+// time. The VM implements it.
+type Resolver interface {
+	// Stack returns the frames for an interned stack, innermost first.
+	Stack(id StackID) []Frame
+	// BlockInfo returns the allocation descriptor for a block ID, or nil.
+	BlockInfo(id BlockID) *Block
+}

@@ -1,0 +1,207 @@
+package trace
+
+import "fmt"
+
+// Validator is a Sink that checks well-formedness invariants of the event
+// stream the VM promises to its tools:
+//
+//   - locks are released only by a holder, and in a mode they were taken in;
+//   - accesses and sync operations mention only started, unfinished threads;
+//   - a thread's segments are announced before events reference them;
+//   - blocks are allocated before they are accessed and freed at most once
+//     (double frees are delivered, flagged as DoubleFrees, not errors —
+//     memcheck depends on seeing them);
+//   - segment IDs strictly increase.
+//
+// Tests attach a Validator next to real tools; any violation is recorded and
+// reported through Err.
+type Validator struct {
+	BaseSink
+	errs        []string
+	started     map[ThreadID]bool
+	exited      map[ThreadID]bool
+	held        map[ThreadID]map[LockID]LockKind
+	blocks      map[BlockID]uint32 // size
+	freed       map[BlockID]bool
+	segOwner    map[SegmentID]ThreadID
+	curSeg      map[ThreadID]SegmentID
+	lastSeg     SegmentID
+	DoubleFrees int
+	Events      int64
+}
+
+// NewValidator creates an empty validator.
+func NewValidator() *Validator {
+	return &Validator{
+		started:  map[ThreadID]bool{},
+		exited:   map[ThreadID]bool{},
+		held:     map[ThreadID]map[LockID]LockKind{},
+		blocks:   map[BlockID]uint32{},
+		freed:    map[BlockID]bool{},
+		segOwner: map[SegmentID]ThreadID{},
+		curSeg:   map[ThreadID]SegmentID{},
+	}
+}
+
+// ToolName implements Sink.
+func (v *Validator) ToolName() string { return "validator" }
+
+// Err returns an error describing all recorded violations, or nil.
+func (v *Validator) Err() error {
+	if len(v.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("trace: %d violation(s), first: %s", len(v.errs), v.errs[0])
+}
+
+// Violations returns all recorded violation messages.
+func (v *Validator) Violations() []string { return v.errs }
+
+func (v *Validator) fail(format string, args ...any) {
+	v.errs = append(v.errs, fmt.Sprintf(format, args...))
+}
+
+func (v *Validator) liveThread(t ThreadID, ctx string) {
+	if !v.started[t] {
+		v.fail("%s by unstarted thread %d", ctx, t)
+	}
+	if v.exited[t] {
+		v.fail("%s by exited thread %d", ctx, t)
+	}
+}
+
+// ThreadStart implements Sink.
+func (v *Validator) ThreadStart(t, parent ThreadID) {
+	v.Events++
+	if v.started[t] {
+		v.fail("thread %d started twice", t)
+	}
+	if parent != 0 {
+		v.liveThread(parent, "thread create")
+	}
+	v.started[t] = true
+}
+
+// ThreadExit implements Sink.
+func (v *Validator) ThreadExit(t ThreadID) {
+	v.Events++
+	v.liveThread(t, "thread exit")
+	v.exited[t] = true
+}
+
+// Segment implements Sink.
+func (v *Validator) Segment(ss *SegmentStart) {
+	v.Events++
+	if ss.Seg <= v.lastSeg {
+		v.fail("segment %d not greater than previous %d", ss.Seg, v.lastSeg)
+	}
+	v.lastSeg = ss.Seg
+	for _, e := range ss.In {
+		if _, ok := v.segOwner[e.From]; !ok {
+			v.fail("segment %d references unknown predecessor %d", ss.Seg, e.From)
+		}
+	}
+	v.segOwner[ss.Seg] = ss.Thread
+	v.curSeg[ss.Thread] = ss.Seg
+}
+
+// Acquire implements Sink.
+func (v *Validator) Acquire(t ThreadID, l LockID, k LockKind, _ StackID) {
+	v.Events++
+	v.liveThread(t, "lock acquire")
+	m := v.held[t]
+	if m == nil {
+		m = map[LockID]LockKind{}
+		v.held[t] = m
+	}
+	if _, dup := m[l]; dup {
+		v.fail("thread %d acquired lock %d twice", t, l)
+	}
+	m[l] = k
+}
+
+// Release implements Sink.
+func (v *Validator) Release(t ThreadID, l LockID, k LockKind, _ StackID) {
+	v.Events++
+	v.liveThread(t, "lock release")
+	m := v.held[t]
+	got, ok := m[l]
+	if !ok {
+		v.fail("thread %d released lock %d it does not hold", t, l)
+		return
+	}
+	if got != k {
+		v.fail("thread %d released lock %d in mode %v, held in %v", t, l, k, got)
+	}
+	delete(m, l)
+}
+
+// Contended implements Sink.
+func (v *Validator) Contended(t ThreadID, l LockID, _ StackID) {
+	v.Events++
+	v.liveThread(t, "lock contention")
+	if _, dup := v.held[t][l]; dup {
+		v.fail("thread %d contends on lock %d it already holds", t, l)
+	}
+}
+
+// Alloc implements Sink.
+func (v *Validator) Alloc(b *Block) {
+	v.Events++
+	if _, dup := v.blocks[b.ID]; dup {
+		v.fail("block %d allocated twice", b.ID)
+	}
+	if b.Size == 0 {
+		v.fail("block %d has zero size", b.ID)
+	}
+	v.blocks[b.ID] = b.Size
+}
+
+// Free implements Sink.
+func (v *Validator) Free(b *Block, t ThreadID, _ StackID) {
+	v.Events++
+	v.liveThread(t, "free")
+	if _, ok := v.blocks[b.ID]; !ok {
+		v.fail("free of unknown block %d", b.ID)
+		return
+	}
+	if v.freed[b.ID] {
+		v.DoubleFrees++
+		return
+	}
+	v.freed[b.ID] = true
+}
+
+// Access implements Sink.
+func (v *Validator) Access(a *Access) {
+	v.Events++
+	v.liveThread(a.Thread, "access")
+	size, ok := v.blocks[a.Block]
+	if !ok {
+		v.fail("access to unknown block %d", a.Block)
+		return
+	}
+	if a.Off+a.Size > size {
+		v.fail("access beyond block %d: off=%d size=%d blocksize=%d", a.Block, a.Off, a.Size, size)
+	}
+	if cur, ok := v.curSeg[a.Thread]; !ok || cur != a.Seg {
+		v.fail("access by thread %d carries segment %d, current is %d", a.Thread, a.Seg, cur)
+	}
+}
+
+// Sync implements Sink.
+func (v *Validator) Sync(ev *SyncEvent) {
+	v.Events++
+	v.liveThread(ev.Thread, "sync op")
+}
+
+// Request implements Sink.
+func (v *Validator) Request(r *Request) {
+	v.Events++
+	v.liveThread(r.Thread, "client request")
+	if _, ok := v.blocks[r.Block]; !ok {
+		v.fail("client request for unknown block %d", r.Block)
+	}
+}
+
+var _ Sink = (*Validator)(nil)

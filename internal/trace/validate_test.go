@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidatorCleanStream(t *testing.T) {
+	v := NewValidator()
+	v.ThreadStart(1, 0)
+	v.Segment(&SegmentStart{Seg: 1, Thread: 1})
+	v.Alloc(&Block{ID: 1, Size: 16})
+	v.Acquire(1, 5, Mutex, 0)
+	v.Access(&Access{Thread: 1, Seg: 1, Block: 1, Off: 0, Size: 4})
+	v.Release(1, 5, Mutex, 0)
+	v.Free(&Block{ID: 1, Size: 16}, 1, 0)
+	v.ThreadExit(1)
+	if err := v.Err(); err != nil {
+		t.Errorf("clean stream flagged: %v", err)
+	}
+	if v.Events != 8 {
+		t.Errorf("events = %d, want 8", v.Events)
+	}
+}
+
+func TestValidatorCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		feed func(v *Validator)
+		want string
+	}{
+		{"unstarted thread", func(v *Validator) {
+			v.Access(&Access{Thread: 3, Block: 1, Size: 4})
+		}, "unstarted"},
+		{"double start", func(v *Validator) {
+			v.ThreadStart(1, 0)
+			v.ThreadStart(1, 0)
+		}, "started twice"},
+		{"release without hold", func(v *Validator) {
+			v.ThreadStart(1, 0)
+			v.Release(1, 9, Mutex, 0)
+		}, "does not hold"},
+		{"release wrong mode", func(v *Validator) {
+			v.ThreadStart(1, 0)
+			v.Acquire(1, 9, RLock, 0)
+			v.Release(1, 9, WLock, 0)
+		}, "mode"},
+		{"double acquire", func(v *Validator) {
+			v.ThreadStart(1, 0)
+			v.Acquire(1, 9, Mutex, 0)
+			v.Acquire(1, 9, Mutex, 0)
+		}, "twice"},
+		{"unknown block access", func(v *Validator) {
+			v.ThreadStart(1, 0)
+			v.Segment(&SegmentStart{Seg: 1, Thread: 1})
+			v.Access(&Access{Thread: 1, Seg: 1, Block: 7, Size: 4})
+		}, "unknown block"},
+		{"out of range access", func(v *Validator) {
+			v.ThreadStart(1, 0)
+			v.Segment(&SegmentStart{Seg: 1, Thread: 1})
+			v.Alloc(&Block{ID: 1, Size: 8})
+			v.Access(&Access{Thread: 1, Seg: 1, Block: 1, Off: 8, Size: 4})
+		}, "beyond block"},
+		{"segment regression", func(v *Validator) {
+			v.ThreadStart(1, 0)
+			v.Segment(&SegmentStart{Seg: 5, Thread: 1})
+			v.Segment(&SegmentStart{Seg: 4, Thread: 1})
+		}, "not greater"},
+		{"unknown predecessor", func(v *Validator) {
+			v.ThreadStart(1, 0)
+			v.Segment(&SegmentStart{Seg: 1, Thread: 1, In: []SegmentEdge{{From: 99, Kind: Join}}})
+		}, "unknown predecessor"},
+		{"stale segment on access", func(v *Validator) {
+			v.ThreadStart(1, 0)
+			v.Segment(&SegmentStart{Seg: 1, Thread: 1})
+			v.Segment(&SegmentStart{Seg: 2, Thread: 1, In: []SegmentEdge{{From: 1, Kind: Program}}})
+			v.Alloc(&Block{ID: 1, Size: 8})
+			v.Access(&Access{Thread: 1, Seg: 1, Block: 1, Size: 4})
+		}, "carries segment"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := NewValidator()
+			c.feed(v)
+			err := v.Err()
+			if err == nil {
+				t.Fatalf("violation not caught")
+			}
+			all := strings.Join(v.Violations(), "; ")
+			if !strings.Contains(all, c.want) {
+				t.Errorf("violations %q do not mention %q", all, c.want)
+			}
+		})
+	}
+}
+
+func TestValidatorDoubleFreeCounted(t *testing.T) {
+	v := NewValidator()
+	v.ThreadStart(1, 0)
+	v.Alloc(&Block{ID: 1, Size: 8})
+	v.Free(&Block{ID: 1, Size: 8}, 1, 0)
+	v.Free(&Block{ID: 1, Size: 8}, 1, 0)
+	if err := v.Err(); err != nil {
+		t.Errorf("double free must not be a stream violation (memcheck's business): %v", err)
+	}
+	if v.DoubleFrees != 1 {
+		t.Errorf("DoubleFrees = %d, want 1", v.DoubleFrees)
+	}
+}

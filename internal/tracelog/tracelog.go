@@ -1,0 +1,352 @@
+// Package tracelog implements offline (post-mortem) analysis, the
+// alternative execution mode discussed in §2.2 and §4.5 of the paper:
+// "Principally, on-the-fly checkers can work post mortem and hence reduce
+// the performance impact due to the online calculations. But they still
+// need logging of the execution trace. Hence, offline techniques suffer
+// from their need for large amount of data."
+//
+// A Recorder is a trace.Sink that serialises the full event stream into a
+// compact binary log; Replay feeds a recorded log back into any set of
+// tools, producing bit-identical analysis results. The trade-off the paper
+// describes is directly measurable: recording is cheaper per event than
+// lock-set analysis, but the log grows linearly with the execution trace
+// (Recorder.Bytes).
+package tracelog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Event opcodes in the binary log.
+const (
+	opAccess byte = iota + 1
+	opAcquire
+	opRelease
+	opContended
+	opAlloc
+	opFree
+	opSegment
+	opSync
+	opRequest
+	opThreadStart
+	opThreadExit
+)
+
+// Recorder serialises the event stream. It implements trace.Sink.
+type Recorder struct {
+	w      *bufio.Writer
+	events int64
+	bytes  int64
+	err    error
+	buf    []byte
+}
+
+// NewRecorder creates a recorder writing the binary log to w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: bufio.NewWriter(w), buf: make([]byte, 0, 64)}
+}
+
+// ToolName implements trace.Sink.
+func (r *Recorder) ToolName() string { return "tracelog" }
+
+// Events returns the number of events recorded.
+func (r *Recorder) Events() int64 { return r.events }
+
+// Bytes returns the number of payload bytes emitted so far (excluding
+// anything still buffered).
+func (r *Recorder) Bytes() int64 { return r.bytes }
+
+// Err returns the first write error, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Flush drains the internal buffer to the underlying writer.
+func (r *Recorder) Flush() error {
+	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+func (r *Recorder) emit(op byte, fields ...uint64) {
+	if r.err != nil {
+		return
+	}
+	r.buf = r.buf[:0]
+	r.buf = append(r.buf, op)
+	for _, f := range fields {
+		r.buf = binary.AppendUvarint(r.buf, f)
+	}
+	n, err := r.w.Write(r.buf)
+	r.bytes += int64(n)
+	r.events++
+	if err != nil {
+		r.err = err
+	}
+}
+
+// emitString writes a length-prefixed string.
+func (r *Recorder) emitString(s string) {
+	if r.err != nil {
+		return
+	}
+	r.buf = binary.AppendUvarint(r.buf[:0], uint64(len(s)))
+	if _, err := r.w.Write(r.buf); err != nil {
+		r.err = err
+		return
+	}
+	n, err := r.w.WriteString(s)
+	r.bytes += int64(n) + 1
+	if err != nil {
+		r.err = err
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Access implements trace.Sink.
+func (r *Recorder) Access(a *trace.Access) {
+	r.emit(opAccess, uint64(a.Thread), uint64(a.Seg), uint64(a.Block), uint64(a.Addr),
+		uint64(a.Off), uint64(a.Size), uint64(a.Kind), b2u(a.Atomic), uint64(a.Stack))
+}
+
+// Acquire implements trace.Sink.
+func (r *Recorder) Acquire(t trace.ThreadID, l trace.LockID, k trace.LockKind, s trace.StackID) {
+	r.emit(opAcquire, uint64(t), uint64(l), uint64(k), uint64(s))
+}
+
+// Release implements trace.Sink.
+func (r *Recorder) Release(t trace.ThreadID, l trace.LockID, k trace.LockKind, s trace.StackID) {
+	r.emit(opRelease, uint64(t), uint64(l), uint64(k), uint64(s))
+}
+
+// Contended implements trace.Sink.
+func (r *Recorder) Contended(t trace.ThreadID, l trace.LockID, s trace.StackID) {
+	r.emit(opContended, uint64(t), uint64(l), uint64(s))
+}
+
+// Alloc implements trace.Sink.
+func (r *Recorder) Alloc(b *trace.Block) {
+	r.emit(opAlloc, uint64(b.ID), uint64(b.Base), uint64(b.Size), uint64(b.Thread), uint64(b.Stack))
+	r.emitString(b.Tag)
+}
+
+// Free implements trace.Sink.
+func (r *Recorder) Free(b *trace.Block, t trace.ThreadID, s trace.StackID) {
+	r.emit(opFree, uint64(b.ID), uint64(t), uint64(s))
+}
+
+// Segment implements trace.Sink.
+func (r *Recorder) Segment(ss *trace.SegmentStart) {
+	fields := []uint64{uint64(ss.Seg), uint64(ss.Thread), uint64(len(ss.In))}
+	for _, e := range ss.In {
+		fields = append(fields, uint64(e.From), uint64(e.Kind))
+	}
+	r.emit(opSegment, fields...)
+}
+
+// Sync implements trace.Sink.
+func (r *Recorder) Sync(ev *trace.SyncEvent) {
+	r.emit(opSync, uint64(ev.Op), uint64(ev.Obj), uint64(ev.Thread), uint64(ev.Msg), uint64(ev.Stack))
+}
+
+// Request implements trace.Sink.
+func (r *Recorder) Request(req *trace.Request) {
+	r.emit(opRequest, uint64(req.Kind), uint64(req.Thread), uint64(req.Block),
+		uint64(req.Off), uint64(req.Size), uint64(req.Stack))
+}
+
+// ThreadStart implements trace.Sink.
+func (r *Recorder) ThreadStart(t, parent trace.ThreadID) {
+	r.emit(opThreadStart, uint64(t), uint64(parent))
+}
+
+// ThreadExit implements trace.Sink.
+func (r *Recorder) ThreadExit(t trace.ThreadID) {
+	r.emit(opThreadExit, uint64(t))
+}
+
+var _ trace.Sink = (*Recorder)(nil)
+
+// Replay reads a binary log and delivers every event to the given sinks, in
+// order. Blocks are reconstructed so that Free events carry the matching
+// descriptor. It returns the number of events replayed.
+func Replay(rd io.Reader, sinks ...trace.Sink) (int64, error) {
+	br := bufio.NewReader(rd)
+	blocks := map[trace.BlockID]*trace.Block{}
+	var events int64
+	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	for {
+		op, err := br.ReadByte()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, err
+		}
+		events++
+		switch op {
+		case opAccess:
+			f, err := readN(readU, 9)
+			if err != nil {
+				return events, err
+			}
+			a := trace.Access{
+				Thread: trace.ThreadID(f[0]), Seg: trace.SegmentID(f[1]),
+				Block: trace.BlockID(f[2]), Addr: trace.Addr(f[3]),
+				Off: uint32(f[4]), Size: uint32(f[5]),
+				Kind: trace.AccessKind(f[6]), Atomic: f[7] != 0,
+				Stack: trace.StackID(f[8]),
+			}
+			for _, s := range sinks {
+				s.Access(&a)
+			}
+		case opAcquire, opRelease:
+			f, err := readN(readU, 4)
+			if err != nil {
+				return events, err
+			}
+			for _, s := range sinks {
+				if op == opAcquire {
+					s.Acquire(trace.ThreadID(f[0]), trace.LockID(f[1]), trace.LockKind(f[2]), trace.StackID(f[3]))
+				} else {
+					s.Release(trace.ThreadID(f[0]), trace.LockID(f[1]), trace.LockKind(f[2]), trace.StackID(f[3]))
+				}
+			}
+		case opContended:
+			f, err := readN(readU, 3)
+			if err != nil {
+				return events, err
+			}
+			for _, s := range sinks {
+				s.Contended(trace.ThreadID(f[0]), trace.LockID(f[1]), trace.StackID(f[2]))
+			}
+		case opAlloc:
+			f, err := readN(readU, 5)
+			if err != nil {
+				return events, err
+			}
+			tag, err := readString(br)
+			if err != nil {
+				return events, err
+			}
+			blk := &trace.Block{
+				ID: trace.BlockID(f[0]), Base: trace.Addr(f[1]), Size: uint32(f[2]),
+				Thread: trace.ThreadID(f[3]), Stack: trace.StackID(f[4]), Tag: tag,
+			}
+			blocks[blk.ID] = blk
+			for _, s := range sinks {
+				s.Alloc(blk)
+			}
+		case opFree:
+			f, err := readN(readU, 3)
+			if err != nil {
+				return events, err
+			}
+			blk := blocks[trace.BlockID(f[0])]
+			if blk == nil {
+				blk = &trace.Block{ID: trace.BlockID(f[0])}
+			}
+			for _, s := range sinks {
+				s.Free(blk, trace.ThreadID(f[1]), trace.StackID(f[2]))
+			}
+			if blk != nil {
+				blk.Freed = true
+			}
+		case opSegment:
+			f, err := readN(readU, 3)
+			if err != nil {
+				return events, err
+			}
+			n := int(f[2])
+			edges := make([]trace.SegmentEdge, 0, n)
+			for i := 0; i < n; i++ {
+				ef, err := readN(readU, 2)
+				if err != nil {
+					return events, err
+				}
+				edges = append(edges, trace.SegmentEdge{From: trace.SegmentID(ef[0]), Kind: trace.EdgeKind(ef[1])})
+			}
+			ss := trace.SegmentStart{Seg: trace.SegmentID(f[0]), Thread: trace.ThreadID(f[1]), In: edges}
+			for _, s := range sinks {
+				s.Segment(&ss)
+			}
+		case opSync:
+			f, err := readN(readU, 5)
+			if err != nil {
+				return events, err
+			}
+			ev := trace.SyncEvent{
+				Op: trace.SyncOp(f[0]), Obj: trace.SyncID(f[1]),
+				Thread: trace.ThreadID(f[2]), Msg: int64(f[3]), Stack: trace.StackID(f[4]),
+			}
+			for _, s := range sinks {
+				s.Sync(&ev)
+			}
+		case opRequest:
+			f, err := readN(readU, 6)
+			if err != nil {
+				return events, err
+			}
+			req := trace.Request{
+				Kind: trace.RequestKind(f[0]), Thread: trace.ThreadID(f[1]),
+				Block: trace.BlockID(f[2]), Off: uint32(f[3]), Size: uint32(f[4]),
+				Stack: trace.StackID(f[5]),
+			}
+			for _, s := range sinks {
+				s.Request(&req)
+			}
+		case opThreadStart:
+			f, err := readN(readU, 2)
+			if err != nil {
+				return events, err
+			}
+			for _, s := range sinks {
+				s.ThreadStart(trace.ThreadID(f[0]), trace.ThreadID(f[1]))
+			}
+		case opThreadExit:
+			f, err := readN(readU, 1)
+			if err != nil {
+				return events, err
+			}
+			for _, s := range sinks {
+				s.ThreadExit(trace.ThreadID(f[0]))
+			}
+		default:
+			return events, fmt.Errorf("tracelog: unknown opcode %d", op)
+		}
+	}
+}
+
+func readN(read func() (uint64, error), n int) ([]uint64, error) {
+	out := make([]uint64, n)
+	for i := range out {
+		v, err := read()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,97 @@
+// Package vclock implements vector clocks (Lamport [7] / DJIT [6]) used by
+// the thread-segment graph and the happens-before detectors.
+package vclock
+
+// VC is a vector clock: one logical clock per thread, indexed by ThreadID.
+// Index 0 is unused (thread IDs start at 1). The zero value is the bottom
+// clock.
+type VC []uint32
+
+// New returns a clock with capacity for n threads.
+func New(n int) VC { return make(VC, n+1) }
+
+// Get returns the component for thread t (0 if out of range).
+func (v VC) Get(t int) uint32 {
+	if t < len(v) {
+		return v[t]
+	}
+	return 0
+}
+
+// Set sets the component for thread t, growing the clock if needed, and
+// returns the possibly-reallocated clock.
+func (v VC) Set(t int, c uint32) VC {
+	v = v.grow(t)
+	v[t] = c
+	return v
+}
+
+// Tick increments the component for thread t and returns the clock.
+func (v VC) Tick(t int) VC {
+	v = v.grow(t)
+	v[t]++
+	return v
+}
+
+func (v VC) grow(t int) VC {
+	if t < len(v) {
+		return v
+	}
+	nv := make(VC, t+1)
+	copy(nv, v)
+	return nv
+}
+
+// Join merges other into v (componentwise max) and returns the clock.
+func (v VC) Join(other VC) VC {
+	if len(other) > len(v) {
+		v = v.grow(len(other) - 1)
+	}
+	for i, c := range other {
+		if c > v[i] {
+			v[i] = c
+		}
+	}
+	return v
+}
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	nv := make(VC, len(v))
+	copy(nv, v)
+	return nv
+}
+
+// LEQ reports whether v happens-before-or-equals other (componentwise <=).
+func (v VC) LEQ(other VC) bool {
+	for i, c := range v {
+		if c == 0 {
+			continue
+		}
+		if i >= len(other) || c > other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither clock is ordered before the other.
+func (v VC) Concurrent(other VC) bool {
+	return !v.LEQ(other) && !other.LEQ(v)
+}
+
+// Epoch is a compact (thread, clock) pair identifying a single event, in the
+// style of FastTrack. It represents the event at which thread T's clock was C.
+type Epoch struct {
+	T int32
+	C uint32
+}
+
+// Zero reports whether the epoch is unset.
+func (e Epoch) Zero() bool { return e.T == 0 && e.C == 0 }
+
+// HappensBefore reports whether the epoch's event happens-before the state
+// described by the clock (i.e. the clock has seen the event).
+func (e Epoch) HappensBefore(v VC) bool {
+	return e.C <= v.Get(int(e.T))
+}

@@ -1,0 +1,294 @@
+// Package vectorclock implements a DJIT-style happens-before race detector
+// [6] — the comparison baseline discussed in §2.2 of the paper.
+//
+// Each thread carries a vector clock; lock releases/acquires, thread
+// create/join, queue put/get, condition signal/wait and semaphore post/wait
+// transfer clocks. A race is two conflicting accesses (same location, at
+// least one write) that are unordered by the resulting happens-before
+// relation. Unlike the lock-set algorithm, DJIT reports only *apparent*
+// races on the observed execution: it misses lock-discipline violations that
+// happened to be ordered by the schedule (the paper's point that DJIT
+// "detects data races on a subset of shared locations that are reported by
+// the lock-set approach").
+//
+// As the paper notes for [12], treating condition signal->wait as
+// happens-before is not sound in general; the Cond edge can be disabled via
+// Config.Edges to study that difference.
+package vectorclock
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Config parameterises the detector.
+type Config struct {
+	// Tool is the report name; defaults to "djit".
+	Tool string
+	// Edges selects which synchronisation edges establish happens-before.
+	// Defaults to trace.MaskFull. Program/Create/Join are always honoured.
+	Edges trace.EdgeMask
+	// LockEdges enables release->acquire edges on mutexes and rwlocks
+	// (standard DJIT behaviour). Defaults to true via NewDetector.
+	LockEdges bool
+	// Granule is the shadow granularity in bytes (default 4).
+	Granule int
+	// FirstRaceOnly mirrors DJIT's "detects only the first apparent data
+	// race" per location.
+	FirstRaceOnly bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tool == "" {
+		c.Tool = "djit"
+	}
+	if c.Edges == 0 {
+		c.Edges = trace.MaskFull
+	}
+	if c.Granule <= 0 {
+		c.Granule = 4
+	}
+	return c
+}
+
+// DefaultConfig returns the standard DJIT configuration.
+func DefaultConfig() Config {
+	return Config{LockEdges: true, FirstRaceOnly: true}.withDefaults()
+}
+
+// access records one side of a potential conflict.
+type access struct {
+	epoch vclock.Epoch
+	stack trace.StackID
+}
+
+// shadowCell is the per-granule shadow: the last write epoch and, per
+// thread, the last read epoch (compacted: a full VC plus one stack).
+type shadowCell struct {
+	lastWrite access
+	reads     vclock.VC
+	lastRead  access
+	reported  bool
+}
+
+// Detector is the vector-clock race detector tool.
+type Detector struct {
+	trace.BaseSink
+	cfg     Config
+	col     *report.Collector
+	threads map[trace.ThreadID]vclock.VC
+	locks   map[trace.LockID]vclock.VC
+	syncs   map[trace.SyncID]vclock.VC
+	msgs    map[int64]vclock.VC
+	segVC   map[trace.SegmentID]vclock.VC // clocks captured at segment starts
+	shadow  map[trace.BlockID][]shadowCell
+	freed   map[trace.BlockID]bool
+	races   int
+}
+
+// New creates a DJIT detector writing to col.
+func New(cfg Config, col *report.Collector) *Detector {
+	cfg = cfg.withDefaults()
+	return &Detector{
+		cfg:     cfg,
+		col:     col,
+		threads: make(map[trace.ThreadID]vclock.VC),
+		locks:   make(map[trace.LockID]vclock.VC),
+		syncs:   make(map[trace.SyncID]vclock.VC),
+		msgs:    make(map[int64]vclock.VC),
+		segVC:   make(map[trace.SegmentID]vclock.VC),
+		shadow:  make(map[trace.BlockID][]shadowCell),
+		freed:   make(map[trace.BlockID]bool),
+	}
+}
+
+// ToolName implements trace.Sink.
+func (d *Detector) ToolName() string { return d.cfg.Tool }
+
+// DynamicRaces returns the dynamic (pre-dedup) race count.
+func (d *Detector) DynamicRaces() int { return d.races }
+
+func (d *Detector) vc(t trace.ThreadID) vclock.VC {
+	v, ok := d.threads[t]
+	if !ok {
+		v = vclock.New(int(t)).Tick(int(t))
+		d.threads[t] = v
+	}
+	return v
+}
+
+// ThreadStart implements trace.Sink: the child inherits the parent's clock
+// (create edge); both tick.
+func (d *Detector) ThreadStart(t, parent trace.ThreadID) {
+	child := d.vc(t)
+	if parent != 0 {
+		p := d.vc(parent)
+		child = child.Join(p)
+		d.threads[parent] = p.Tick(int(parent))
+	}
+	d.threads[t] = child.Tick(int(t))
+}
+
+// Segment implements trace.Sink. Join and (optionally) queue/cond/sem edges
+// are delivered as segment edges; DJIT folds them into the thread clock.
+func (d *Detector) Segment(ss *trace.SegmentStart) {
+	me := d.vc(ss.Thread)
+	for _, e := range ss.In {
+		switch e.Kind {
+		case trace.Program, trace.Create:
+			// Program order is implicit; Create handled in ThreadStart.
+		case trace.Join:
+			if src, ok := d.segVC[e.From]; ok {
+				me = me.Join(src)
+			}
+		case trace.Queue, trace.Cond, trace.Sem:
+			if !d.cfg.Edges.Has(e.Kind) {
+				continue
+			}
+			if src, ok := d.segVC[e.From]; ok {
+				me = me.Join(src)
+			}
+		}
+	}
+	me = me.Tick(int(ss.Thread))
+	d.threads[ss.Thread] = me
+	d.segVC[ss.Seg] = me.Clone()
+}
+
+// ThreadExit implements trace.Sink: capture the final clock so joins can
+// synchronise with it (the last segment VC is already recorded).
+func (d *Detector) ThreadExit(t trace.ThreadID) {}
+
+// Acquire implements trace.Sink: acquire joins the lock's clock into the
+// thread (release->acquire edge).
+func (d *Detector) Acquire(t trace.ThreadID, l trace.LockID, k trace.LockKind, _ trace.StackID) {
+	if !d.cfg.LockEdges {
+		return
+	}
+	if lv, ok := d.locks[l]; ok {
+		d.threads[t] = d.vc(t).Join(lv)
+	}
+}
+
+// Release implements trace.Sink: the lock's clock becomes the releaser's;
+// the releaser ticks.
+func (d *Detector) Release(t trace.ThreadID, l trace.LockID, k trace.LockKind, _ trace.StackID) {
+	if !d.cfg.LockEdges {
+		return
+	}
+	me := d.vc(t)
+	d.locks[l] = me.Clone()
+	d.threads[t] = me.Tick(int(t))
+}
+
+// Sync implements trace.Sink: message-precise queue edges (put VC joined at
+// the matching get).
+func (d *Detector) Sync(ev *trace.SyncEvent) {
+	switch ev.Op {
+	case trace.QueuePut:
+		if d.cfg.Edges.Has(trace.Queue) {
+			d.msgs[ev.Msg] = d.vc(ev.Thread).Clone()
+		}
+	case trace.QueueGet:
+		if d.cfg.Edges.Has(trace.Queue) {
+			if mv, ok := d.msgs[ev.Msg]; ok {
+				d.threads[ev.Thread] = d.vc(ev.Thread).Join(mv)
+				delete(d.msgs, ev.Msg)
+			}
+		}
+	case trace.CondSignal, trace.CondBroadcast:
+		if d.cfg.Edges.Has(trace.Cond) {
+			me := d.vc(ev.Thread)
+			cv := d.syncs[ev.Obj]
+			d.syncs[ev.Obj] = cv.Join(me)
+			d.threads[ev.Thread] = me.Tick(int(ev.Thread))
+		}
+	case trace.CondWaitDone:
+		if d.cfg.Edges.Has(trace.Cond) {
+			if cv, ok := d.syncs[ev.Obj]; ok {
+				d.threads[ev.Thread] = d.vc(ev.Thread).Join(cv)
+			}
+		}
+	case trace.SemPost:
+		if d.cfg.Edges.Has(trace.Sem) {
+			me := d.vc(ev.Thread)
+			sv := d.syncs[ev.Obj]
+			d.syncs[ev.Obj] = sv.Join(me)
+			d.threads[ev.Thread] = me.Tick(int(ev.Thread))
+		}
+	case trace.SemWaitDone:
+		if d.cfg.Edges.Has(trace.Sem) {
+			if sv, ok := d.syncs[ev.Obj]; ok {
+				d.threads[ev.Thread] = d.vc(ev.Thread).Join(sv)
+			}
+		}
+	}
+}
+
+// Alloc implements trace.Sink.
+func (d *Detector) Alloc(b *trace.Block) {
+	n := (int(b.Size) + d.cfg.Granule - 1) / d.cfg.Granule
+	d.shadow[b.ID] = make([]shadowCell, n)
+}
+
+// Free implements trace.Sink.
+func (d *Detector) Free(b *trace.Block, _ trace.ThreadID, _ trace.StackID) {
+	d.freed[b.ID] = true
+}
+
+// Access implements trace.Sink: the happens-before check.
+func (d *Detector) Access(a *trace.Access) {
+	sh, ok := d.shadow[a.Block]
+	if !ok || d.freed[a.Block] {
+		return
+	}
+	me := d.vc(a.Thread)
+	epoch := vclock.Epoch{T: int32(a.Thread), C: me.Get(int(a.Thread))}
+	lo := int(a.Off) / d.cfg.Granule
+	hi := int(a.Off+a.Size-1) / d.cfg.Granule
+	for gi := lo; gi <= hi && gi < len(sh); gi++ {
+		c := &sh[gi]
+		if a.Kind == trace.Read {
+			if !c.lastWrite.epoch.Zero() && !c.lastWrite.epoch.HappensBefore(me) {
+				d.report(c, a, c.lastWrite.stack)
+			}
+			c.reads = c.reads.Set(int(a.Thread), epoch.C)
+			c.lastRead = access{epoch: epoch, stack: a.Stack}
+			continue
+		}
+		// Write: must be ordered after the last write and after all reads.
+		if !c.lastWrite.epoch.Zero() && !c.lastWrite.epoch.HappensBefore(me) {
+			d.report(c, a, c.lastWrite.stack)
+		} else if !c.reads.LEQ(me) {
+			d.report(c, a, c.lastRead.stack)
+		}
+		c.lastWrite = access{epoch: epoch, stack: a.Stack}
+		c.reads = nil
+	}
+}
+
+func (d *Detector) report(c *shadowCell, a *trace.Access, prevStack trace.StackID) {
+	d.races++
+	if d.cfg.FirstRaceOnly && c.reported {
+		return
+	}
+	c.reported = true
+	d.col.Add(report.Warning{
+		Tool:      d.cfg.Tool,
+		Kind:      report.KindRace,
+		Thread:    a.Thread,
+		Addr:      a.Addr,
+		Block:     a.Block,
+		Off:       a.Off,
+		Size:      a.Size,
+		Access:    a.Kind,
+		Stack:     a.Stack,
+		PrevStack: prevStack,
+		State:     fmt.Sprintf("unordered with previous access by vector-clock"),
+	})
+}
+
+var _ trace.Sink = (*Detector)(nil)

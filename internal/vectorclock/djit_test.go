@@ -1,0 +1,211 @@
+package vectorclock
+
+import (
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+func run(t *testing.T, seed int64, cfg Config, body func(*vm.Thread, *vm.VM)) *report.Collector {
+	t.Helper()
+	v := vm.New(vm.Options{Seed: seed})
+	col := report.NewCollector(v, nil)
+	v.AddTool(New(cfg, col))
+	if err := v.Run(func(th *vm.Thread) { body(th, v) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return col
+}
+
+func TestNoRaceSequential(t *testing.T) {
+	col := run(t, 1, DefaultConfig(), func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(8, "x")
+		b.Store32(main, 0, 1)
+		w := main.Go("w", func(th *vm.Thread) { b.Store32(th, 0, 2) })
+		main.Join(w)
+		b.Store32(main, 0, 3)
+	})
+	if col.Locations() != 0 {
+		t.Errorf("create/join ordered writes reported:\n%s", col.Format())
+	}
+}
+
+func TestDetectsConcurrentWrites(t *testing.T) {
+	// Two unsynchronised writers: at least one schedule interleaves them
+	// discontiguously; DJIT must flag the pair as unordered regardless of
+	// order because no sync event links the threads.
+	col := run(t, 1, DefaultConfig(), func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(4, "x")
+		a := main.Go("a", func(th *vm.Thread) { b.Store32(th, 0, 1) })
+		c := main.Go("b", func(th *vm.Thread) { b.Store32(th, 0, 2) })
+		main.Join(a)
+		main.Join(c)
+	})
+	if col.Locations() == 0 {
+		t.Error("concurrent unsynchronised writes not reported")
+	}
+}
+
+func TestLockEdgesOrderAccesses(t *testing.T) {
+	// Proper locking creates release->acquire edges: no report even though
+	// no create/join orders the accesses.
+	col := run(t, 1, DefaultConfig(), func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(4, "x")
+		m := v.NewMutex("m")
+		w := func(th *vm.Thread) {
+			for i := 0; i < 5; i++ {
+				m.Lock(th)
+				b.Store32(th, 0, b.Load32(th, 0)+1)
+				m.Unlock(th)
+			}
+		}
+		a := main.Go("a", w)
+		c := main.Go("b", w)
+		main.Join(a)
+		main.Join(c)
+	})
+	if col.Locations() != 0 {
+		t.Errorf("lock-ordered accesses reported:\n%s", col.Format())
+	}
+}
+
+func TestDJITMissesOrderedUnlockedPair(t *testing.T) {
+	// The paper (§2.2): DJIT "detects data races on a subset of shared
+	// locations that are reported by the lock-set approach and misses some
+	// real data races". Construct accesses that a lock release->acquire on an
+	// UNRELATED mutex happens to order: DJIT stays silent.
+	col := run(t, 1, DefaultConfig(), func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(4, "x")
+		m := v.NewMutex("unrelated")
+		sem := v.NewSemaphore("order", 0)
+		a := main.Go("first", func(th *vm.Thread) {
+			b.Store32(th, 0, 1) // unlocked write
+			m.Lock(th)
+			m.Unlock(th)
+			sem.Post(th)
+		})
+		c := main.Go("second", func(th *vm.Thread) {
+			sem.Wait(th) // strictly after 'first'
+			m.Lock(th)
+			m.Unlock(th)
+			b.Store32(th, 0, 2) // unlocked write, but ordered via sem+lock
+		})
+		main.Join(a)
+		main.Join(c)
+	})
+	if col.Locations() != 0 {
+		t.Errorf("happens-before-ordered unlocked writes should not be reported by DJIT:\n%s", col.Format())
+	}
+}
+
+func TestQueueEdgesOrderThreadPool(t *testing.T) {
+	// Fig. 11 workload: DJIT with full edges sees the put->get ordering.
+	col := run(t, 1, DefaultConfig(), func(main *vm.Thread, v *vm.VM) {
+		q := v.NewQueue("jobs", 0)
+		worker := main.Go("worker", func(th *vm.Thread) {
+			msg, ok := q.Get(th)
+			if !ok {
+				return
+			}
+			blk := msg.(*vm.Block)
+			blk.Store32(th, 0, blk.Load32(th, 0)*2)
+		})
+		b := main.Alloc(4, "job")
+		b.Store32(main, 0, 21)
+		q.Put(main, b)
+		main.Join(worker)
+	})
+	if col.Locations() != 0 {
+		t.Errorf("queue-ordered handoff reported by DJIT with full edges:\n%s", col.Format())
+	}
+}
+
+func TestQueueEdgeDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Edges = trace.MaskHelgrind // drop queue edges
+	col := run(t, 1, cfg, func(main *vm.Thread, v *vm.VM) {
+		q := v.NewQueue("jobs", 0)
+		worker := main.Go("worker", func(th *vm.Thread) {
+			msg, ok := q.Get(th)
+			if !ok {
+				return
+			}
+			blk := msg.(*vm.Block)
+			blk.Store32(th, 0, blk.Load32(th, 0)*2)
+		})
+		b := main.Alloc(4, "job")
+		b.Store32(main, 0, 21)
+		q.Put(main, b)
+		main.Join(worker)
+	})
+	if col.Locations() == 0 {
+		t.Error("without queue edges the handoff must look racy to DJIT")
+	}
+}
+
+func TestReadSharedNoFalsePositive(t *testing.T) {
+	col := run(t, 1, DefaultConfig(), func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(4, "cfg")
+		b.Store32(main, 0, 7)
+		r := func(th *vm.Thread) { b.Load32(th, 0) }
+		a := main.Go("a", r)
+		c := main.Go("b", r)
+		main.Join(a)
+		main.Join(c)
+	})
+	if col.Locations() != 0 {
+		t.Errorf("read-shared reported:\n%s", col.Format())
+	}
+}
+
+func TestWriteAfterConcurrentReadsReported(t *testing.T) {
+	col := run(t, 1, DefaultConfig(), func(main *vm.Thread, v *vm.VM) {
+		b := main.Alloc(4, "x")
+		b.Store32(main, 0, 7)
+		sem := v.NewSemaphore("hold", 0)
+		r := main.Go("reader", func(th *vm.Thread) {
+			b.Load32(th, 0)
+			sem.Wait(th) // keep thread alive so no join edge helps
+		})
+		w := main.Go("writer", func(th *vm.Thread) {
+			th.Sleep(5)
+			b.Store32(th, 0, 9) // concurrent with the read
+			sem.Post(th)
+		})
+		main.Join(r)
+		main.Join(w)
+	})
+	if col.Locations() == 0 {
+		t.Error("write concurrent with a read not reported")
+	}
+}
+
+func TestFirstRaceOnlyFoldsPerLocation(t *testing.T) {
+	v := vm.New(vm.Options{Seed: 1})
+	col := report.NewCollector(v, nil)
+	d := New(DefaultConfig(), col)
+	v.AddTool(d)
+	err := v.Run(func(main *vm.Thread) {
+		b := main.Alloc(4, "x")
+		w := func(th *vm.Thread) {
+			for i := 0; i < 10; i++ {
+				b.Store32(th, 0, 1)
+			}
+		}
+		a := main.Go("a", w)
+		c := main.Go("b", w)
+		main.Join(a)
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d.DynamicRaces() == 0 {
+		t.Fatal("expected dynamic races")
+	}
+	if col.Locations() > 2 {
+		t.Errorf("first-race-only should fold to at most one site per stack, got %d", col.Locations())
+	}
+}

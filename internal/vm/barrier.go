@@ -1,0 +1,94 @@
+package vm
+
+import "repro/internal/trace"
+
+// Barrier is a guest pthread_barrier-style rendezvous for a fixed number of
+// parties. Each wave establishes all-to-all happens-before: every arrival
+// segment gets Sem-kind edges from every pre-wait segment of the wave, so
+// detectors honouring semaphore edges order the phases while the stock
+// Helgrind mask does not — the same higher-level-synchronisation blind spot
+// as the Fig. 11 queue.
+type Barrier struct {
+	vm      *VM
+	id      trace.SyncID
+	name    string
+	parties int
+	arrived []*barrierWaiter
+}
+
+type barrierWaiter struct {
+	t        *Thread
+	preSeg   trace.SegmentID
+	released bool
+	waveSegs []trace.SegmentID
+}
+
+// NewBarrier creates a barrier for the given number of parties.
+func (vm *VM) NewBarrier(name string, parties int) *Barrier {
+	if parties <= 0 {
+		parties = 1
+	}
+	b := &Barrier{vm: vm, name: name, parties: parties, id: vm.nextSync}
+	vm.nextSync++
+	return b
+}
+
+// Parties returns the rendezvous size.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Wait blocks until all parties of the current wave have arrived. It reports
+// true for exactly one caller per wave (the "serial thread", as
+// PTHREAD_BARRIER_SERIAL_THREAD does).
+func (b *Barrier) Wait(t *Thread) bool {
+	t.vm.emitSync(t, trace.SemPost, b.id, 0)
+	pre := t.vm.splitSegment(t)
+	w := &barrierWaiter{t: t, preSeg: pre}
+	b.arrived = append(b.arrived, w)
+
+	if len(b.arrived) == b.parties {
+		// Last arrival releases the wave.
+		wave := b.arrived
+		b.arrived = nil
+		segs := make([]trace.SegmentID, len(wave))
+		for i, x := range wave {
+			segs[i] = x.preSeg
+		}
+		for _, x := range wave {
+			x.waveSegs = segs
+			x.released = true
+			if x.t != t {
+				x.t.makeRunnable()
+			}
+		}
+		b.finishWait(t, w)
+		return true
+	}
+	t.block("barrier "+b.name, func() { b.removeWaiter(w) })
+	if !w.released {
+		t.vm.guestFail(t, "barrier %q wakeup without release", b.name)
+	}
+	b.finishWait(t, w)
+	return false
+}
+
+// finishWait emits the post-wave segment with edges from every arrival.
+func (b *Barrier) finishWait(t *Thread, w *barrierWaiter) {
+	t.vm.emitSync(t, trace.SemWaitDone, b.id, 0)
+	extra := make([]trace.SegmentEdge, 0, len(w.waveSegs))
+	for _, s := range w.waveSegs {
+		if s != w.preSeg {
+			extra = append(extra, trace.SegmentEdge{From: s, Kind: trace.Sem})
+		}
+	}
+	t.vm.splitSegment(t, extra...)
+	t.vm.step(t)
+}
+
+func (b *Barrier) removeWaiter(w *barrierWaiter) {
+	for i, x := range b.arrived {
+		if x == w {
+			b.arrived = append(b.arrived[:i], b.arrived[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package vm
+
+import (
+	"testing"
+)
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	v := New(Options{Seed: 6})
+	m := v.NewMutex("m")
+	c := v.NewCond("c", m)
+	ready := false
+	woken := 0
+	err := v.Run(func(main *Thread) {
+		waiters := make([]*Thread, 3)
+		for i := range waiters {
+			waiters[i] = main.Go("waiter", func(th *Thread) {
+				m.Lock(th)
+				for !ready {
+					c.Wait(th)
+				}
+				woken++
+				m.Unlock(th)
+			})
+		}
+		main.Sleep(10)
+		m.Lock(main)
+		ready = true
+		c.Broadcast(main)
+		m.Unlock(main)
+		for _, w := range waiters {
+			main.Join(w)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if woken != 3 {
+		t.Errorf("woken = %d, want 3", woken)
+	}
+}
+
+func TestCondSignalWithoutWaitersIsLost(t *testing.T) {
+	v := New(Options{Seed: 1})
+	m := v.NewMutex("m")
+	c := v.NewCond("c", m)
+	err := v.Run(func(main *Thread) {
+		m.Lock(main)
+		c.Signal(main) // nobody waiting: lost, as in pthreads
+		m.Unlock(main)
+		m.Lock(main)
+		if c.WaitTimeout(main, 5) {
+			t.Error("a lost signal must not satisfy a later wait")
+		}
+		m.Unlock(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCondWaitWithoutMutexIsGuestError(t *testing.T) {
+	v := New(Options{Seed: 1})
+	m := v.NewMutex("m")
+	c := v.NewCond("c", m)
+	err := v.Run(func(main *Thread) {
+		c.Wait(main) // mutex not held
+	})
+	if err == nil {
+		t.Fatal("cond wait without holding the mutex must fail the guest")
+	}
+}
+
+func TestMultipleJoiners(t *testing.T) {
+	v := New(Options{Seed: 8})
+	joined := 0
+	err := v.Run(func(main *Thread) {
+		slow := main.Go("slow", func(th *Thread) { th.Sleep(20) })
+		a := main.Go("joinerA", func(th *Thread) {
+			th.Join(slow)
+			joined++
+		})
+		b := main.Go("joinerB", func(th *Thread) {
+			th.Join(slow)
+			joined++
+		})
+		main.Join(a)
+		main.Join(b)
+		main.Join(slow) // joining a finished thread returns immediately
+		joined++
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if joined != 3 {
+		t.Errorf("joined = %d, want 3", joined)
+	}
+}
+
+func TestJoinSelfIsGuestError(t *testing.T) {
+	v := New(Options{Seed: 1})
+	err := v.Run(func(main *Thread) {
+		main.Join(main)
+	})
+	if err == nil {
+		t.Fatal("self-join must fail the guest")
+	}
+}
+
+func TestSemaphoreTryWait(t *testing.T) {
+	v := New(Options{Seed: 1})
+	s := v.NewSemaphore("s", 1)
+	err := v.Run(func(main *Thread) {
+		if !s.TryWait(main) {
+			t.Error("TryWait with count 1 should succeed")
+		}
+		if s.TryWait(main) {
+			t.Error("TryWait with count 0 should fail")
+		}
+		s.Post(main)
+		if !s.TryWait(main) {
+			t.Error("TryWait after post should succeed")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQueueGetTimeoutDelivers(t *testing.T) {
+	v := New(Options{Seed: 2})
+	q := v.NewQueue("q", 0)
+	err := v.Run(func(main *Thread) {
+		p := main.Go("producer", func(th *Thread) {
+			th.Sleep(5)
+			q.Put(th, "late")
+		})
+		msg, ok := q.GetTimeout(main, 100)
+		if !ok || msg.(string) != "late" {
+			t.Errorf("GetTimeout = %v/%v, want late/true", msg, ok)
+		}
+		main.Join(p)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQueuePutOnClosedIsGuestError(t *testing.T) {
+	v := New(Options{Seed: 1})
+	q := v.NewQueue("q", 0)
+	err := v.Run(func(main *Thread) {
+		q.Close(main)
+		q.Put(main, 1)
+	})
+	if err == nil {
+		t.Fatal("put on closed queue must fail the guest")
+	}
+}
+
+func TestQueueCloseWakesBlockedGetters(t *testing.T) {
+	v := New(Options{Seed: 3})
+	q := v.NewQueue("q", 0)
+	var exits int
+	err := v.Run(func(main *Thread) {
+		getters := make([]*Thread, 2)
+		for i := range getters {
+			getters[i] = main.Go("getter", func(th *Thread) {
+				if _, ok := q.Get(th); !ok {
+					exits++
+				}
+			})
+		}
+		main.Sleep(10)
+		q.Close(main)
+		for _, g := range getters {
+			main.Join(g)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if exits != 2 {
+		t.Errorf("exits = %d, want 2", exits)
+	}
+}
+
+func TestQueueDrainAfterClose(t *testing.T) {
+	v := New(Options{Seed: 1})
+	q := v.NewQueue("q", 8)
+	err := v.Run(func(main *Thread) {
+		q.Put(main, 1)
+		q.Put(main, 2)
+		q.Close(main)
+		if msg, ok := q.Get(main); !ok || msg.(int) != 1 {
+			t.Error("closed queue must drain buffered messages in order")
+		}
+		if msg, ok := q.Get(main); !ok || msg.(int) != 2 {
+			t.Error("second buffered message lost")
+		}
+		if _, ok := q.Get(main); ok {
+			t.Error("drained closed queue must report !ok")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRecursiveLockIsGuestError(t *testing.T) {
+	v := New(Options{Seed: 1})
+	m := v.NewMutex("m")
+	err := v.Run(func(main *Thread) {
+		m.Lock(main)
+		m.Lock(main)
+	})
+	if err == nil {
+		t.Fatal("recursive lock must fail the guest")
+	}
+}
+
+func TestRWLockMisuseIsGuestError(t *testing.T) {
+	cases := []func(*Thread, *RWMutex){
+		func(th *Thread, rw *RWMutex) { rw.RUnlock(th) },               // unlock without hold
+		func(th *Thread, rw *RWMutex) { rw.WUnlock(th) },               // wunlock without hold
+		func(th *Thread, rw *RWMutex) { rw.RLock(th); rw.RLock(th) },   // recursive read
+		func(th *Thread, rw *RWMutex) { rw.WLock(th); rw.RLock(th) },   // read while writing
+		func(th *Thread, rw *RWMutex) { rw.RLock(th); rw.WUnlock(th) }, // wrong-mode unlock
+	}
+	for i, bad := range cases {
+		v := New(Options{Seed: 1})
+		rw := v.NewRWMutex("rw")
+		err := v.Run(func(main *Thread) { bad(main, rw) })
+		if err == nil {
+			t.Errorf("case %d: rwlock misuse must fail the guest", i)
+		}
+	}
+}
+
+func TestLockTimeoutImmediateSuccess(t *testing.T) {
+	v := New(Options{Seed: 1})
+	m := v.NewMutex("m")
+	err := v.Run(func(main *Thread) {
+		if !m.LockTimeout(main, 10) {
+			t.Error("timed lock on a free mutex should succeed")
+		}
+		m.Unlock(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestLockTimeoutGrantBeforeDeadline(t *testing.T) {
+	v := New(Options{Seed: 1})
+	m := v.NewMutex("m")
+	var got bool
+	err := v.Run(func(main *Thread) {
+		m.Lock(main)
+		w := main.Go("waiter", func(th *Thread) {
+			got = m.LockTimeout(th, 1000)
+			if got {
+				m.Unlock(th)
+			}
+		})
+		main.Sleep(5) // release well before the deadline
+		m.Unlock(main)
+		main.Join(w)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !got {
+		t.Error("waiter should win the lock before its deadline")
+	}
+}
+
+func TestSetLineBeyondDepthCapIsSafe(t *testing.T) {
+	v := New(Options{Seed: 1, StackDepth: 2})
+	err := v.Run(func(main *Thread) {
+		for i := 0; i < 5; i++ {
+			main.PushFrame("f", "f.cpp", i)
+		}
+		main.SetLine(99) // beyond the cap: must not panic
+		b := main.Alloc(4, "x")
+		b.Store32(main, 0, 1)
+		for i := 0; i < 5; i++ {
+			main.PopFrame()
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPopFrameUnderflowIsGuestError(t *testing.T) {
+	v := New(Options{Seed: 1})
+	err := v.Run(func(main *Thread) {
+		main.PopFrame()
+	})
+	if err == nil {
+		t.Fatal("frame underflow must fail the guest")
+	}
+}
+
+func TestAllocZeroIsGuestError(t *testing.T) {
+	v := New(Options{Seed: 1})
+	err := v.Run(func(main *Thread) {
+		main.Alloc(0, "empty")
+	})
+	if err == nil {
+		t.Fatal("zero-size alloc must fail the guest")
+	}
+}
+
+func TestOutOfRangeAccessIsGuestError(t *testing.T) {
+	v := New(Options{Seed: 1})
+	err := v.Run(func(main *Thread) {
+		b := main.Alloc(4, "x")
+		b.Load64(main, 0) // 8-byte read of a 4-byte block
+	})
+	if err == nil {
+		t.Fatal("out-of-range access must fail the guest")
+	}
+}
+
+func TestSleepZeroYields(t *testing.T) {
+	v := New(Options{Seed: 1})
+	err := v.Run(func(main *Thread) {
+		main.Sleep(0)
+		main.Sleep(-5)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCellRoundTrip(t *testing.T) {
+	v := New(Options{Seed: 1})
+	err := v.Run(func(main *Thread) {
+		c := NewCell(main, "greeting", "hello")
+		if c.Get(main) != "hello" {
+			t.Error("initial value lost")
+		}
+		c.Set(main, "world")
+		if c.Peek() != "world" {
+			t.Error("set value lost")
+		}
+		c.Poke("direct")
+		if c.Get(main) != "direct" {
+			t.Error("poked value lost")
+		}
+		blk := main.Alloc(16, "struct")
+		f := CellAt(blk, 8, 4, 7)
+		if f.Get(main) != 7 || f.Block() != blk {
+			t.Error("field cell misbehaves")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

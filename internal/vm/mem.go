@@ -1,0 +1,276 @@
+package vm
+
+import (
+	"encoding/binary"
+
+	"repro/internal/trace"
+)
+
+// Block is a guest heap allocation. Every access through a Block emits an
+// event to the attached tools before taking effect, mirroring Valgrind's
+// per-access instrumentation.
+type Block struct {
+	vm   *VM
+	info trace.Block
+	data []byte
+}
+
+// Alloc allocates size bytes of guest memory with the given origin tag.
+// Addresses are never reused at the VM level (the simulated brk only grows),
+// so shadow-state confusion can only come from guest-level allocators that
+// recycle blocks themselves — exactly the paper's §4 allocator issue.
+func (t *Thread) Alloc(size int, tag string) *Block {
+	if size <= 0 {
+		t.vm.guestFail(t, "alloc of non-positive size %d", size)
+	}
+	vm := t.vm
+	base := vm.nextAddr
+	vm.nextAddr += trace.Addr((size+15)&^15) + 16 // 16-byte align plus red zone
+	b := &Block{
+		vm: vm,
+		info: trace.Block{
+			ID:     trace.BlockID(len(vm.blocks) + 1),
+			Base:   base,
+			Size:   uint32(size),
+			Tag:    tag,
+			Thread: t.id,
+			Stack:  t.stackID(),
+		},
+		data: make([]byte, size),
+	}
+	vm.blocks = append(vm.blocks, b)
+	for _, tool := range vm.tools {
+		tool.Alloc(&b.info)
+	}
+	vm.step(t)
+	return b
+}
+
+// Free releases the block. Further accesses — and double frees — are
+// tolerated by the VM but reported by the memcheck tool, which is what makes
+// the destructor annotation safe (§4.2.1).
+func (b *Block) Free(t *Thread) {
+	for _, tool := range b.vm.tools {
+		tool.Free(&b.info, t.id, t.stackID())
+	}
+	b.info.Freed = true
+	b.vm.step(t)
+}
+
+// ID returns the block's identifier.
+func (b *Block) ID() trace.BlockID { return b.info.ID }
+
+// Base returns the block's guest base address.
+func (b *Block) Base() trace.Addr { return b.info.Base }
+
+// Size returns the block's size in bytes.
+func (b *Block) Size() int { return int(b.info.Size) }
+
+// Tag returns the block's origin tag.
+func (b *Block) Tag() string { return b.info.Tag }
+
+// Freed reports whether the block has been freed.
+func (b *Block) Freed() bool { return b.info.Freed }
+
+// access emits an access event and accounts a step.
+func (b *Block) access(t *Thread, off, size int, kind trace.AccessKind, atomic bool) {
+	if off < 0 || size <= 0 || off+size > len(b.data) {
+		t.vm.guestFail(t, "out-of-range access to block %d (%s): off=%d size=%d blocksize=%d",
+			b.info.ID, b.info.Tag, off, size, len(b.data))
+	}
+	ev := trace.Access{
+		Thread: t.id,
+		Seg:    t.curSeg,
+		Block:  b.info.ID,
+		Addr:   b.info.Base + trace.Addr(off),
+		Off:    uint32(off),
+		Size:   uint32(size),
+		Kind:   kind,
+		Atomic: atomic,
+		Stack:  t.stackID(),
+	}
+	for _, tool := range b.vm.tools {
+		tool.Access(&ev)
+	}
+	b.vm.step(t)
+}
+
+// Read emits a plain read event of the given width without touching data.
+func (b *Block) Read(t *Thread, off, size int) { b.access(t, off, size, trace.Read, false) }
+
+// Write emits a plain write event of the given width without touching data.
+func (b *Block) Write(t *Thread, off, size int) { b.access(t, off, size, trace.Write, false) }
+
+// Load32 reads a 32-bit word.
+func (b *Block) Load32(t *Thread, off int) uint32 {
+	b.access(t, off, 4, trace.Read, false)
+	return binary.LittleEndian.Uint32(b.data[off:])
+}
+
+// Store32 writes a 32-bit word.
+func (b *Block) Store32(t *Thread, off int, v uint32) {
+	b.access(t, off, 4, trace.Write, false)
+	binary.LittleEndian.PutUint32(b.data[off:], v)
+}
+
+// Load64 reads a 64-bit word.
+func (b *Block) Load64(t *Thread, off int) uint64 {
+	b.access(t, off, 8, trace.Read, false)
+	return binary.LittleEndian.Uint64(b.data[off:])
+}
+
+// Store64 writes a 64-bit word.
+func (b *Block) Store64(t *Thread, off int, v uint64) {
+	b.access(t, off, 8, trace.Write, false)
+	binary.LittleEndian.PutUint64(b.data[off:], v)
+}
+
+// AtomicAdd32 performs a bus-locked (LOCK-prefixed) read-modify-write of the
+// 32-bit word at off, returning the new value. Both the read and the write
+// carry the Atomic flag, as the x86 LOCK prefix covers the whole instruction.
+func (b *Block) AtomicAdd32(t *Thread, off int, delta int32) int32 {
+	if off < 0 || off+4 > len(b.data) {
+		t.vm.guestFail(t, "out-of-range atomic access to block %d off=%d", b.info.ID, off)
+	}
+	stack := t.stackID()
+	ev := trace.Access{
+		Thread: t.id, Seg: t.curSeg, Block: b.info.ID,
+		Addr: b.info.Base + trace.Addr(off), Off: uint32(off), Size: 4,
+		Kind: trace.Read, Atomic: true, Stack: stack,
+	}
+	for _, tool := range b.vm.tools {
+		tool.Access(&ev)
+	}
+	ev.Kind = trace.Write
+	for _, tool := range b.vm.tools {
+		tool.Access(&ev)
+	}
+	v := int32(binary.LittleEndian.Uint32(b.data[off:])) + delta
+	binary.LittleEndian.PutUint32(b.data[off:], uint32(v))
+	b.vm.step(t)
+	return v
+}
+
+// AtomicLoad32 performs a bus-locked read of the 32-bit word at off.
+func (b *Block) AtomicLoad32(t *Thread, off int) uint32 {
+	b.access(t, off, 4, trace.Read, true)
+	return binary.LittleEndian.Uint32(b.data[off:])
+}
+
+// AtomicCAS32 performs a bus-locked compare-and-swap, reporting success.
+func (b *Block) AtomicCAS32(t *Thread, off int, old, new uint32) bool {
+	if off < 0 || off+4 > len(b.data) {
+		t.vm.guestFail(t, "out-of-range atomic access to block %d off=%d", b.info.ID, off)
+	}
+	stack := t.stackID()
+	ev := trace.Access{
+		Thread: t.id, Seg: t.curSeg, Block: b.info.ID,
+		Addr: b.info.Base + trace.Addr(off), Off: uint32(off), Size: 4,
+		Kind: trace.Read, Atomic: true, Stack: stack,
+	}
+	for _, tool := range b.vm.tools {
+		tool.Access(&ev)
+	}
+	cur := binary.LittleEndian.Uint32(b.data[off:])
+	ok := cur == old
+	if ok {
+		ev.Kind = trace.Write
+		for _, tool := range b.vm.tools {
+			tool.Access(&ev)
+		}
+		binary.LittleEndian.PutUint32(b.data[off:], new)
+	}
+	b.vm.step(t)
+	return ok
+}
+
+// Request emits a client request covering [off, off+size) of the block — the
+// user-space call mechanism of Fig. 4 (VALGRIND_HG_DESTRUCT and friends). A
+// no-op for execution, it only informs the tools.
+func (b *Block) Request(t *Thread, kind trace.RequestKind, off, size int) {
+	r := trace.Request{
+		Kind:   kind,
+		Thread: t.id,
+		Block:  b.info.ID,
+		Off:    uint32(off),
+		Size:   uint32(size),
+		Stack:  t.stackID(),
+	}
+	for _, tool := range b.vm.tools {
+		tool.Request(&r)
+	}
+	b.vm.step(t)
+}
+
+// Cell is a typed guest memory location of a fixed width. The value lives on
+// the Go side; the simulated address exists so that the analysis tools see
+// realistic per-field accesses.
+type Cell[T any] struct {
+	b    *Block
+	off  int
+	size int
+	v    T
+}
+
+// CellAt binds a typed cell to [off, off+size) of an existing block.
+func CellAt[T any](b *Block, off, size int, init T) *Cell[T] {
+	return &Cell[T]{b: b, off: off, size: size, v: init}
+}
+
+// NewCell allocates a standalone 8-byte guest location holding a typed value.
+func NewCell[T any](t *Thread, tag string, init T) *Cell[T] {
+	b := t.Alloc(8, tag)
+	return CellAt(b, 0, 8, init)
+}
+
+// Get reads the cell (emitting a read access).
+func (c *Cell[T]) Get(t *Thread) T {
+	c.b.access(t, c.off, c.size, trace.Read, false)
+	return c.v
+}
+
+// Set writes the cell (emitting a write access).
+func (c *Cell[T]) Set(t *Thread, v T) {
+	c.b.access(t, c.off, c.size, trace.Write, false)
+	c.v = v
+}
+
+// Peek returns the value without emitting an access. For test assertions and
+// harness bookkeeping only.
+func (c *Cell[T]) Peek() T { return c.v }
+
+// Poke sets the value without emitting an access. For harness setup only.
+func (c *Cell[T]) Poke(v T) { c.v = v }
+
+// Block returns the underlying block.
+func (c *Cell[T]) Block() *Block { return c.b }
+
+// AtomicI32 is a 32-bit guest counter supporting both bus-locked and plain
+// accesses — the access mix of the libstdc++ string reference counter
+// (Fig. 8/9): increments and decrements use the LOCK prefix, while
+// "is-shared" checks are plain reads.
+type AtomicI32 struct {
+	b   *Block
+	off int
+}
+
+// AtomicI32At binds an atomic counter to offset off of a block.
+func AtomicI32At(b *Block, off int) *AtomicI32 { return &AtomicI32{b: b, off: off} }
+
+// Add performs a bus-locked add and returns the new value.
+func (a *AtomicI32) Add(t *Thread, delta int32) int32 { return a.b.AtomicAdd32(t, a.off, delta) }
+
+// Load performs a PLAIN (non-bus-locked) read, as the libstdc++ leak and
+// uniqueness checks do.
+func (a *AtomicI32) Load(t *Thread) int32 { return int32(a.b.Load32(t, a.off)) }
+
+// AtomicLoad performs a bus-locked read.
+func (a *AtomicI32) AtomicLoad(t *Thread) int32 { return int32(a.b.AtomicLoad32(t, a.off)) }
+
+// Store performs a plain write.
+func (a *AtomicI32) Store(t *Thread, v int32) { a.b.Store32(t, a.off, uint32(v)) }
+
+// Peek returns the value without emitting an access.
+func (a *AtomicI32) Peek() int32 {
+	return int32(binary.LittleEndian.Uint32(a.b.data[a.off:]))
+}

@@ -1,0 +1,180 @@
+package vm
+
+import "repro/internal/trace"
+
+// Queue is a guest FIFO message queue — the higher-level synchronisation
+// construct behind the thread-pool pattern of Fig. 11. Put and get create
+// segment edges of kind trace.Queue from the putter's segment before the put
+// to the getter's segment after the get; the stock Helgrind configuration
+// ignores those edges (producing the ownership-transfer false positives),
+// while the paper's future-work extension honours them.
+type Queue struct {
+	vm         *VM
+	id         trace.SyncID
+	name       string
+	capacity   int // <= 0 means unbounded
+	msgs       []qmsg
+	getWaiters []*qGetWaiter
+	putWaiters []*qPutWaiter
+	closed     bool
+}
+
+type qmsg struct {
+	v       any
+	fromSeg trace.SegmentID
+	id      int64
+}
+
+type qGetWaiter struct {
+	t   *Thread
+	msg qmsg
+	got bool
+}
+
+type qPutWaiter struct {
+	t        *Thread
+	msg      qmsg
+	accepted bool
+}
+
+// NewQueue creates a message queue. capacity <= 0 means unbounded.
+func (vm *VM) NewQueue(name string, capacity int) *Queue {
+	q := &Queue{vm: vm, name: name, capacity: capacity, id: vm.nextSync}
+	vm.nextSync++
+	return q
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.name }
+
+// Len returns the number of buffered messages.
+func (q *Queue) Len() int { return len(q.msgs) }
+
+// Closed reports whether the queue has been closed.
+func (q *Queue) Closed() bool { return q.closed }
+
+// Put appends a message, blocking while a bounded queue is full.
+func (q *Queue) Put(t *Thread, v any) {
+	if q.closed {
+		t.vm.guestFail(t, "put on closed queue %q", q.name)
+	}
+	q.vm.nextMsg++
+	id := q.vm.nextMsg
+	t.vm.emitSync(t, trace.QueuePut, q.id, id)
+	pre := t.vm.splitSegment(t)
+	msg := qmsg{v: v, fromSeg: pre, id: id}
+
+	if len(q.getWaiters) > 0 {
+		w := q.getWaiters[0]
+		q.getWaiters = q.getWaiters[1:]
+		w.msg = msg
+		w.got = true
+		w.t.makeRunnable()
+		t.vm.step(t)
+		return
+	}
+	if q.capacity <= 0 || len(q.msgs) < q.capacity {
+		q.msgs = append(q.msgs, msg)
+		t.vm.step(t)
+		return
+	}
+	w := &qPutWaiter{t: t, msg: msg}
+	q.putWaiters = append(q.putWaiters, w)
+	t.block("queue-put "+q.name, func() { q.removePutWaiter(w) })
+	if !w.accepted {
+		t.vm.guestFail(t, "queue %q put wakeup without acceptance", q.name)
+	}
+	t.vm.step(t)
+}
+
+// Get removes and returns the oldest message, blocking while the queue is
+// empty. ok is false when the queue is closed and drained.
+func (q *Queue) Get(t *Thread) (v any, ok bool) {
+	return q.get(t, -1)
+}
+
+// GetTimeout is Get with a deadline in virtual ticks; ok is false on timeout
+// or when the queue is closed and drained.
+func (q *Queue) GetTimeout(t *Thread, ticks int64) (v any, ok bool) {
+	return q.get(t, ticks)
+}
+
+func (q *Queue) get(t *Thread, ticks int64) (any, bool) {
+	for {
+		if len(q.msgs) > 0 {
+			msg := q.msgs[0]
+			q.msgs = q.msgs[1:]
+			q.shiftBlockedPut()
+			q.finishGet(t, msg)
+			return msg.v, true
+		}
+		if q.closed {
+			t.vm.step(t)
+			return nil, false
+		}
+		w := &qGetWaiter{t: t}
+		q.getWaiters = append(q.getWaiters, w)
+		if ticks >= 0 {
+			if !t.blockTimeout("queue-get "+q.name, ticks, func() { q.removeGetWaiter(w) }) {
+				t.vm.step(t)
+				return nil, false
+			}
+		} else {
+			t.block("queue-get "+q.name, func() { q.removeGetWaiter(w) })
+		}
+		if w.got {
+			q.finishGet(t, w.msg)
+			return w.msg.v, true
+		}
+		// Woken by Close: loop to drain anything left, then return !ok.
+	}
+}
+
+// finishGet emits the get event and the segment edge from the producing put.
+func (q *Queue) finishGet(t *Thread, msg qmsg) {
+	t.vm.emitSync(t, trace.QueueGet, q.id, msg.id)
+	t.vm.splitSegment(t, trace.SegmentEdge{From: msg.fromSeg, Kind: trace.Queue})
+	t.vm.step(t)
+}
+
+// shiftBlockedPut moves the oldest blocked putter's message into the buffer
+// after a get made room.
+func (q *Queue) shiftBlockedPut() {
+	if len(q.putWaiters) == 0 {
+		return
+	}
+	w := q.putWaiters[0]
+	q.putWaiters = q.putWaiters[1:]
+	q.msgs = append(q.msgs, w.msg)
+	w.accepted = true
+	w.t.makeRunnable()
+}
+
+// Close marks the queue closed. Blocked getters wake and observe ok=false
+// once the buffer drains. Putting on a closed queue is a guest error.
+func (q *Queue) Close(t *Thread) {
+	q.closed = true
+	for _, w := range q.getWaiters {
+		w.t.makeRunnable()
+	}
+	q.getWaiters = nil
+	t.vm.step(t)
+}
+
+func (q *Queue) removeGetWaiter(w *qGetWaiter) {
+	for i, x := range q.getWaiters {
+		if x == w {
+			q.getWaiters = append(q.getWaiters[:i], q.getWaiters[i+1:]...)
+			return
+		}
+	}
+}
+
+func (q *Queue) removePutWaiter(w *qPutWaiter) {
+	for i, x := range q.putWaiters {
+		if x == w {
+			q.putWaiters = append(q.putWaiters[:i], q.putWaiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,487 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Mutex is a guest POSIX-style mutex. Lock/unlock operations are reported to
+// the tools and are scheduling points.
+type Mutex struct {
+	vm      *VM
+	id      trace.LockID
+	name    string
+	owner   *Thread
+	waiters []*Thread
+}
+
+// NewMutex creates a named guest mutex.
+func (vm *VM) NewMutex(name string) *Mutex {
+	m := &Mutex{vm: vm, name: name, id: vm.nextLock}
+	vm.nextLock++
+	return m
+}
+
+// ID returns the lock's identifier.
+func (m *Mutex) ID() trace.LockID { return m.id }
+
+// Name returns the lock's name.
+func (m *Mutex) Name() string { return m.name }
+
+// Owner returns the thread currently holding the mutex, or nil.
+func (m *Mutex) Owner() *Thread { return m.owner }
+
+func (vm *VM) emitAcquire(t *Thread, l trace.LockID, k trace.LockKind) {
+	s := t.stackID()
+	for _, tool := range vm.tools {
+		tool.Acquire(t.id, l, k, s)
+	}
+}
+
+func (vm *VM) emitContended(t *Thread, l trace.LockID) {
+	s := t.stackID()
+	for _, tool := range vm.tools {
+		tool.Contended(t.id, l, s)
+	}
+}
+
+func (vm *VM) emitRelease(t *Thread, l trace.LockID, k trace.LockKind) {
+	s := t.stackID()
+	for _, tool := range vm.tools {
+		tool.Release(t.id, l, k, s)
+	}
+}
+
+// Lock acquires the mutex, blocking until it is available.
+func (m *Mutex) Lock(t *Thread) {
+	if m.owner == t {
+		t.vm.guestFail(t, "recursive lock of mutex %q", m.name)
+	}
+	if m.owner == nil {
+		m.owner = t
+	} else {
+		t.vm.emitContended(t, m.id)
+		m.waiters = append(m.waiters, t)
+		t.block("mutex "+m.name, func() { m.removeWaiter(t) })
+		if m.owner != t {
+			t.vm.guestFail(t, "mutex %q wakeup without ownership", m.name)
+		}
+	}
+	t.vm.emitAcquire(t, m.id, trace.Mutex)
+	t.vm.step(t)
+}
+
+// TryLock acquires the mutex if it is free, reporting success.
+func (m *Mutex) TryLock(t *Thread) bool {
+	if m.owner != nil {
+		t.vm.step(t)
+		return false
+	}
+	m.owner = t
+	t.vm.emitAcquire(t, m.id, trace.Mutex)
+	t.vm.step(t)
+	return true
+}
+
+// LockTimeout tries to acquire the mutex within the given number of virtual
+// ticks, reporting success. This is the primitive behind the application's
+// own deadlock detection in §3.3 ("a timeout while trying to acquire a lock
+// inside the lock-function").
+func (m *Mutex) LockTimeout(t *Thread, ticks int64) bool {
+	if m.owner == t {
+		t.vm.guestFail(t, "recursive lock of mutex %q", m.name)
+	}
+	if m.owner == nil {
+		m.owner = t
+		t.vm.emitAcquire(t, m.id, trace.Mutex)
+		t.vm.step(t)
+		return true
+	}
+	t.vm.emitContended(t, m.id)
+	m.waiters = append(m.waiters, t)
+	if !t.blockTimeout("mutex "+m.name, ticks, func() { m.removeWaiter(t) }) {
+		t.vm.step(t)
+		return false
+	}
+	if m.owner != t {
+		t.vm.guestFail(t, "mutex %q wakeup without ownership", m.name)
+	}
+	t.vm.emitAcquire(t, m.id, trace.Mutex)
+	t.vm.step(t)
+	return true
+}
+
+// Unlock releases the mutex. Ownership is transferred FIFO to the oldest
+// waiter, if any.
+func (m *Mutex) Unlock(t *Thread) {
+	if m.owner != t {
+		t.vm.guestFail(t, "unlock of mutex %q by non-owner", m.name)
+	}
+	t.vm.emitRelease(t, m.id, trace.Mutex)
+	m.owner = nil
+	m.grantNext()
+	t.vm.step(t)
+}
+
+func (m *Mutex) grantNext() {
+	if m.owner != nil || len(m.waiters) == 0 {
+		return
+	}
+	w := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.owner = w
+	w.makeRunnable()
+}
+
+func (m *Mutex) removeWaiter(t *Thread) {
+	for i, w := range m.waiters {
+		if w == t {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// RWMutex is a guest POSIX-style read-write lock. The paper added rwlock
+// support to Helgrind as part of the bus-lock correction (§3.1); the VM
+// exposes the corresponding guest API.
+type RWMutex struct {
+	vm      *VM
+	id      trace.LockID
+	name    string
+	readers map[*Thread]struct{}
+	writer  *Thread
+	waiters []rwWaiter
+}
+
+type rwWaiter struct {
+	t     *Thread
+	write bool
+}
+
+// NewRWMutex creates a named guest read-write lock.
+func (vm *VM) NewRWMutex(name string) *RWMutex {
+	rw := &RWMutex{vm: vm, name: name, id: vm.nextLock, readers: make(map[*Thread]struct{})}
+	vm.nextLock++
+	return rw
+}
+
+// ID returns the lock's identifier.
+func (rw *RWMutex) ID() trace.LockID { return rw.id }
+
+// Name returns the lock's name.
+func (rw *RWMutex) Name() string { return rw.name }
+
+// RLock acquires the lock in read mode. FIFO fairness: a reader queues behind
+// any earlier waiter (reader or writer).
+func (rw *RWMutex) RLock(t *Thread) {
+	if _, dup := rw.readers[t]; dup || rw.writer == t {
+		t.vm.guestFail(t, "recursive rlock of rwlock %q", rw.name)
+	}
+	if rw.writer == nil && len(rw.waiters) == 0 {
+		rw.readers[t] = struct{}{}
+	} else {
+		t.vm.emitContended(t, rw.id)
+		rw.waiters = append(rw.waiters, rwWaiter{t: t, write: false})
+		t.block("rdlock "+rw.name, func() { rw.removeWaiter(t) })
+		if _, ok := rw.readers[t]; !ok {
+			t.vm.guestFail(t, "rwlock %q reader wakeup without grant", rw.name)
+		}
+	}
+	t.vm.emitAcquire(t, rw.id, trace.RLock)
+	t.vm.step(t)
+}
+
+// WLock acquires the lock in write mode.
+func (rw *RWMutex) WLock(t *Thread) {
+	if _, dup := rw.readers[t]; dup || rw.writer == t {
+		t.vm.guestFail(t, "recursive wlock of rwlock %q", rw.name)
+	}
+	if rw.writer == nil && len(rw.readers) == 0 && len(rw.waiters) == 0 {
+		rw.writer = t
+	} else {
+		t.vm.emitContended(t, rw.id)
+		rw.waiters = append(rw.waiters, rwWaiter{t: t, write: true})
+		t.block("wrlock "+rw.name, func() { rw.removeWaiter(t) })
+		if rw.writer != t {
+			t.vm.guestFail(t, "rwlock %q writer wakeup without grant", rw.name)
+		}
+	}
+	t.vm.emitAcquire(t, rw.id, trace.WLock)
+	t.vm.step(t)
+}
+
+// RUnlock releases a read hold.
+func (rw *RWMutex) RUnlock(t *Thread) {
+	if _, ok := rw.readers[t]; !ok {
+		t.vm.guestFail(t, "runlock of rwlock %q by non-reader", rw.name)
+	}
+	t.vm.emitRelease(t, rw.id, trace.RLock)
+	delete(rw.readers, t)
+	rw.grant()
+	t.vm.step(t)
+}
+
+// WUnlock releases the write hold.
+func (rw *RWMutex) WUnlock(t *Thread) {
+	if rw.writer != t {
+		t.vm.guestFail(t, "wunlock of rwlock %q by non-writer", rw.name)
+	}
+	t.vm.emitRelease(t, rw.id, trace.WLock)
+	rw.writer = nil
+	rw.grant()
+	t.vm.step(t)
+}
+
+func (rw *RWMutex) grant() {
+	for len(rw.waiters) > 0 {
+		head := rw.waiters[0]
+		if head.write {
+			if rw.writer != nil || len(rw.readers) > 0 {
+				return
+			}
+			rw.waiters = rw.waiters[1:]
+			rw.writer = head.t
+			head.t.makeRunnable()
+			return
+		}
+		if rw.writer != nil {
+			return
+		}
+		rw.waiters = rw.waiters[1:]
+		rw.readers[head.t] = struct{}{}
+		head.t.makeRunnable()
+	}
+}
+
+func (rw *RWMutex) removeWaiter(t *Thread) {
+	for i, w := range rw.waiters {
+		if w.t == t {
+			rw.waiters = append(rw.waiters[:i], rw.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Cond is a guest POSIX-style condition variable bound to a mutex. Signal and
+// wait create segment edges of kind trace.Cond; as the paper notes (§2.2),
+// treating these as strict happens-before is unsound in general, which is why
+// the Helgrind lock-set configuration ignores them by default.
+type Cond struct {
+	vm      *VM
+	id      trace.SyncID
+	name    string
+	m       *Mutex
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	t       *Thread
+	wakeSeg trace.SegmentID
+	woken   bool
+}
+
+// NewCond creates a condition variable bound to m.
+func (vm *VM) NewCond(name string, m *Mutex) *Cond {
+	c := &Cond{vm: vm, name: name, m: m, id: vm.nextSync}
+	vm.nextSync++
+	return c
+}
+
+func (vm *VM) emitSync(t *Thread, op trace.SyncOp, obj trace.SyncID, msg int64) {
+	ev := trace.SyncEvent{Op: op, Obj: obj, Thread: t.id, Msg: msg, Stack: t.stackID()}
+	for _, tool := range vm.tools {
+		tool.Sync(&ev)
+	}
+}
+
+// Wait atomically releases the mutex and suspends the thread until signalled,
+// then reacquires the mutex before returning.
+func (c *Cond) Wait(t *Thread) {
+	if c.m.owner != t {
+		t.vm.guestFail(t, "cond %q wait without holding mutex", c.name)
+	}
+	t.vm.emitRelease(t, c.m.id, trace.Mutex)
+	c.m.owner = nil
+	c.m.grantNext()
+	w := &condWaiter{t: t}
+	c.waiters = append(c.waiters, w)
+	t.block("cond "+c.name, func() { c.removeWaiter(w) })
+	c.reacquire(t)
+	t.vm.emitSync(t, trace.CondWaitDone, c.id, 0)
+	extra := []trace.SegmentEdge{}
+	if w.woken {
+		extra = append(extra, trace.SegmentEdge{From: w.wakeSeg, Kind: trace.Cond})
+	}
+	t.vm.splitSegment(t, extra...)
+	t.vm.step(t)
+}
+
+// WaitTimeout is Wait with a deadline in virtual ticks; it reports false on
+// timeout. The mutex is reacquired in either case, as in pthreads.
+func (c *Cond) WaitTimeout(t *Thread, ticks int64) bool {
+	if c.m.owner != t {
+		t.vm.guestFail(t, "cond %q wait without holding mutex", c.name)
+	}
+	t.vm.emitRelease(t, c.m.id, trace.Mutex)
+	c.m.owner = nil
+	c.m.grantNext()
+	w := &condWaiter{t: t}
+	c.waiters = append(c.waiters, w)
+	ok := t.blockTimeout("cond "+c.name, ticks, func() { c.removeWaiter(w) })
+	c.reacquire(t)
+	t.vm.emitSync(t, trace.CondWaitDone, c.id, 0)
+	extra := []trace.SegmentEdge{}
+	if w.woken {
+		extra = append(extra, trace.SegmentEdge{From: w.wakeSeg, Kind: trace.Cond})
+	}
+	t.vm.splitSegment(t, extra...)
+	t.vm.step(t)
+	return ok
+}
+
+// reacquire takes the bound mutex back after a wait, queueing if contended.
+func (c *Cond) reacquire(t *Thread) {
+	if c.m.owner == nil {
+		c.m.owner = t
+	} else {
+		c.m.waiters = append(c.m.waiters, t)
+		t.block("mutex "+c.m.name+" (cond reacquire)", func() { c.m.removeWaiter(t) })
+	}
+	t.vm.emitAcquire(t, c.m.id, trace.Mutex)
+}
+
+// Signal wakes the oldest waiter, if any.
+func (c *Cond) Signal(t *Thread) {
+	t.vm.emitSync(t, trace.CondSignal, c.id, 0)
+	pre := t.vm.splitSegment(t)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		w.wakeSeg = pre
+		w.woken = true
+		w.t.makeRunnable()
+	}
+	t.vm.step(t)
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast(t *Thread) {
+	t.vm.emitSync(t, trace.CondBroadcast, c.id, 0)
+	pre := t.vm.splitSegment(t)
+	for _, w := range c.waiters {
+		w.wakeSeg = pre
+		w.woken = true
+		w.t.makeRunnable()
+	}
+	c.waiters = nil
+	t.vm.step(t)
+}
+
+func (c *Cond) removeWaiter(w *condWaiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Semaphore is a guest counting semaphore. Post/wait create segment edges of
+// kind trace.Sem.
+type Semaphore struct {
+	vm      *VM
+	id      trace.SyncID
+	name    string
+	tokens  []trace.SegmentID // one producing segment per available count
+	waiters []*semWaiter
+}
+
+type semWaiter struct {
+	t       *Thread
+	postSeg trace.SegmentID
+	granted bool
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func (vm *VM) NewSemaphore(name string, initial int) *Semaphore {
+	s := &Semaphore{vm: vm, name: name, id: vm.nextSync}
+	vm.nextSync++
+	for i := 0; i < initial; i++ {
+		s.tokens = append(s.tokens, 0)
+	}
+	return s
+}
+
+// Post increments the semaphore, waking one waiter if present.
+func (s *Semaphore) Post(t *Thread) {
+	t.vm.emitSync(t, trace.SemPost, s.id, 0)
+	pre := t.vm.splitSegment(t)
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.postSeg = pre
+		w.granted = true
+		w.t.makeRunnable()
+	} else {
+		s.tokens = append(s.tokens, pre)
+	}
+	t.vm.step(t)
+}
+
+// Wait decrements the semaphore, blocking while the count is zero.
+func (s *Semaphore) Wait(t *Thread) {
+	var postSeg trace.SegmentID
+	if len(s.tokens) > 0 {
+		postSeg = s.tokens[0]
+		s.tokens = s.tokens[1:]
+	} else {
+		w := &semWaiter{t: t}
+		s.waiters = append(s.waiters, w)
+		t.block("semaphore "+s.name, func() { s.removeWaiter(w) })
+		if !w.granted {
+			t.vm.guestFail(t, "semaphore %q wakeup without grant", s.name)
+		}
+		postSeg = w.postSeg
+	}
+	t.vm.emitSync(t, trace.SemWaitDone, s.id, 0)
+	extra := []trace.SegmentEdge{}
+	if postSeg != 0 {
+		extra = append(extra, trace.SegmentEdge{From: postSeg, Kind: trace.Sem})
+	}
+	t.vm.splitSegment(t, extra...)
+	t.vm.step(t)
+}
+
+// TryWait decrements the semaphore if the count is positive, reporting
+// success.
+func (s *Semaphore) TryWait(t *Thread) bool {
+	if len(s.tokens) == 0 {
+		t.vm.step(t)
+		return false
+	}
+	postSeg := s.tokens[0]
+	s.tokens = s.tokens[1:]
+	t.vm.emitSync(t, trace.SemWaitDone, s.id, 0)
+	extra := []trace.SegmentEdge{}
+	if postSeg != 0 {
+		extra = append(extra, trace.SegmentEdge{From: postSeg, Kind: trace.Sem})
+	}
+	t.vm.splitSegment(t, extra...)
+	t.vm.step(t)
+	return true
+}
+
+func (s *Semaphore) removeWaiter(w *semWaiter) {
+	for i, x := range s.waiters {
+		if x == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Semaphore) String() string {
+	return fmt.Sprintf("semaphore %q (count %d, %d waiters)", s.name, len(s.tokens), len(s.waiters))
+}

@@ -1,0 +1,244 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Thread is a guest thread. Guest code receives a *Thread and passes it to
+// every VM operation; this is the analogue of the implicit current thread in
+// a real POSIX program.
+type Thread struct {
+	vm      *VM
+	id      trace.ThreadID
+	name    string
+	state   threadState
+	wake    chan struct{}
+	body    func(*Thread)
+	quantum int
+
+	// Call-stack recording.
+	frames     []trace.Frame
+	stackCache trace.StackID
+	stackDirty bool
+
+	// Segment tracking.
+	curSeg  trace.SegmentID
+	lastSeg trace.SegmentID
+
+	// Blocking bookkeeping.
+	waitDesc    string
+	hasDeadline bool
+	deadline    int64
+	timedOut    bool
+	cancelWait  func()
+
+	// Join support.
+	joinWaiters []*Thread
+	finished    bool
+}
+
+// ID returns the thread's identifier.
+func (t *Thread) ID() trace.ThreadID { return t.id }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// VM returns the owning virtual machine.
+func (t *Thread) VM() *VM { return t.vm }
+
+// Segment returns the thread's current segment.
+func (t *Thread) Segment() trace.SegmentID { return t.curSeg }
+
+func (t *Thread) trampoline() {
+	defer t.vm.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSentinelType); ok {
+				return
+			}
+			t.vm.mu.Lock()
+			if t.vm.err == nil {
+				t.vm.err = fmt.Errorf("guest panic in thread %d (%s): %v", t.id, t.name, r)
+			}
+			t.vm.mu.Unlock()
+			t.state = tsFinished
+			t.finished = true
+			t.vm.abortAll(t)
+		}
+	}()
+	t.park()
+	t.body(t)
+	t.finish()
+}
+
+// park waits for the baton. It panics with the abort sentinel when the VM is
+// tearing down.
+func (t *Thread) park() {
+	<-t.wake
+	if t.vm.aborted {
+		panic(abortSentinel)
+	}
+}
+
+// finish marks the thread done, wakes joiners and hands the baton on.
+func (t *Thread) finish() {
+	t.lastSeg = t.curSeg
+	t.state = tsFinished
+	t.finished = true
+	for _, tool := range t.vm.tools {
+		tool.ThreadExit(t.id)
+	}
+	for _, j := range t.joinWaiters {
+		j.makeRunnable()
+	}
+	t.joinWaiters = nil
+	t.vm.reschedule(t)
+}
+
+// block parks the thread until it is made runnable again. desc describes what
+// it waits on; cancel (optional) removes it from the wait queue on timeout.
+func (t *Thread) block(desc string, cancel func()) {
+	t.state = tsBlocked
+	t.waitDesc = desc
+	t.cancelWait = cancel
+	t.vm.reschedule(t)
+	t.waitDesc = ""
+	t.cancelWait = nil
+}
+
+// blockTimeout is block with a deadline (in virtual ticks from now). It
+// reports false when the wait timed out.
+func (t *Thread) blockTimeout(desc string, ticks int64, cancel func()) bool {
+	t.hasDeadline = true
+	t.deadline = t.vm.clock + ticks
+	t.block(desc, cancel)
+	t.hasDeadline = false
+	if t.timedOut {
+		t.timedOut = false
+		return false
+	}
+	return true
+}
+
+// makeRunnable transitions a blocked or sleeping thread back to runnable.
+// The thread resumes when the scheduler next picks it.
+func (t *Thread) makeRunnable() {
+	t.state = tsRunnable
+	t.hasDeadline = false
+	t.cancelWait = nil
+}
+
+// Go spawns a new guest thread running body and returns its handle. The
+// parent's timeline is split (Fig. 2): the child's first segment
+// happens-after the parent's segment before the create.
+func (t *Thread) Go(name string, body func(*Thread)) *Thread {
+	child := t.vm.newThread(name, t, body)
+	t.vm.splitSegment(t)
+	t.vm.step(t)
+	return child
+}
+
+// Join blocks until the given thread finishes. The joiner's new segment
+// happens-after the joined thread's last segment (Fig. 2).
+func (t *Thread) Join(other *Thread) {
+	if other == t {
+		t.vm.guestFail(t, "thread join on self")
+	}
+	for !other.finished {
+		other.joinWaiters = append(other.joinWaiters, t)
+		t.block(fmt.Sprintf("join of thread %d (%s)", other.id, other.name), func() {
+			other.removeJoinWaiter(t)
+		})
+	}
+	t.vm.splitSegment(t, trace.SegmentEdge{From: other.lastSeg, Kind: trace.Join})
+	t.vm.step(t)
+}
+
+func (t *Thread) removeJoinWaiter(w *Thread) {
+	for i, j := range t.joinWaiters {
+		if j == w {
+			t.joinWaiters = append(t.joinWaiters[:i], t.joinWaiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Yield gives the scheduler an explicit preemption opportunity.
+func (t *Thread) Yield() {
+	t.quantum = 0
+	t.vm.step(t)
+}
+
+// Sleep suspends the thread for the given number of virtual ticks. When every
+// thread is asleep the clock fast-forwards, so sleeps are cheap.
+func (t *Thread) Sleep(ticks int64) {
+	if ticks <= 0 {
+		t.Yield()
+		return
+	}
+	t.hasDeadline = true
+	t.deadline = t.vm.clock + ticks
+	t.state = tsSleeping
+	t.waitDesc = fmt.Sprintf("sleep(%d)", ticks)
+	t.vm.reschedule(t)
+	t.waitDesc = ""
+	t.hasDeadline = false
+}
+
+// Now returns the current virtual time.
+func (t *Thread) Now() int64 { return t.vm.clock }
+
+// PushFrame pushes a call-stack frame (innermost last).
+func (t *Thread) PushFrame(fn, file string, line int) {
+	if len(t.frames) < t.vm.opt.StackDepth {
+		t.frames = append(t.frames, trace.Frame{Fn: fn, File: file, Line: line})
+	} else {
+		// Depth cap reached: keep counting virtually so pops balance.
+		t.frames = append(t.frames, trace.Frame{})
+	}
+	t.stackDirty = true
+}
+
+// PopFrame pops the innermost frame.
+func (t *Thread) PopFrame() {
+	if len(t.frames) == 0 {
+		t.vm.guestFail(t, "frame pop on empty stack")
+	}
+	t.frames = t.frames[:len(t.frames)-1]
+	t.stackDirty = true
+}
+
+// Func pushes a frame and returns the matching pop, for use as
+//
+//	defer t.Func("Server.handle", "server.go", 42)()
+func (t *Thread) Func(fn, file string, line int) func() {
+	t.PushFrame(fn, file, line)
+	return t.PopFrame
+}
+
+// SetLine updates the line number of the innermost frame, giving individual
+// statements distinct report locations.
+func (t *Thread) SetLine(line int) {
+	if n := len(t.frames); n > 0 && n <= t.vm.opt.StackDepth {
+		if t.frames[n-1].Line != line {
+			t.frames[n-1].Line = line
+			t.stackDirty = true
+		}
+	}
+}
+
+// stackID interns the current call stack.
+func (t *Thread) stackID() trace.StackID {
+	if !t.stackDirty {
+		return t.stackCache
+	}
+	n := len(t.frames)
+	if n > t.vm.opt.StackDepth {
+		n = t.vm.opt.StackDepth
+	}
+	t.stackCache = t.vm.stacks.Intern(t.frames[:n])
+	t.stackDirty = false
+	return t.stackCache
+}

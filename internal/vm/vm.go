@@ -1,0 +1,410 @@
+// Package vm implements the deterministic virtual machine that plays the
+// role of the Valgrind core in the paper (§2.3.1, Fig. 3). Guest programs are
+// written against the VM API (threads, mutexes, read-write locks, condition
+// variables, semaphores, message queues, a simulated heap) and every
+// operation is reported to attached analysis tools (trace.Sink) before it
+// takes effect.
+//
+// Guest threads are goroutines, but at most one runs at any instant: a baton
+// is handed from thread to thread by a scheduler that picks the next runnable
+// thread with a seeded PRNG at every preemption point (by default, every VM
+// operation). Given the same seed the interleaving is bit-for-bit
+// reproducible; different seeds explore different schedules, which is how the
+// paper's schedule-dependent effects (§4.1.1, §4.3) are reproduced.
+//
+// The VM also maintains thread segments (Fig. 2): a thread's execution is
+// split at create/join and at higher-level synchronisation operations, and
+// every new segment is announced to tools together with its incoming
+// happens-before edges.
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Options configures a VM.
+type Options struct {
+	// Seed drives the scheduler PRNG. Runs with equal seeds and equal guest
+	// programs produce identical interleavings and event streams.
+	Seed int64
+	// Quantum is the number of guest operations a thread may execute before
+	// the scheduler considers a preemption. 1 (the default) reschedules at
+	// every operation — maximal interleaving sensitivity; larger values trade
+	// sensitivity for speed in long benchmark runs.
+	Quantum int
+	// MaxSteps aborts the run after this many guest operations, as a guard
+	// against runaway guest programs. Defaults to 50 million.
+	MaxSteps int64
+	// StackDepth caps the number of frames recorded per event stack.
+	// Defaults to 16.
+	StackDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Quantum <= 0 {
+		o.Quantum = 1
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 50_000_000
+	}
+	if o.StackDepth <= 0 {
+		o.StackDepth = 16
+	}
+	return o
+}
+
+type threadState uint8
+
+const (
+	tsRunnable threadState = iota
+	tsBlocked
+	tsSleeping
+	tsFinished
+)
+
+func (s threadState) String() string {
+	switch s {
+	case tsRunnable:
+		return "runnable"
+	case tsBlocked:
+		return "blocked"
+	case tsSleeping:
+		return "sleeping"
+	default:
+		return "finished"
+	}
+}
+
+// abortSentinel is panicked through guest goroutines to unwind them when the
+// VM aborts (global deadlock, guest panic or step-limit overrun).
+type abortSentinelType struct{}
+
+var abortSentinel = abortSentinelType{}
+
+// DeadlockInfo describes a global guest deadlock: every live thread is
+// blocked with no pending timeout.
+type DeadlockInfo struct {
+	Clock   int64
+	Blocked []BlockedThread
+}
+
+// BlockedThread is one thread participating in a global deadlock.
+type BlockedThread struct {
+	ID    trace.ThreadID
+	Name  string
+	State string
+	On    string // description of what it is blocked on
+}
+
+func (d *DeadlockInfo) String() string {
+	s := fmt.Sprintf("global deadlock at tick %d:", d.Clock)
+	for _, b := range d.Blocked {
+		s += fmt.Sprintf("\n  thread %d (%s) %s on %s", b.ID, b.Name, b.State, b.On)
+	}
+	return s
+}
+
+// DeadlockError is returned by Run when the guest program deadlocks.
+type DeadlockError struct{ Info *DeadlockInfo }
+
+func (e *DeadlockError) Error() string { return e.Info.String() }
+
+// VM is the virtual machine. Create one with New, attach tools with AddTool,
+// then call Run with the guest program's main function.
+type VM struct {
+	opt   Options
+	rng   *rand.Rand
+	tools []trace.Sink
+
+	mu      sync.Mutex // protects err for the Run goroutine; guest side is single-batoned
+	threads []*Thread
+	running *Thread
+	wg      sync.WaitGroup
+
+	stacks *StackTable
+	blocks []*Block // index = BlockID-1
+
+	nextAddr trace.Addr
+	nextLock trace.LockID
+	nextSync trace.SyncID
+	nextSeg  trace.SegmentID
+	nextMsg  int64
+
+	clock    int64
+	steps    int64
+	aborted  bool
+	err      error
+	deadlock *DeadlockInfo
+
+	// scratch buffer reused by the scheduler to avoid per-step allocation.
+	runnableScratch []*Thread
+}
+
+// New creates a VM with the given options.
+func New(opt Options) *VM {
+	opt = opt.withDefaults()
+	return &VM{
+		opt:      opt,
+		rng:      rand.New(rand.NewSource(opt.Seed)),
+		stacks:   NewStackTable(),
+		nextAddr: 0x1000_0000, // distinctive, non-zero guest base
+		nextLock: 1,           // 0 is the bus-lock pseudo-lock
+		nextSync: 1,
+	}
+}
+
+// AddTool attaches an analysis tool. Tools must be attached before Run.
+func (vm *VM) AddTool(t trace.Sink) { vm.tools = append(vm.tools, t) }
+
+// Stacks returns the VM's interned stack table (for report resolution).
+func (vm *VM) Stacks() *StackTable { return vm.stacks }
+
+// Stack resolves an interned stack ID; part of trace.Resolver.
+func (vm *VM) Stack(id trace.StackID) []trace.Frame { return vm.stacks.Frames(id) }
+
+// BlockInfo resolves a block ID; part of trace.Resolver.
+func (vm *VM) BlockInfo(id trace.BlockID) *trace.Block {
+	if id < 1 || int(id) > len(vm.blocks) {
+		return nil
+	}
+	return &vm.blocks[id-1].info
+}
+
+// Steps returns the number of guest operations executed so far.
+func (vm *VM) Steps() int64 { return vm.steps }
+
+// Clock returns the current virtual time in ticks.
+func (vm *VM) Clock() int64 { return vm.clock }
+
+// Deadlock returns information about a global guest deadlock, or nil.
+func (vm *VM) Deadlock() *DeadlockInfo { return vm.deadlock }
+
+// Seed returns the scheduler seed the VM was created with.
+func (vm *VM) Seed() int64 { return vm.opt.Seed }
+
+// Run executes the guest program to completion (or abort) and returns the
+// first fatal error: a guest panic, the step limit, or a *DeadlockError.
+// Run may be called only once per VM.
+func (vm *VM) Run(body func(*Thread)) error {
+	main := vm.newThread("main", nil, body)
+	vm.running = main
+	main.wake <- struct{}{}
+	vm.wg.Wait()
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.err != nil {
+		return vm.err
+	}
+	if vm.deadlock != nil {
+		return &DeadlockError{Info: vm.deadlock}
+	}
+	return nil
+}
+
+// newThread creates a thread, emits its start events and first segment, and
+// launches its goroutine (parked until scheduled). parent is nil for main.
+func (vm *VM) newThread(name string, parent *Thread, body func(*Thread)) *Thread {
+	t := &Thread{
+		vm:      vm,
+		id:      trace.ThreadID(len(vm.threads) + 1),
+		name:    name,
+		state:   tsRunnable,
+		wake:    make(chan struct{}, 1),
+		body:    body,
+		quantum: vm.opt.Quantum,
+	}
+	vm.threads = append(vm.threads, t)
+	var parentID trace.ThreadID
+	var edges []trace.SegmentEdge
+	if parent != nil {
+		parentID = parent.id
+		edges = []trace.SegmentEdge{{From: parent.curSeg, Kind: trace.Create}}
+	}
+	for _, tool := range vm.tools {
+		tool.ThreadStart(t.id, parentID)
+	}
+	vm.newSegment(t, edges)
+	vm.wg.Add(1)
+	go t.trampoline()
+	return t
+}
+
+// newSegment starts a fresh segment for t with the given incoming edges and
+// announces it to the tools.
+func (vm *VM) newSegment(t *Thread, edges []trace.SegmentEdge) {
+	vm.nextSeg++
+	t.curSeg = vm.nextSeg
+	ss := trace.SegmentStart{Seg: t.curSeg, Thread: t.id, In: edges}
+	for _, tool := range vm.tools {
+		tool.Segment(&ss)
+	}
+}
+
+// splitSegment ends t's current segment and starts a new one linked by a
+// Program edge plus the given extra edges. It returns the segment that was
+// current before the split.
+func (vm *VM) splitSegment(t *Thread, extra ...trace.SegmentEdge) trace.SegmentID {
+	pre := t.curSeg
+	edges := make([]trace.SegmentEdge, 0, 1+len(extra))
+	edges = append(edges, trace.SegmentEdge{From: pre, Kind: trace.Program})
+	edges = append(edges, extra...)
+	vm.newSegment(t, edges)
+	return pre
+}
+
+// step accounts one guest operation and reschedules if the quantum expired.
+func (vm *VM) step(t *Thread) {
+	vm.steps++
+	if vm.steps > vm.opt.MaxSteps {
+		vm.fatal(t, fmt.Errorf("vm: step limit exceeded (%d)", vm.opt.MaxSteps))
+	}
+	t.quantum--
+	if t.quantum <= 0 {
+		vm.reschedule(t)
+	}
+}
+
+// reschedule picks the next thread to run. Called with the baton held by
+// cur's goroutine (cur may be runnable, blocked, sleeping or finished).
+func (vm *VM) reschedule(cur *Thread) {
+	vm.clock++
+	vm.wakeExpired()
+	for {
+		runnable := vm.runnableScratch[:0]
+		for _, t := range vm.threads {
+			if t.state == tsRunnable {
+				runnable = append(runnable, t)
+			}
+		}
+		vm.runnableScratch = runnable
+		if len(runnable) > 0 {
+			next := runnable[0]
+			if len(runnable) > 1 {
+				next = runnable[vm.rng.Intn(len(runnable))]
+			}
+			if next == cur {
+				cur.quantum = vm.opt.Quantum
+				return
+			}
+			vm.running = next
+			next.wake <- struct{}{}
+			if cur.state != tsFinished {
+				cur.park()
+				cur.quantum = vm.opt.Quantum
+			}
+			return
+		}
+		if vm.fastForward() {
+			continue
+		}
+		live := 0
+		for _, t := range vm.threads {
+			if t.state != tsFinished {
+				live++
+			}
+		}
+		if live == 0 {
+			return
+		}
+		vm.recordDeadlock()
+		vm.abortAll(cur)
+		if cur.state != tsFinished {
+			panic(abortSentinel)
+		}
+		return
+	}
+}
+
+// wakeExpired moves threads whose deadlines have passed back to runnable.
+func (vm *VM) wakeExpired() {
+	for _, t := range vm.threads {
+		if (t.state == tsBlocked || t.state == tsSleeping) && t.hasDeadline && t.deadline <= vm.clock {
+			if t.cancelWait != nil {
+				t.cancelWait()
+				t.cancelWait = nil
+			}
+			if t.state == tsBlocked {
+				t.timedOut = true
+			}
+			t.hasDeadline = false
+			t.state = tsRunnable
+		}
+	}
+}
+
+// fastForward advances the virtual clock to the earliest pending deadline.
+// It returns false when no thread has a deadline.
+func (vm *VM) fastForward() bool {
+	var min int64
+	found := false
+	for _, t := range vm.threads {
+		if (t.state == tsBlocked || t.state == tsSleeping) && t.hasDeadline {
+			if !found || t.deadline < min {
+				min = t.deadline
+				found = true
+			}
+		}
+	}
+	if !found {
+		return false
+	}
+	if min > vm.clock {
+		vm.clock = min
+	}
+	vm.wakeExpired()
+	return true
+}
+
+func (vm *VM) recordDeadlock() {
+	info := &DeadlockInfo{Clock: vm.clock}
+	for _, t := range vm.threads {
+		if t.state == tsFinished {
+			continue
+		}
+		info.Blocked = append(info.Blocked, BlockedThread{
+			ID:    t.id,
+			Name:  t.name,
+			State: t.state.String(),
+			On:    t.waitDesc,
+		})
+	}
+	sort.Slice(info.Blocked, func(i, j int) bool { return info.Blocked[i].ID < info.Blocked[j].ID })
+	vm.deadlock = info
+}
+
+// abortAll tears the VM down: every parked guest goroutine is woken and
+// unwinds via the abort sentinel.
+func (vm *VM) abortAll(cur *Thread) {
+	vm.aborted = true
+	for _, t := range vm.threads {
+		if t == cur || t.state == tsFinished {
+			continue
+		}
+		t.wake <- struct{}{}
+	}
+}
+
+// fatal records a fatal error and aborts the VM. It does not return.
+func (vm *VM) fatal(t *Thread, err error) {
+	vm.mu.Lock()
+	if vm.err == nil {
+		vm.err = err
+	}
+	vm.mu.Unlock()
+	t.state = tsFinished
+	vm.abortAll(t)
+	panic(abortSentinel)
+}
+
+// guestFail reports a guest programming error (e.g. unlocking a mutex the
+// thread does not own). It aborts the run.
+func (vm *VM) guestFail(t *Thread, format string, args ...any) {
+	vm.fatal(t, fmt.Errorf("guest error in thread %d (%s): %s", t.id, t.name, fmt.Sprintf(format, args...)))
+}
+
+var _ trace.Resolver = (*VM)(nil)

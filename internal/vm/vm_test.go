@@ -1,0 +1,826 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// recorder is a test Sink that captures the event stream.
+type recorder struct {
+	trace.BaseSink
+	accesses []trace.Access
+	acquires []trace.LockID
+	releases []trace.LockID
+	segments []trace.SegmentStart
+	syncs    []trace.SyncEvent
+	allocs   []trace.Block
+	frees    []trace.BlockID
+	requests []trace.Request
+	starts   []trace.ThreadID
+	exits    []trace.ThreadID
+}
+
+func (r *recorder) ToolName() string       { return "recorder" }
+func (r *recorder) Access(a *trace.Access) { r.accesses = append(r.accesses, *a) }
+func (r *recorder) Acquire(t trace.ThreadID, l trace.LockID, k trace.LockKind, s trace.StackID) {
+	r.acquires = append(r.acquires, l)
+}
+func (r *recorder) Release(t trace.ThreadID, l trace.LockID, k trace.LockKind, s trace.StackID) {
+	r.releases = append(r.releases, l)
+}
+func (r *recorder) Segment(ss *trace.SegmentStart) {
+	cp := *ss
+	cp.In = append([]trace.SegmentEdge(nil), ss.In...)
+	r.segments = append(r.segments, cp)
+}
+func (r *recorder) Sync(ev *trace.SyncEvent) { r.syncs = append(r.syncs, *ev) }
+func (r *recorder) Alloc(b *trace.Block)     { r.allocs = append(r.allocs, *b) }
+func (r *recorder) Free(b *trace.Block, t trace.ThreadID, s trace.StackID) {
+	r.frees = append(r.frees, b.ID)
+}
+func (r *recorder) Request(req *trace.Request)      { r.requests = append(r.requests, *req) }
+func (r *recorder) ThreadStart(t, p trace.ThreadID) { r.starts = append(r.starts, t) }
+func (r *recorder) ThreadExit(t trace.ThreadID)     { r.exits = append(r.exits, t) }
+
+func TestRunSingleThread(t *testing.T) {
+	v := New(Options{Seed: 1})
+	rec := &recorder{}
+	v.AddTool(rec)
+	ran := false
+	err := v.Run(func(th *Thread) {
+		b := th.Alloc(16, "test")
+		b.Store32(th, 0, 42)
+		if got := b.Load32(th, 0); got != 42 {
+			t.Errorf("Load32 = %d, want 42", got)
+		}
+		ran = true
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("guest body did not run")
+	}
+	if len(rec.accesses) != 2 {
+		t.Fatalf("got %d accesses, want 2", len(rec.accesses))
+	}
+	if rec.accesses[0].Kind != trace.Write || rec.accesses[1].Kind != trace.Read {
+		t.Errorf("access kinds = %v, %v; want write, read", rec.accesses[0].Kind, rec.accesses[1].Kind)
+	}
+	if len(rec.allocs) != 1 || rec.allocs[0].Tag != "test" {
+		t.Errorf("allocs = %+v, want one block tagged 'test'", rec.allocs)
+	}
+}
+
+func TestThreadCreateJoinSegments(t *testing.T) {
+	v := New(Options{Seed: 7})
+	rec := &recorder{}
+	v.AddTool(rec)
+	err := v.Run(func(main *Thread) {
+		child := main.Go("child", func(c *Thread) {
+			c.Yield()
+		})
+		main.Join(child)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Expected segments: main TS1; child TS (Create edge from TS1);
+	// main TS after create (Program edge); main TS after join (Program + Join).
+	if len(rec.segments) != 4 {
+		t.Fatalf("got %d segments, want 4: %+v", len(rec.segments), rec.segments)
+	}
+	childSeg := rec.segments[1]
+	if len(childSeg.In) != 1 || childSeg.In[0].Kind != trace.Create {
+		t.Errorf("child segment edges = %+v, want single Create edge", childSeg.In)
+	}
+	joinSeg := rec.segments[3]
+	var haveJoin bool
+	for _, e := range joinSeg.In {
+		if e.Kind == trace.Join {
+			haveJoin = true
+		}
+	}
+	if !haveJoin {
+		t.Errorf("post-join segment edges = %+v, want a Join edge", joinSeg.In)
+	}
+}
+
+func TestMutexExclusion(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		v := New(Options{Seed: seed})
+		m := v.NewMutex("m")
+		counter := 0
+		inCrit := 0
+		body := func(th *Thread) {
+			for i := 0; i < 10; i++ {
+				m.Lock(th)
+				inCrit++
+				if inCrit != 1 {
+					t.Fatalf("seed %d: mutual exclusion violated", seed)
+				}
+				th.Yield()
+				counter++
+				inCrit--
+				m.Unlock(th)
+			}
+		}
+		err := v.Run(func(main *Thread) {
+			a := main.Go("a", body)
+			b := main.Go("b", body)
+			main.Join(a)
+			main.Join(b)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if counter != 20 {
+			t.Fatalf("seed %d: counter = %d, want 20", seed, counter)
+		}
+	}
+}
+
+func TestMutexFIFOAndTimeout(t *testing.T) {
+	v := New(Options{Seed: 3})
+	m := v.NewMutex("m")
+	var timedOut bool
+	err := v.Run(func(main *Thread) {
+		m.Lock(main)
+		w := main.Go("waiter", func(th *Thread) {
+			timedOut = !m.LockTimeout(th, 5)
+		})
+		main.Sleep(50) // hold the lock well past the waiter's deadline
+		m.Unlock(main)
+		main.Join(w)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !timedOut {
+		t.Error("LockTimeout should have timed out while main held the lock")
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	v := New(Options{Seed: 3})
+	m := v.NewMutex("m")
+	err := v.Run(func(main *Thread) {
+		if !m.TryLock(main) {
+			t.Error("TryLock on free mutex should succeed")
+		}
+		done := main.Go("other", func(th *Thread) {
+			if m.TryLock(th) {
+				t.Error("TryLock on held mutex should fail")
+			}
+		})
+		main.Join(done)
+		m.Unlock(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRWMutexReadersShareWritersExclude(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		v := New(Options{Seed: seed})
+		rw := v.NewRWMutex("rw")
+		readers, writers := 0, 0
+		check := func(th *Thread) {
+			if writers > 1 || (writers == 1 && readers > 0) {
+				t.Fatalf("seed %d: rwlock invariant violated (r=%d w=%d)", seed, readers, writers)
+			}
+		}
+		reader := func(th *Thread) {
+			for i := 0; i < 5; i++ {
+				rw.RLock(th)
+				readers++
+				check(th)
+				th.Yield()
+				readers--
+				rw.RUnlock(th)
+			}
+		}
+		writer := func(th *Thread) {
+			for i := 0; i < 5; i++ {
+				rw.WLock(th)
+				writers++
+				check(th)
+				th.Yield()
+				writers--
+				rw.WUnlock(th)
+			}
+		}
+		err := v.Run(func(main *Thread) {
+			ts := []*Thread{
+				main.Go("r1", reader),
+				main.Go("r2", reader),
+				main.Go("w1", writer),
+			}
+			for _, th := range ts {
+				main.Join(th)
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCondSignalWakesWaiter(t *testing.T) {
+	v := New(Options{Seed: 11})
+	m := v.NewMutex("m")
+	c := v.NewCond("c", m)
+	ready := false
+	observed := false
+	err := v.Run(func(main *Thread) {
+		w := main.Go("waiter", func(th *Thread) {
+			m.Lock(th)
+			for !ready {
+				c.Wait(th)
+			}
+			observed = true
+			m.Unlock(th)
+		})
+		main.Sleep(5)
+		m.Lock(main)
+		ready = true
+		c.Signal(main)
+		m.Unlock(main)
+		main.Join(w)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !observed {
+		t.Error("waiter never observed the condition")
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	v := New(Options{Seed: 11})
+	m := v.NewMutex("m")
+	c := v.NewCond("c", m)
+	var ok bool
+	err := v.Run(func(main *Thread) {
+		m.Lock(main)
+		ok = c.WaitTimeout(main, 10)
+		if m.Owner() != main {
+			t.Error("mutex not reacquired after timed-out wait")
+		}
+		m.Unlock(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ok {
+		t.Error("WaitTimeout with no signaller should time out")
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	v := New(Options{Seed: 5})
+	s := v.NewSemaphore("s", 0)
+	order := []string{}
+	err := v.Run(func(main *Thread) {
+		w := main.Go("consumer", func(th *Thread) {
+			s.Wait(th)
+			order = append(order, "consumed")
+		})
+		order = append(order, "produced")
+		s.Post(main)
+		main.Join(w)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "produced" || order[1] != "consumed" {
+		t.Errorf("order = %v, want [produced consumed]", order)
+	}
+	if !errors.Is(nil, nil) { // keep errors import honest
+		t.Fatal("unreachable")
+	}
+}
+
+func TestQueuePutGetFIFO(t *testing.T) {
+	v := New(Options{Seed: 9})
+	q := v.NewQueue("q", 0)
+	var got []int
+	err := v.Run(func(main *Thread) {
+		c := main.Go("consumer", func(th *Thread) {
+			for {
+				msg, ok := q.Get(th)
+				if !ok {
+					return
+				}
+				got = append(got, msg.(int))
+			}
+		})
+		for i := 0; i < 5; i++ {
+			q.Put(main, i)
+		}
+		q.Close(main)
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d messages, want 5", len(got))
+	}
+	for i, msg := range got {
+		if msg != i {
+			t.Errorf("message %d = %d, want %d (FIFO order)", i, msg, i)
+		}
+	}
+}
+
+func TestQueueBoundedBlocksPutter(t *testing.T) {
+	v := New(Options{Seed: 2})
+	q := v.NewQueue("q", 2)
+	var delivered int
+	err := v.Run(func(main *Thread) {
+		p := main.Go("producer", func(th *Thread) {
+			for i := 0; i < 10; i++ {
+				q.Put(th, i)
+			}
+		})
+		c := main.Go("consumer", func(th *Thread) {
+			for i := 0; i < 10; i++ {
+				_, ok := q.Get(th)
+				if ok {
+					delivered++
+				}
+			}
+		})
+		main.Join(p)
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if delivered != 10 {
+		t.Errorf("delivered = %d, want 10", delivered)
+	}
+}
+
+func TestQueueGetTimeout(t *testing.T) {
+	v := New(Options{Seed: 2})
+	q := v.NewQueue("q", 0)
+	err := v.Run(func(main *Thread) {
+		if _, ok := q.GetTimeout(main, 5); ok {
+			t.Error("GetTimeout on empty queue should time out")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQueueSegmentEdges(t *testing.T) {
+	v := New(Options{Seed: 4})
+	rec := &recorder{}
+	v.AddTool(rec)
+	q := v.NewQueue("q", 0)
+	err := v.Run(func(main *Thread) {
+		w := main.Go("worker", func(th *Thread) {
+			q.Get(th)
+		})
+		q.Put(main, "job")
+		main.Join(w)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var queueEdges int
+	for _, s := range rec.segments {
+		for _, e := range s.In {
+			if e.Kind == trace.Queue {
+				queueEdges++
+			}
+		}
+	}
+	if queueEdges != 1 {
+		t.Errorf("queue edges = %d, want 1", queueEdges)
+	}
+	var puts, gets int
+	for _, s := range rec.syncs {
+		switch s.Op {
+		case trace.QueuePut:
+			puts++
+		case trace.QueueGet:
+			gets++
+		}
+	}
+	if puts != 1 || gets != 1 {
+		t.Errorf("puts=%d gets=%d, want 1 and 1", puts, gets)
+	}
+}
+
+func TestGlobalDeadlockDetected(t *testing.T) {
+	v := New(Options{Seed: 1})
+	m1 := v.NewMutex("m1")
+	m2 := v.NewMutex("m2")
+	err := v.Run(func(main *Thread) {
+		a := main.Go("a", func(th *Thread) {
+			m1.Lock(th)
+			th.Sleep(10)
+			m2.Lock(th)
+		})
+		b := main.Go("b", func(th *Thread) {
+			m2.Lock(th)
+			th.Sleep(10)
+			m1.Lock(th)
+		})
+		main.Join(a)
+		main.Join(b)
+	})
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run err = %v, want DeadlockError", err)
+	}
+	if len(dl.Info.Blocked) != 3 { // a, b and the joining main
+		t.Errorf("blocked threads = %d, want 3: %v", len(dl.Info.Blocked), dl.Info)
+	}
+}
+
+func TestGuestPanicPropagates(t *testing.T) {
+	v := New(Options{Seed: 1})
+	err := v.Run(func(main *Thread) {
+		w := main.Go("w", func(th *Thread) {
+			panic("boom")
+		})
+		main.Join(w)
+	})
+	if err == nil || err.Error() == "" {
+		t.Fatalf("Run err = %v, want guest panic error", err)
+	}
+}
+
+func TestGuestErrorUnlockByNonOwner(t *testing.T) {
+	v := New(Options{Seed: 1})
+	m := v.NewMutex("m")
+	err := v.Run(func(main *Thread) {
+		m.Unlock(main)
+	})
+	if err == nil {
+		t.Fatal("unlock by non-owner should fail the run")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	v := New(Options{Seed: 1, MaxSteps: 100})
+	err := v.Run(func(main *Thread) {
+		for {
+			main.Yield()
+		}
+	})
+	if err == nil {
+		t.Fatal("step limit should abort the run")
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) []trace.Access {
+		v := New(Options{Seed: seed})
+		rec := &recorder{}
+		v.AddTool(rec)
+		var cells [4]*Cell[int]
+		err := v.Run(func(main *Thread) {
+			for i := range cells {
+				cells[i] = NewCell(main, fmt.Sprintf("c%d", i), 0)
+			}
+			ths := make([]*Thread, 3)
+			for i := range ths {
+				i := i
+				ths[i] = main.Go(fmt.Sprintf("t%d", i), func(th *Thread) {
+					for j := 0; j < 20; j++ {
+						c := cells[(i+j)%len(cells)]
+						c.Set(th, c.Get(th)+1)
+					}
+				})
+			}
+			for _, th := range ths {
+				main.Join(th)
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rec.accesses
+	}
+	a := run(42)
+	b := run(42)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentSchedules(t *testing.T) {
+	schedule := func(seed int64) string {
+		v := New(Options{Seed: seed})
+		var order string
+		err := v.Run(func(main *Thread) {
+			ths := make([]*Thread, 3)
+			for i := range ths {
+				name := string(rune('a' + i))
+				ths[i] = main.Go(name, func(th *Thread) {
+					for j := 0; j < 5; j++ {
+						order += th.Name()
+						th.Yield()
+					}
+				})
+			}
+			for _, th := range ths {
+				main.Join(th)
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return order
+	}
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 10; seed++ {
+		distinct[schedule(seed)] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("10 seeds produced a single schedule; scheduler is not exploring interleavings")
+	}
+}
+
+func TestSleepFastForward(t *testing.T) {
+	v := New(Options{Seed: 1})
+	err := v.Run(func(main *Thread) {
+		before := main.Now()
+		main.Sleep(1000)
+		if main.Now()-before < 1000 {
+			t.Errorf("virtual clock advanced %d, want >= 1000", main.Now()-before)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestStackRecording(t *testing.T) {
+	v := New(Options{Seed: 1})
+	rec := &recorder{}
+	v.AddTool(rec)
+	err := v.Run(func(main *Thread) {
+		defer main.Func("outer", "file.cpp", 10)()
+		b := main.Alloc(8, "x")
+		func() {
+			defer main.Func("inner", "file.cpp", 20)()
+			main.SetLine(21)
+			b.Store32(main, 0, 1)
+		}()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rec.accesses) != 1 {
+		t.Fatalf("accesses = %d, want 1", len(rec.accesses))
+	}
+	frames := v.Stack(rec.accesses[0].Stack)
+	if len(frames) != 2 {
+		t.Fatalf("frames = %+v, want 2", frames)
+	}
+	if frames[0].Fn != "outer" || frames[1].Fn != "inner" || frames[1].Line != 21 {
+		t.Errorf("frames = %+v, want outer/inner with SetLine applied", frames)
+	}
+}
+
+func TestStackInterningStable(t *testing.T) {
+	st := NewStackTable()
+	f := []trace.Frame{{Fn: "a", File: "f", Line: 1}, {Fn: "b", File: "f", Line: 2}}
+	id1 := st.Intern(f)
+	id2 := st.Intern(f)
+	if id1 != id2 {
+		t.Errorf("same frames interned to %d and %d", id1, id2)
+	}
+	g := []trace.Frame{{Fn: "a", File: "f", Line: 1}, {Fn: "b", File: "f", Line: 3}}
+	if st.Intern(g) == id1 {
+		t.Error("different frames interned to same ID")
+	}
+}
+
+func TestStackInternProperty(t *testing.T) {
+	st := NewStackTable()
+	fn := func(fns []string, lines []int16) bool {
+		frames := make([]trace.Frame, 0, len(fns))
+		for i, f := range fns {
+			line := 0
+			if i < len(lines) {
+				line = int(lines[i])
+			}
+			frames = append(frames, trace.Frame{Fn: f, File: "f.cpp", Line: line})
+		}
+		id := st.Intern(frames)
+		got := st.Frames(id)
+		if len(frames) == 0 {
+			return id == trace.NoStack
+		}
+		return framesEqual(got, frames) && st.Intern(frames) == id
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomicOps(t *testing.T) {
+	v := New(Options{Seed: 1})
+	rec := &recorder{}
+	v.AddTool(rec)
+	err := v.Run(func(main *Thread) {
+		b := main.Alloc(8, "ctr")
+		a := AtomicI32At(b, 0)
+		if got := a.Add(main, 5); got != 5 {
+			t.Errorf("Add = %d, want 5", got)
+		}
+		if got := a.Add(main, -2); got != 3 {
+			t.Errorf("Add = %d, want 3", got)
+		}
+		if got := a.Load(main); got != 3 {
+			t.Errorf("Load = %d, want 3", got)
+		}
+		if !b.AtomicCAS32(main, 0, 3, 7) {
+			t.Error("CAS(3,7) should succeed")
+		}
+		if b.AtomicCAS32(main, 0, 3, 9) {
+			t.Error("CAS(3,9) should fail")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Two atomic adds: read+write each, both atomic. One plain load. CAS ok:
+	// read+write; CAS fail: read only.
+	var atomicReads, atomicWrites, plainReads int
+	for _, a := range rec.accesses {
+		switch {
+		case a.Atomic && a.Kind == trace.Read:
+			atomicReads++
+		case a.Atomic && a.Kind == trace.Write:
+			atomicWrites++
+		case a.Kind == trace.Read:
+			plainReads++
+		}
+	}
+	if atomicReads != 4 || atomicWrites != 3 || plainReads != 1 {
+		t.Errorf("atomicReads=%d atomicWrites=%d plainReads=%d, want 4/3/1",
+			atomicReads, atomicWrites, plainReads)
+	}
+}
+
+func TestFreeMarksBlockAndEmitsEvents(t *testing.T) {
+	v := New(Options{Seed: 1})
+	rec := &recorder{}
+	v.AddTool(rec)
+	err := v.Run(func(main *Thread) {
+		b := main.Alloc(8, "x")
+		b.Free(main)
+		if !b.Freed() {
+			t.Error("block not marked freed")
+		}
+		b.Free(main) // double free: tolerated by the VM, reported by memcheck
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rec.frees) != 2 {
+		t.Errorf("free events = %d, want 2 (tools must see the double free)", len(rec.frees))
+	}
+}
+
+func TestVirtualAddressesUnique(t *testing.T) {
+	v := New(Options{Seed: 1})
+	seen := map[trace.Addr]bool{}
+	err := v.Run(func(main *Thread) {
+		for i := 0; i < 100; i++ {
+			b := main.Alloc(24, "x")
+			if seen[b.Base()] {
+				t.Fatalf("address %#x reused", b.Base())
+			}
+			seen[b.Base()] = true
+			b.Free(main)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQuantumBatchesOps(t *testing.T) {
+	// With a large quantum the run must still complete and be deterministic.
+	v := New(Options{Seed: 1, Quantum: 50})
+	total := 0
+	err := v.Run(func(main *Thread) {
+		c := NewCell(main, "c", 0)
+		ths := make([]*Thread, 2)
+		for i := range ths {
+			ths[i] = main.Go("w", func(th *Thread) {
+				for j := 0; j < 100; j++ {
+					c.Set(th, c.Get(th)+1)
+				}
+			})
+		}
+		for _, th := range ths {
+			main.Join(th)
+		}
+		total = c.Peek()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if total != 200 {
+		t.Errorf("total = %d, want 200 (single-baton execution cannot lose updates)", total)
+	}
+}
+
+func TestBenignRequestEmitted(t *testing.T) {
+	v := New(Options{Seed: 1})
+	rec := &recorder{}
+	v.AddTool(rec)
+	err := v.Run(func(main *Thread) {
+		b := main.Alloc(8, "x")
+		b.Request(main, trace.ReqBenign, 0, 8)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rec.requests) != 1 || rec.requests[0].Kind != trace.ReqBenign {
+		t.Errorf("requests = %+v, want one ReqBenign", rec.requests)
+	}
+}
+
+func TestEventStreamWellFormed(t *testing.T) {
+	// Exercise every primitive with a validator attached: the VM's event
+	// stream must satisfy all well-formedness invariants on every schedule.
+	for seed := int64(0); seed < 8; seed++ {
+		v := New(Options{Seed: seed})
+		val := trace.NewValidator()
+		v.AddTool(val)
+		m := v.NewMutex("m")
+		rw := v.NewRWMutex("rw")
+		cond := v.NewCond("c", m)
+		sem := v.NewSemaphore("s", 1)
+		q := v.NewQueue("q", 2)
+		bar := v.NewBarrier("b", 2)
+		err := v.Run(func(main *Thread) {
+			blk := main.Alloc(32, "state")
+			ready := false
+			producer := main.Go("producer", func(th *Thread) {
+				for i := 0; i < 4; i++ {
+					m.Lock(th)
+					blk.Store32(th, 0, uint32(i))
+					m.Unlock(th)
+					q.Put(th, i)
+					rw.RLock(th)
+					blk.Load32(th, 4)
+					rw.RUnlock(th)
+				}
+				m.Lock(th)
+				ready = true
+				cond.Signal(th)
+				m.Unlock(th)
+				bar.Wait(th)
+			})
+			consumer := main.Go("consumer", func(th *Thread) {
+				for i := 0; i < 4; i++ {
+					q.Get(th)
+					sem.Wait(th)
+					rw.WLock(th)
+					blk.Store32(th, 4, uint32(i))
+					rw.WUnlock(th)
+					sem.Post(th)
+				}
+				m.Lock(th)
+				for !ready {
+					cond.Wait(th)
+				}
+				m.Unlock(th)
+				bar.Wait(th)
+			})
+			main.Join(producer)
+			main.Join(consumer)
+			blk.Request(main, trace.ReqBenign, 0, 4)
+			blk.Free(main)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if verr := val.Err(); verr != nil {
+			t.Errorf("seed %d: %v\nall: %v", seed, verr, val.Violations())
+		}
+	}
+}
