@@ -1,32 +1,72 @@
 // Command perfbench regenerates the §4.5 overhead comparison: the same
 // workload natively, on the bare VM, and on the VM with each analysis
-// attached.
+// attached. It also measures offline replay throughput — sequential versus
+// the sharded parallel engine — per detector configuration.
+//
+// With -json the results are emitted as a machine-readable document
+// (ns/event per detector config, sequential vs -parallel N), so successive
+// PRs can track the performance trajectory in BENCH_*.json files.
 //
 // Usage:
 //
 //	perfbench
 //	perfbench -threads 8 -iters 5000
+//	perfbench -json -parallel 4 > BENCH_replay.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/harness"
 )
 
+// benchDoc is the -json output schema.
+type benchDoc struct {
+	Threads   int                    `json:"threads"`
+	Iters     int                    `json:"iters"`
+	Slots     int                    `json:"slots"`
+	Blocks    int                    `json:"blocks"`
+	Seed      int64                  `json:"seed"`
+	GoMaxProc int                    `json:"gomaxprocs"`
+	Overhead  []overheadJSON         `json:"overhead"`
+	Replay    []harness.ReplayResult `json:"replay"`
+}
+
+// overheadJSON is one §4.5 matrix row in machine-readable form.
+type overheadJSON struct {
+	Mode    string  `json:"mode"`
+	NsTotal int64   `json:"ns_total"`
+	Steps   int64   `json:"steps"`
+	Ops     int64   `json:"ops"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
 func main() {
 	var (
-		threads = flag.Int("threads", 4, "guest worker threads")
-		iters   = flag.Int("iters", 2000, "iterations per thread")
-		slots   = flag.Int("slots", 64, "shared table slots")
-		seed    = flag.Int64("seed", 1, "scheduler seed")
-		repeat  = flag.Int("repeat", 3, "repetitions (best run reported)")
+		threads  = flag.Int("threads", 4, "guest worker threads")
+		iters    = flag.Int("iters", 2000, "iterations per thread")
+		slots    = flag.Int("slots", 64, "shared table slots")
+		seed     = flag.Int64("seed", 1, "scheduler seed")
+		repeat   = flag.Int("repeat", 3, "repetitions (best run reported)")
+		parallel = flag.Int("parallel", 4, "engine shards for the replay measurement")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
 	)
 	flag.Parse()
+	if *repeat < 1 {
+		*repeat = 1
+	}
 
+	// The §4.5 overhead matrix keeps the classic single-block table so its
+	// ratios stay comparable with earlier measurements; only the replay
+	// benchmark spreads the table across blocks to give the engine's shard
+	// hash fan-out.
 	w := harness.PerfWorkload{Threads: *threads, Iters: *iters, Slots: *slots, Seed: *seed}
+	wr := w
+	wr.Blocks = *slots
 	best := map[harness.PerfMode]harness.PerfResult{}
 	for r := 0; r < *repeat; r++ {
 		results, err := w.Overhead()
@@ -48,6 +88,59 @@ func main() {
 	for _, m := range ordered {
 		out = append(out, best[m])
 	}
+
+	// ReplayBench returns rows in a fixed order (config x mode), so best-of
+	// selection aligns by index.
+	var replay []harness.ReplayResult
+	for r := 0; r < *repeat; r++ {
+		rr, err := wr.ReplayBench(*parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench: replay:", err)
+			os.Exit(1)
+		}
+		if replay == nil {
+			replay = rr
+			continue
+		}
+		for i, res := range rr {
+			if res.NsTotal < replay[i].NsTotal {
+				replay[i] = res
+			}
+		}
+	}
+
+	if *asJSON {
+		doc := benchDoc{
+			Threads: *threads, Iters: *iters, Slots: *slots, Blocks: wr.Blocks,
+			Seed: *seed, GoMaxProc: runtime.GOMAXPROCS(0),
+			Replay: replay,
+		}
+		for _, r := range out {
+			row := overheadJSON{Mode: string(r.Mode), NsTotal: r.Duration.Nanoseconds(), Steps: r.Steps, Ops: r.Ops}
+			if r.Ops > 0 {
+				row.NsPerOp = float64(r.Duration.Nanoseconds()) / float64(r.Ops)
+			}
+			doc.Overhead = append(doc.Overhead, row)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("§4.5 overhead, %d threads x %d iterations (best of %d):\n\n", *threads, *iters, *repeat)
 	fmt.Print(harness.FormatOverhead(out))
+	fmt.Printf("\noffline replay, ns/event (best of %d, %d events):\n\n", *repeat, replay[0].Events)
+	fmt.Printf("%-10s %14s %14s\n", "config", "sequential", replay[1].Mode)
+	for i := 0; i < len(replay); i += 2 {
+		fmt.Printf("%-10s %14.1f %14.1f\n", replay[i].Config, replay[i].NsPerEvt, replay[i+1].NsPerEvt)
+	}
+	if runtime.GOMAXPROCS(0) < *parallel {
+		fmt.Printf("\nnote: GOMAXPROCS=%d < %d shards — the parallel column measures engine\n",
+			runtime.GOMAXPROCS(0), *parallel)
+		fmt.Println("overhead, not speedup; run on a multi-core host for the scaling numbers.")
+	}
 }

@@ -205,6 +205,7 @@ func main() {
 		deadlocks = flag.Bool("deadlocks", true, "attach the lock-order deadlock tool")
 		memchk    = flag.Bool("memcheck", true, "attach the memcheck tool")
 		highlevel = flag.Bool("highlevel", false, "attach the view-consistency (high-level race) checker")
+		parallel  = flag.Int("parallel", 1, "shard the race detector across N engine workers (>1 enables the parallel analysis engine)")
 	)
 	flag.Parse()
 
@@ -225,7 +226,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := core.Options{Seed: *seed, Deadlocks: *deadlocks, Memcheck: *memchk, HighLevel: *highlevel}
+	opt := core.Options{Seed: *seed, Deadlocks: *deadlocks, Memcheck: *memchk, HighLevel: *highlevel, Parallel: *parallel}
 	switch *detector {
 	case "lockset":
 		opt.Detector = core.DetectorLockset
@@ -262,7 +263,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "racecheck:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("== workload %q under %s/%s (seed %d)\n\n", *workload, *detector, *config, *seed)
+	mode := ""
+	if *parallel > 1 {
+		mode = fmt.Sprintf(", %d-shard engine", *parallel)
+	}
+	fmt.Printf("== workload %q under %s/%s (seed %d%s)\n\n", *workload, *detector, *config, *seed, mode)
 	fmt.Print(res.Report())
 	if res.Err != nil {
 		fmt.Printf("\nguest execution ended abnormally: %v\n", res.Err)

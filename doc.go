@@ -5,8 +5,41 @@
 // destructor annotation), running on a deterministic virtual machine with a
 // synthetic C++ runtime and SIP proxy server as the system under test.
 //
+// # Analysis pipelines
+//
+// Analysis runs in three modes, all producing identical reports:
+//
+//   - online: detectors attached to the VM observe events as the guest
+//     executes (internal/core, the paper's on-the-fly mode);
+//   - offline: a recorded binary trace (internal/tracelog) is replayed
+//     sequentially into any set of detectors (§2.2 post-mortem mode);
+//   - parallel: internal/engine shards the stream — recorded or live —
+//     across N worker cores.
+//
+// # The parallel engine (internal/engine)
+//
+// The engine decodes the event stream once and partitions it by memory
+// shard: each heap block is assigned to a shard by hashing its BlockID
+// (trace.Shard), and every block-carrying event (access, alloc, free,
+// client request) goes only to the owning shard's worker. Events that carry
+// the happens-before structure — lock acquire/release, segment starts,
+// higher-level synchronisation, thread lifecycle — are broadcast to all
+// shards, so every worker maintains a complete picture of thread and lock
+// state while owning only its slice of shadow memory. Events travel in
+// bounded batched channels (backpressure, no unbounded queues), and each
+// shard runs an independent detector instance behind a panic-isolating
+// trace.SafeSink.
+//
+// Warnings accumulate in per-shard report.Collectors whose sites carry the
+// global sequence number of their first occurrence; report.Merge folds
+// duplicate sites (summing occurrence counts, keeping the earliest
+// details) and orders the union by that sequence. The merged report is
+// therefore deterministic — independent of goroutine scheduling — and
+// byte-identical to what a sequential replay of the same stream produces.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and EXPERIMENTS.md for the paper-vs-measured results. The public
 // entry point is internal/core; the benchmarks in bench_test.go regenerate
-// every table and figure of the paper's evaluation.
+// every table and figure of the paper's evaluation, and
+// internal/engine.BenchmarkParallelReplay tracks parallel replay throughput.
 package repro

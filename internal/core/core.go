@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/deadlock"
+	"repro/internal/engine"
 	"repro/internal/highlevel"
 	"repro/internal/hybrid"
 	"repro/internal/lockset"
@@ -90,6 +91,13 @@ type Options struct {
 	Quantum int
 	// MaxSteps bounds the run.
 	MaxSteps int64
+	// Parallel > 1 runs the race detector sharded across that many workers
+	// of the analysis engine (internal/engine), consuming the VM event
+	// stream live. Auxiliary tools (deadlocks, memcheck, high-level races)
+	// warn from broadcast events and therefore stay on the sequential path;
+	// their collector shares the engine's event sequence so the final
+	// merged report preserves the global first-seen order.
+	Parallel int
 }
 
 // OptionsOriginal mirrors the paper's first experimental configuration.
@@ -112,8 +120,9 @@ type Result struct {
 	Err error
 	// Steps is the number of guest operations executed.
 	Steps int64
-	// LocksetDetector is set when the lock-set detector ran (for its
-	// dynamic counters).
+	// LocksetDetector is set when the lock-set detector ran inline (for its
+	// dynamic counters). It is nil under Parallel > 1, where the detector
+	// exists once per engine shard.
 	LocksetDetector *lockset.Detector
 	// DeadlockDetector is set when the lock-order tool ran.
 	DeadlockDetector *deadlock.Detector
@@ -151,22 +160,50 @@ func Run(opt Options, body func(*vm.Thread)) (*Result, error) {
 	col := report.NewCollector(machine, sup)
 	res := &Result{Collector: col, VM: machine}
 
+	// Resolve the race-detector factory first: with Parallel > 1 it is
+	// instantiated once per engine shard instead of once inline.
+	var factory engine.Factory
 	switch opt.Detector {
 	case DetectorLockset:
-		res.LocksetDetector = lockset.New(opt.Lockset, col)
-		machine.AddTool(res.LocksetDetector)
+		factory = lockset.Factory(opt.Lockset)
 	case DetectorDJIT:
 		cfg := opt.DJIT
 		if cfg.Tool == "" && !cfg.LockEdges {
 			cfg = vectorclock.DefaultConfig()
 		}
-		machine.AddTool(vectorclock.New(cfg, col))
+		factory = vectorclock.Factory(cfg)
 	case DetectorHybrid:
-		machine.AddTool(hybrid.New(opt.Hybrid, col))
+		cfg := opt.Hybrid
+		factory = func(c *report.Collector) trace.Sink { return hybrid.New(cfg, c) }
 	case DetectorNone:
 		// No race detector.
 	default:
 		return nil, fmt.Errorf("core: unknown detector %d", opt.Detector)
+	}
+
+	var eng *engine.Engine
+	if factory != nil && opt.Parallel > 1 {
+		var err error
+		eng, err = engine.New(engine.Options{
+			Shards:     opt.Parallel,
+			Factory:    factory,
+			Resolver:   machine,
+			Suppressor: sup,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: engine: %w", err)
+		}
+		// The engine must see (and sequence-number) every event before the
+		// auxiliary tools do, so the aux collector's sites interleave with
+		// the engine shards' in global first-seen order after the merge.
+		machine.AddTool(eng)
+		col.SetSequencer(func() uint64 { return uint64(eng.Events()) })
+	} else if factory != nil {
+		det := factory(col)
+		if ld, ok := det.(*lockset.Detector); ok {
+			res.LocksetDetector = ld
+		}
+		machine.AddTool(det)
 	}
 	if opt.Deadlocks {
 		res.DeadlockDetector = deadlock.New(deadlock.Config{}, col)
@@ -185,6 +222,13 @@ func Run(opt Options, body func(*vm.Thread)) (*Result, error) {
 	res.Steps = machine.Steps()
 	if res.HighLevelDetector != nil {
 		res.HighLevelDetector.Finish()
+	}
+	if eng != nil {
+		merged, err := eng.Close()
+		if err != nil && res.Err == nil {
+			res.Err = err
+		}
+		res.Collector = report.Merge(machine, sup, merged, col)
 	}
 	return res, nil
 }

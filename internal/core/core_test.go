@@ -232,3 +232,51 @@ func TestRunHighLevelDetector(t *testing.T) {
 		t.Error("high-level race not detected through core.Run")
 	}
 }
+
+// abbaProgram mixes lock-order inversion (aux deadlock tool, sequential
+// path) with unlocked counter races (race detector, engine path under
+// Parallel), to exercise the merged report.
+func abbaProgram(main *vm.Thread) {
+	v := main.VM()
+	m1, m2 := v.NewMutex("A"), v.NewMutex("B")
+	gate := v.NewSemaphore("gate", 0)
+	b := main.Alloc(4, "counter")
+	a := main.Go("a", func(t *vm.Thread) {
+		m1.Lock(t)
+		m2.Lock(t)
+		b.Store32(t, 0, b.Load32(t, 0)+1)
+		m2.Unlock(t)
+		m1.Unlock(t)
+		gate.Post(t)
+	})
+	c := main.Go("b", func(t *vm.Thread) {
+		gate.Wait(t)
+		m2.Lock(t)
+		m1.Lock(t)
+		m1.Unlock(t)
+		m2.Unlock(t)
+		b.Store32(t, 0, b.Load32(t, 0)+1)
+	})
+	main.Join(a)
+	main.Join(c)
+	b.Store32(main, 0, 0)
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	for _, detector := range []DetectorKind{DetectorLockset, DetectorDJIT, DetectorHybrid} {
+		seq, err := Run(Options{Seed: 5, Detector: detector, Deadlocks: true, Memcheck: true}, abbaProgram)
+		if err != nil || seq.Err != nil {
+			t.Fatalf("%s sequential: %v / %v", detector, err, seq.Err)
+		}
+		par, err := Run(Options{Seed: 5, Detector: detector, Deadlocks: true, Memcheck: true, Parallel: 4}, abbaProgram)
+		if err != nil || par.Err != nil {
+			t.Fatalf("%s parallel: %v / %v", detector, err, par.Err)
+		}
+		if par.Locations() != seq.Locations() {
+			t.Errorf("%s: parallel locations = %d, sequential = %d", detector, par.Locations(), seq.Locations())
+		}
+		if got, want := par.Report(), seq.Report(); got != want {
+			t.Errorf("%s: parallel report differs\n--- sequential ---\n%s\n--- parallel ---\n%s", detector, want, got)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package engine is the sharded parallel analysis pipeline: it replays a
+// recorded trace — or consumes a live VM event stream — across N CPU cores
+// and produces a report set identical to sequential analysis.
+//
+// Architecture (see also the root doc.go):
+//
+//   - The event stream is decoded (or received from the VM) exactly once, on
+//     the dispatcher goroutine, and split into per-memory-shard substreams:
+//     every event that names a heap block (memory accesses, allocations,
+//     frees, client requests) is routed to the shard owning that block
+//     (trace.Shard of its BlockID), while synchronisation, segment and
+//     thread-lifecycle events are broadcast to all shards, so every shard
+//     observes the full happens-before structure.
+//   - Each shard runs an independent detector instance, built by the
+//     configured Factory, on its own worker goroutine. Events travel in
+//     batches over bounded channels, so a slow shard exerts backpressure on
+//     the dispatcher instead of queueing unbounded memory. Detector state is
+//     per-shard by construction — the factory is called once per shard — so
+//     workers share nothing and need no locks.
+//   - Each shard's warnings accumulate in a private report.Collector whose
+//     sites are stamped with the global event sequence number of their first
+//     occurrence. Close joins the workers and merges the per-shard
+//     collectors deterministically (report.Merge): duplicate sites fold with
+//     summed counts and the merged order is the global first-seen order, so
+//     the output does not depend on goroutine scheduling and matches what a
+//     sequential replay into a single detector would have produced.
+//
+// The decomposition is sound for detectors whose shadow state is per-block
+// and whose warnings arise only from block-carrying events — the lock-set
+// and DJIT race detectors both qualify: their thread/lock/segment state is
+// derived from broadcast events and therefore evolves identically in every
+// shard, while their per-block shadow memory is partitioned. Tools that
+// warn from broadcast events themselves (the lock-order deadlock detector)
+// must stay on a sequential path.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/tracelog"
+)
+
+// Factory builds one detector instance for one shard, writing warnings to
+// the shard's private collector. lockset.Factory and vectorclock.Factory
+// return ready-made implementations; use trace.Fanout to run several tools
+// per shard.
+type Factory func(col *report.Collector) trace.Sink
+
+// Options configures an Engine.
+type Options struct {
+	// Shards is the number of parallel workers (default: GOMAXPROCS).
+	Shards int
+	// BatchSize is the number of events per dispatch batch (default 512).
+	// Batching amortises channel synchronisation across events.
+	BatchSize int
+	// QueueDepth is the per-shard channel capacity in batches (default 8).
+	// Together with BatchSize it bounds the memory between dispatcher and
+	// workers and provides backpressure.
+	QueueDepth int
+	// Factory builds the per-shard detector. Required.
+	Factory Factory
+	// Resolver resolves stacks and blocks at reporting time; it is handed to
+	// every shard collector and to the merged result.
+	Resolver trace.Resolver
+	// Suppressor applies suppression rules in every shard collector.
+	Suppressor report.Suppressor
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 512
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	return o
+}
+
+// event is one dispatched trace event plus its global sequence number.
+type event struct {
+	seq uint64
+	tracelog.Event
+}
+
+// Engine fans an event stream out to shard workers. It implements
+// trace.Sink, so it can be attached to a live VM with AddTool; recorded
+// logs go through ReplayLog. After the stream ends, Close joins the workers
+// and returns the merged collector. Engine is not safe for concurrent
+// dispatch: all events must come from one goroutine, as both the VM and the
+// log decoder guarantee.
+type Engine struct {
+	opt    Options
+	shards []*shard
+	pool   sync.Pool
+	seq    uint64
+	closed bool
+	merged *report.Collector
+	err    error
+}
+
+// New creates an engine and starts its shard workers.
+func New(opt Options) (*Engine, error) {
+	if opt.Factory == nil {
+		return nil, fmt.Errorf("engine: Options.Factory is required")
+	}
+	opt = opt.withDefaults()
+	e := &Engine{opt: opt}
+	e.pool.New = func() any { return make([]event, 0, opt.BatchSize) }
+	e.shards = make([]*shard, opt.Shards)
+	for i := range e.shards {
+		s := newShard(i, opt, e.newBatch())
+		e.shards[i] = s
+		go s.run(&e.pool)
+	}
+	return e, nil
+}
+
+// Shards returns the number of shard workers.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Events returns the number of events dispatched so far.
+func (e *Engine) Events() int64 { return int64(e.seq) }
+
+func (e *Engine) newBatch() []event {
+	return e.pool.Get().([]event)[:0]
+}
+
+// dispatch routes one event: block-carrying events to the owning shard,
+// everything else to all shards. ev.Segment.In must not be reused by the
+// caller afterwards (the decoder allocates it fresh; the live Sink methods
+// copy it).
+func (e *Engine) dispatch(ev *tracelog.Event) {
+	if e.closed {
+		return
+	}
+	e.seq++
+	n := len(e.shards)
+	switch ev.Op {
+	case tracelog.OpAccess:
+		e.enqueue(trace.Shard(ev.Access.Block, n), ev)
+	case tracelog.OpAlloc, tracelog.OpFree:
+		e.enqueue(trace.Shard(ev.Block.ID, n), ev)
+	case tracelog.OpRequest:
+		e.enqueue(trace.Shard(ev.Request.Block, n), ev)
+	default:
+		for i := 0; i < n; i++ {
+			e.enqueue(i, ev)
+		}
+	}
+}
+
+func (e *Engine) enqueue(i int, ev *tracelog.Event) {
+	s := e.shards[i]
+	s.pending = append(s.pending, event{seq: e.seq, Event: *ev})
+	if len(s.pending) >= e.opt.BatchSize {
+		s.ch <- s.pending
+		s.pending = e.newBatch()
+	}
+}
+
+// ReplayLog decodes a recorded binary log once and streams it through the
+// shards. It returns the number of events dispatched. Call Close afterwards
+// to obtain the merged report.
+func (e *Engine) ReplayLog(r io.Reader) (int64, error) {
+	dec := tracelog.NewDecoder(r)
+	var ev tracelog.Event
+	for {
+		err := dec.Next(&ev)
+		if err == io.EOF {
+			return dec.Events(), nil
+		}
+		if err != nil {
+			return dec.Events(), err
+		}
+		e.dispatch(&ev)
+	}
+}
+
+// ToolName implements trace.Sink.
+func (e *Engine) ToolName() string { return "engine" }
+
+// Access implements trace.Sink.
+func (e *Engine) Access(a *trace.Access) {
+	e.dispatch(&tracelog.Event{Op: tracelog.OpAccess, Access: *a})
+}
+
+// Acquire implements trace.Sink.
+func (e *Engine) Acquire(t trace.ThreadID, l trace.LockID, k trace.LockKind, st trace.StackID) {
+	e.dispatch(&tracelog.Event{Op: tracelog.OpAcquire, Thread: t, Lock: l, LockKind: k, Stack: st})
+}
+
+// Release implements trace.Sink.
+func (e *Engine) Release(t trace.ThreadID, l trace.LockID, k trace.LockKind, st trace.StackID) {
+	e.dispatch(&tracelog.Event{Op: tracelog.OpRelease, Thread: t, Lock: l, LockKind: k, Stack: st})
+}
+
+// Contended implements trace.Sink.
+func (e *Engine) Contended(t trace.ThreadID, l trace.LockID, st trace.StackID) {
+	e.dispatch(&tracelog.Event{Op: tracelog.OpContended, Thread: t, Lock: l, Stack: st})
+}
+
+// Alloc implements trace.Sink.
+func (e *Engine) Alloc(b *trace.Block) {
+	e.dispatch(&tracelog.Event{Op: tracelog.OpAlloc, Block: *b})
+}
+
+// Free implements trace.Sink.
+func (e *Engine) Free(b *trace.Block, t trace.ThreadID, st trace.StackID) {
+	e.dispatch(&tracelog.Event{Op: tracelog.OpFree, Block: *b, Thread: t, Stack: st})
+}
+
+// Segment implements trace.Sink. The edge slice is copied: the VM may reuse
+// it, and the broadcast copies share the new backing array read-only.
+func (e *Engine) Segment(ss *trace.SegmentStart) {
+	cp := *ss
+	cp.In = append([]trace.SegmentEdge(nil), ss.In...)
+	e.dispatch(&tracelog.Event{Op: tracelog.OpSegment, Segment: cp})
+}
+
+// Sync implements trace.Sink.
+func (e *Engine) Sync(ev *trace.SyncEvent) {
+	e.dispatch(&tracelog.Event{Op: tracelog.OpSync, Sync: *ev})
+}
+
+// Request implements trace.Sink.
+func (e *Engine) Request(r *trace.Request) {
+	e.dispatch(&tracelog.Event{Op: tracelog.OpRequest, Request: *r})
+}
+
+// ThreadStart implements trace.Sink.
+func (e *Engine) ThreadStart(t, parent trace.ThreadID) {
+	e.dispatch(&tracelog.Event{Op: tracelog.OpThreadStart, Thread: t, Parent: parent})
+}
+
+// ThreadExit implements trace.Sink.
+func (e *Engine) ThreadExit(t trace.ThreadID) {
+	e.dispatch(&tracelog.Event{Op: tracelog.OpThreadExit, Thread: t})
+}
+
+var _ trace.Sink = (*Engine)(nil)

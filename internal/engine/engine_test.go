@@ -1,0 +1,309 @@
+package engine_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cppmodel"
+	"repro/internal/engine"
+	"repro/internal/libc"
+	"repro/internal/lockset"
+	"repro/internal/report"
+	"repro/internal/sip"
+	"repro/internal/sipp"
+	"repro/internal/suppress"
+	"repro/internal/trace"
+	"repro/internal/tracelog"
+	"repro/internal/vectorclock"
+	"repro/internal/vm"
+)
+
+// recordSIP records the racy SIP workload (test case T2 with all seeded
+// paper bugs) and returns the binary log plus the recording VM, which acts
+// as the stack/block resolver for reports.
+func recordSIP(t testing.TB) ([]byte, *vm.VM) {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := tracelog.NewRecorder(&buf)
+	v := vm.New(vm.Options{Seed: 1, Quantum: 3})
+	v.AddTool(rec)
+	rt := cppmodel.NewRuntime(cppmodel.Options{AnnotateDeletes: true, ForceNew: true})
+	tc, ok := sipp.CaseByID("T2")
+	if !ok {
+		t.Fatal("case T2 missing")
+	}
+	err := v.Run(func(main *vm.Thread) {
+		lc := libc.New(main)
+		srv := sip.NewServer(v, rt, lc, sip.Config{Bugs: sip.PaperBugs()})
+		srv.Start(main)
+		sink := tc.Drive(main, srv, srv.Config().Domains)
+		srv.Stop(main)
+		main.Join(sink)
+	})
+	if err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.Bytes(), v
+}
+
+// paperConfigs mirrors harness.PaperConfigs without importing harness.
+func paperConfigs() map[string]lockset.Config {
+	return map[string]lockset.Config{
+		"Original": lockset.ConfigOriginal(),
+		"HWLC":     lockset.ConfigHWLC(),
+		"HWLC+DR":  lockset.ConfigHWLCDR(),
+	}
+}
+
+// TestEngineMatchesSequentialReplay is the determinism contract: for a fixed
+// recorded trace, the engine's merged output with 1, 4 and 8 shards is
+// byte-identical to sequential tracelog.Replay output — same warnings, same
+// order, same counts — under all three paper configurations.
+func TestEngineMatchesSequentialReplay(t *testing.T) {
+	log, v := recordSIP(t)
+	for name, cfg := range paperConfigs() {
+		seqCol := report.NewCollector(v, nil)
+		seqDet := lockset.New(cfg, seqCol)
+		seqEvents, err := tracelog.Replay(bytes.NewReader(log), seqDet)
+		if err != nil {
+			t.Fatalf("%s: sequential replay: %v", name, err)
+		}
+		want := seqCol.Format()
+		if seqCol.Locations() == 0 {
+			t.Fatalf("%s: sequential replay found no warnings; test workload is broken", name)
+		}
+		for _, shards := range []int{1, 4, 8} {
+			eng, err := engine.New(engine.Options{
+				Shards:   shards,
+				Factory:  lockset.Factory(cfg),
+				Resolver: v,
+			})
+			if err != nil {
+				t.Fatalf("%s/%d: New: %v", name, shards, err)
+			}
+			events, err := eng.ReplayLog(bytes.NewReader(log))
+			if err != nil {
+				t.Fatalf("%s/%d: ReplayLog: %v", name, shards, err)
+			}
+			if events != seqEvents {
+				t.Errorf("%s/%d: dispatched %d events, sequential saw %d", name, shards, events, seqEvents)
+			}
+			merged, err := eng.Close()
+			if err != nil {
+				t.Fatalf("%s/%d: Close: %v", name, shards, err)
+			}
+			if got := merged.Format(); got != want {
+				t.Errorf("%s/%d shards: merged output differs from sequential replay\n--- sequential ---\n%s\n--- merged ---\n%s",
+					name, shards, want, got)
+			}
+			if merged.Locations() != seqCol.Locations() || merged.Occurrences() != seqCol.Occurrences() {
+				t.Errorf("%s/%d: locations/occurrences = %d/%d, sequential = %d/%d",
+					name, shards, merged.Locations(), merged.Occurrences(), seqCol.Locations(), seqCol.Occurrences())
+			}
+		}
+	}
+}
+
+// TestEngineMatchesSequentialDJIT runs the same determinism check with the
+// happens-before detector, whose clocks are driven purely by broadcast
+// events.
+func TestEngineMatchesSequentialDJIT(t *testing.T) {
+	log, v := recordSIP(t)
+	cfg := vectorclock.DefaultConfig()
+	seqCol := report.NewCollector(v, nil)
+	if _, err := tracelog.Replay(bytes.NewReader(log), vectorclock.New(cfg, seqCol)); err != nil {
+		t.Fatalf("sequential replay: %v", err)
+	}
+	want := seqCol.Format()
+	for _, shards := range []int{1, 4, 8} {
+		eng, err := engine.New(engine.Options{Shards: shards, Factory: vectorclock.Factory(cfg), Resolver: v})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := eng.ReplayLog(bytes.NewReader(log)); err != nil {
+			t.Fatalf("ReplayLog: %v", err)
+		}
+		merged, err := eng.Close()
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if got := merged.Format(); got != want {
+			t.Errorf("djit/%d shards: merged output differs from sequential", shards)
+		}
+	}
+}
+
+// TestEngineSuppressions checks that per-shard suppression matches the
+// sequential collector, including the suppressed-occurrence count in the
+// report trailer.
+func TestEngineSuppressions(t *testing.T) {
+	log, v := recordSIP(t)
+	const rules = `
+{
+   any-destructor
+   Helgrind:Race
+   fun:*::~*
+   ...
+}
+`
+	sup, err := suppress.ParseString(rules)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	cfg := lockset.ConfigOriginal()
+	seqCol := report.NewCollector(v, sup)
+	if _, err := tracelog.Replay(bytes.NewReader(log), lockset.New(cfg, seqCol)); err != nil {
+		t.Fatalf("sequential replay: %v", err)
+	}
+	eng, err := engine.New(engine.Options{Shards: 4, Factory: lockset.Factory(cfg), Resolver: v, Suppressor: sup})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := eng.ReplayLog(bytes.NewReader(log)); err != nil {
+		t.Fatalf("ReplayLog: %v", err)
+	}
+	merged, err := eng.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got, want := merged.Format(), seqCol.Format(); got != want {
+		t.Errorf("suppressed merged output differs from sequential\n--- sequential ---\n%s\n--- merged ---\n%s", want, got)
+	}
+	if seqCol.SuppressedSites() == 0 {
+		t.Error("suppression rule matched nothing; test is vacuous")
+	}
+}
+
+// TestEngineLiveStream attaches the engine directly to a running VM (no log
+// in between) and compares against the classic online detector.
+func TestEngineLiveStream(t *testing.T) {
+	workload := func(main *vm.Thread) {
+		v := main.VM()
+		m := v.NewMutex("m")
+		blocks := make([]*vm.Block, 8)
+		for i := range blocks {
+			blocks[i] = main.Alloc(8, fmt.Sprintf("blk%d", i))
+		}
+		w := func(t *vm.Thread) {
+			defer t.Func("worker", "live.cpp", 10)()
+			for i := 0; i < 6; i++ {
+				b := blocks[i%len(blocks)]
+				t.SetLine(12)
+				b.Store32(t, 0, b.Load32(t, 0)+1) // unlocked: race
+				m.Lock(t)
+				t.SetLine(14)
+				b.Store32(t, 4, uint32(i)) // locked
+				m.Unlock(t)
+			}
+		}
+		a := main.Go("a", w)
+		b := main.Go("b", w)
+		main.Join(a)
+		main.Join(b)
+	}
+
+	cfg := lockset.ConfigHWLCDR()
+	vOnline := vm.New(vm.Options{Seed: 7})
+	colOnline := report.NewCollector(vOnline, nil)
+	vOnline.AddTool(lockset.New(cfg, colOnline))
+	if err := vOnline.Run(workload); err != nil {
+		t.Fatalf("online run: %v", err)
+	}
+
+	vLive := vm.New(vm.Options{Seed: 7})
+	eng, err := engine.New(engine.Options{Shards: 4, Factory: lockset.Factory(cfg), Resolver: vLive})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	vLive.AddTool(eng)
+	if err := vLive.Run(workload); err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	merged, err := eng.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if colOnline.Locations() == 0 {
+		t.Fatal("online detector found nothing; workload is broken")
+	}
+	if got, want := merged.Format(), colOnline.Format(); got != want {
+		t.Errorf("live engine output differs from online detector\n--- online ---\n%s\n--- engine ---\n%s", want, got)
+	}
+}
+
+// panicSink panics the first time it sees an access to the poison block.
+type panicSink struct {
+	trace.BaseSink
+	col    *report.Collector
+	poison trace.BlockID
+}
+
+func (p *panicSink) ToolName() string { return "panicky" }
+
+func (p *panicSink) Access(a *trace.Access) {
+	if a.Block == p.poison {
+		panic("tool bug")
+	}
+	p.col.Add(report.Warning{Tool: "panicky", Kind: report.KindRace, Block: a.Block, Stack: a.Stack})
+}
+
+// TestEnginePanicIsolation: a detector panicking in one shard must not kill
+// the replay; the other shards' findings survive and Close reports the
+// panic as an error.
+func TestEnginePanicIsolation(t *testing.T) {
+	var buf bytes.Buffer
+	rec := tracelog.NewRecorder(&buf)
+	const nBlocks = 16
+	for b := trace.BlockID(1); b <= nBlocks; b++ {
+		rec.Alloc(&trace.Block{ID: b, Base: trace.Addr(0x1000 * uint64(b)), Size: 16, Tag: "t"})
+	}
+	for b := trace.BlockID(1); b <= nBlocks; b++ {
+		rec.Access(&trace.Access{Thread: 1, Seg: 1, Block: b, Size: 4, Kind: trace.Write, Stack: trace.StackID(b)})
+	}
+	rec.Flush()
+
+	const poison = trace.BlockID(3)
+	eng, err := engine.New(engine.Options{
+		Shards:  4,
+		Factory: func(col *report.Collector) trace.Sink { return &panicSink{col: col, poison: poison} },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := eng.ReplayLog(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ReplayLog should survive a panicking tool, got: %v", err)
+	}
+	merged, err := eng.Close()
+	if err == nil {
+		t.Fatal("Close must report the tool panic")
+	}
+	// Every block outside the poisoned shard must still have been analysed.
+	poisonShard := trace.Shard(poison, 4)
+	want := 0
+	for b := trace.BlockID(1); b <= nBlocks; b++ {
+		if trace.Shard(b, 4) != poisonShard {
+			want++
+		}
+	}
+	if merged.Locations() < want {
+		t.Errorf("merged has %d sites, want at least %d from healthy shards", merged.Locations(), want)
+	}
+}
+
+// TestEngineCloseIdempotent: double Close and post-Close dispatch are safe.
+func TestEngineCloseIdempotent(t *testing.T) {
+	eng, err := engine.New(engine.Options{Shards: 2, Factory: lockset.Factory(lockset.ConfigHWLC())})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, errA := eng.Close()
+	b, errB := eng.Close()
+	if a != b || errA != nil || errB != nil {
+		t.Errorf("Close not idempotent: %v %v %v %v", a, b, errA, errB)
+	}
+	eng.Access(&trace.Access{Thread: 1, Block: 1, Size: 4}) // must not panic
+}

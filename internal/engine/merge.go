@@ -1,0 +1,48 @@
+package engine
+
+import "repro/internal/report"
+
+// ShardStat describes one shard's share of the work.
+type ShardStat struct {
+	Shard  int
+	Events int64 // events processed by this shard (broadcasts count once per shard)
+}
+
+// Close flushes the partial batches, joins the shard workers and merges the
+// per-shard collectors into one deterministic result (see report.Merge).
+// The error reports the first detector panic caught by a shard's SafeSink;
+// the merged collector is valid either way and holds everything collected
+// up to the failure. Close is idempotent; dispatching after Close is a
+// no-op.
+func (e *Engine) Close() (*report.Collector, error) {
+	if e.closed {
+		return e.merged, e.err
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		if len(s.pending) > 0 {
+			s.ch <- s.pending
+			s.pending = nil
+		}
+		close(s.ch)
+	}
+	cols := make([]*report.Collector, len(e.shards))
+	for i, s := range e.shards {
+		<-s.done
+		cols[i] = s.col
+		if err := s.sink.Err(); err != nil && e.err == nil {
+			e.err = err
+		}
+	}
+	e.merged = report.Merge(e.opt.Resolver, e.opt.Suppressor, cols...)
+	return e.merged, e.err
+}
+
+// Stats returns per-shard event counts. Valid after Close.
+func (e *Engine) Stats() []ShardStat {
+	out := make([]ShardStat, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = ShardStat{Shard: i, Events: s.events}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// shard is one worker: a bounded batch channel, a detector instance and a
+// private collector. Everything behind the channel is touched only by the
+// worker goroutine until Close has joined it.
+type shard struct {
+	id      int
+	ch      chan []event
+	pending []event // dispatcher-side partial batch
+	col     *report.Collector
+	sink    *trace.SafeSink
+	cur     uint64 // global sequence of the event being processed
+	events  int64
+	done    chan struct{}
+}
+
+func newShard(id int, opt Options, batch []event) *shard {
+	s := &shard{
+		id:      id,
+		ch:      make(chan []event, opt.QueueDepth),
+		pending: batch,
+		done:    make(chan struct{}),
+	}
+	s.col = report.NewCollector(opt.Resolver, opt.Suppressor)
+	// The detector calls Collector.Add synchronously from Deliver, on this
+	// shard's goroutine, so reading cur here is race-free.
+	s.col.SetSequencer(func() uint64 { return s.cur })
+	// The SafeSink isolates a panicking detector to its shard: the worker
+	// keeps draining its channel (preserving backpressure behaviour) and the
+	// panic surfaces as an error from Close.
+	s.sink = trace.NewSafeSink(opt.Factory(s.col))
+	return s
+}
+
+// run is the worker loop. Batches go back into the pool after processing.
+func (s *shard) run(pool *sync.Pool) {
+	defer close(s.done)
+	for batch := range s.ch {
+		for i := range batch {
+			s.cur = batch[i].seq
+			batch[i].Deliver(s.sink)
+		}
+		s.events += int64(len(batch))
+		pool.Put(batch[:0]) //nolint:staticcheck // slice reuse is the point
+	}
+}

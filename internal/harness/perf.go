@@ -1,13 +1,16 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/lockset"
 	"repro/internal/report"
+	"repro/internal/tracelog"
 	"repro/internal/vectorclock"
 	"repro/internal/vm"
 )
@@ -47,6 +50,10 @@ type PerfWorkload struct {
 	Iters   int
 	Slots   int
 	Seed    int64
+	// Blocks > 1 allocates the table as that many separate heap blocks
+	// instead of one, giving the parallel engine's per-block shard hash
+	// something to distribute. 0 or 1 keeps the classic single-block table.
+	Blocks int
 }
 
 // DefaultPerfWorkload returns a workload sized for a quick benchmark run.
@@ -85,11 +92,24 @@ func (w PerfWorkload) RunNative() PerfResult {
 	return PerfResult{Mode: PerfNative, Duration: time.Since(start), Ops: w.ops()}
 }
 
-// guestBody is the same workload expressed against the VM API.
+// guestBody is the same workload expressed against the VM API. With
+// w.Blocks > 1 the table is split across that many blocks (same slot count,
+// same access sequence).
 func (w PerfWorkload) guestBody(v *vm.VM) func(*vm.Thread) {
 	return func(main *vm.Thread) {
 		mu := v.NewMutex("table")
-		table := main.Alloc(w.Slots*8, "perf-table")
+		nBlocks := w.Blocks
+		if nBlocks < 1 {
+			nBlocks = 1
+		}
+		if nBlocks > w.Slots {
+			nBlocks = w.Slots
+		}
+		perBlock := (w.Slots + nBlocks - 1) / nBlocks
+		blocks := make([]*vm.Block, nBlocks)
+		for i := range blocks {
+			blocks[i] = main.Alloc(perBlock*8, fmt.Sprintf("perf-table-%d", i))
+		}
 		counter := main.Alloc(8, "perf-counter")
 		workers := make([]*vm.Thread, w.Threads)
 		for th := 0; th < w.Threads; th++ {
@@ -99,7 +119,9 @@ func (w PerfWorkload) guestBody(v *vm.VM) func(*vm.Thread) {
 				for i := 0; i < w.Iters; i++ {
 					mu.Lock(t)
 					slot := (th*w.Iters + i) % w.Slots
-					table.Store64(t, slot*8, table.Load64(t, slot*8)+local)
+					b := blocks[slot/perBlock]
+					off := (slot % perBlock) * 8
+					b.Store64(t, off, b.Load64(t, off)+local)
 					counter.Store64(t, 0, counter.Load64(t, 0)+1)
 					mu.Unlock(t)
 					local = local*1664525 + 1013904223
@@ -144,6 +166,72 @@ func (w PerfWorkload) Overhead() ([]PerfResult, error) {
 			return nil, err
 		}
 		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ReplayResult is one offline-replay measurement: the recorded workload
+// trace analysed by one detector configuration, sequentially or through the
+// sharded engine.
+type ReplayResult struct {
+	Config    string  `json:"config"`
+	Mode      string  `json:"mode"` // "sequential" or "parallel-N"
+	Shards    int     `json:"shards"`
+	Events    int64   `json:"events"`
+	NsTotal   int64   `json:"ns_total"`
+	NsPerEvt  float64 `json:"ns_per_event"`
+	Locations int     `json:"locations"`
+}
+
+// ReplayBench records the workload's trace once, then measures offline
+// analysis throughput for every paper configuration: sequential
+// tracelog.Replay versus the engine with the given shard count. The
+// location counts double as a determinism cross-check (they must agree
+// between the two modes).
+func (w PerfWorkload) ReplayBench(shards int) ([]ReplayResult, error) {
+	var buf bytes.Buffer
+	rec := tracelog.NewRecorder(&buf)
+	v := vm.New(vm.Options{Seed: w.Seed, Quantum: 10, MaxSteps: 500_000_000})
+	v.AddTool(rec)
+	if err := v.Run(w.guestBody(v)); err != nil {
+		return nil, err
+	}
+	if err := rec.Flush(); err != nil {
+		return nil, err
+	}
+	log := buf.Bytes()
+	var out []ReplayResult
+	for _, det := range PaperConfigs() {
+		start := time.Now()
+		col := report.NewCollector(v, nil)
+		events, err := tracelog.Replay(bytes.NewReader(log), lockset.New(det.Cfg, col))
+		if err != nil {
+			return nil, err
+		}
+		dur := time.Since(start)
+		out = append(out, ReplayResult{
+			Config: det.Name, Mode: "sequential", Shards: 1, Events: events,
+			NsTotal: dur.Nanoseconds(), NsPerEvt: float64(dur.Nanoseconds()) / float64(events),
+			Locations: col.Locations(),
+		})
+		start = time.Now()
+		eng, err := engine.New(engine.Options{Shards: shards, Factory: lockset.Factory(det.Cfg), Resolver: v})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.ReplayLog(bytes.NewReader(log)); err != nil {
+			return nil, err
+		}
+		merged, err := eng.Close()
+		if err != nil {
+			return nil, err
+		}
+		dur = time.Since(start)
+		out = append(out, ReplayResult{
+			Config: det.Name, Mode: fmt.Sprintf("parallel-%d", shards), Shards: shards, Events: events,
+			NsTotal: dur.Nanoseconds(), NsPerEvt: float64(dur.Nanoseconds()) / float64(events),
+			Locations: merged.Locations(),
+		})
 	}
 	return out, nil
 }

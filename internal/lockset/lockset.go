@@ -138,9 +138,14 @@ type gran struct {
 
 // threadLocks tracks one thread's held locks and the four interned set
 // variants used per access (any/write mode, with/without the bus pseudo-lock).
+// The interned sets are recomputed lazily, on the first access after a lock
+// operation: acquire/release themselves only mutate the held map, which
+// keeps lock-heavy phases (and the broadcast path of the parallel engine,
+// where every shard observes every lock event) cheap.
 type threadLocks struct {
 	held         map[trace.LockID]trace.LockKind
 	curSeg       trace.SegmentID
+	dirty        bool
 	anyMode      SetID
 	anyPlusBus   SetID
 	writeMode    SetID
@@ -158,6 +163,14 @@ type Detector struct {
 	shadow  map[trace.BlockID][]gran
 	freed   map[trace.BlockID]bool
 	races   int // dynamic race reports, pre-dedup
+}
+
+// Factory returns a constructor building an independent detector per
+// collector — the shape the parallel engine wants for its per-shard
+// detectors. Each instance owns all of its state (set table, segment graph,
+// shadow memory), so instances never share mutable state.
+func Factory(cfg Config) func(col *report.Collector) trace.Sink {
+	return func(col *report.Collector) trace.Sink { return New(cfg, col) }
 }
 
 // New creates a detector writing to the given collector.
@@ -190,8 +203,7 @@ func (d *Detector) DynamicRaces() int { return d.races }
 func (d *Detector) thread(id trace.ThreadID) *threadLocks {
 	tl, ok := d.threads[id]
 	if !ok {
-		tl = &threadLocks{held: make(map[trace.LockID]trace.LockKind)}
-		tl.recompute(d.sets)
+		tl = &threadLocks{held: make(map[trace.LockID]trace.LockKind), dirty: true}
 		d.threads[id] = tl
 	}
 	return tl
@@ -215,14 +227,14 @@ func (tl *threadLocks) recompute(sets *SetTable) {
 func (d *Detector) Acquire(t trace.ThreadID, l trace.LockID, k trace.LockKind, _ trace.StackID) {
 	tl := d.thread(t)
 	tl.held[l] = k
-	tl.recompute(d.sets)
+	tl.dirty = true
 }
 
 // Release implements trace.Sink.
 func (d *Detector) Release(t trace.ThreadID, l trace.LockID, _ trace.LockKind, _ trace.StackID) {
 	tl := d.thread(t)
 	delete(tl.held, l)
-	tl.recompute(d.sets)
+	tl.dirty = true
 }
 
 // Segment implements trace.Sink.
@@ -246,6 +258,10 @@ func (d *Detector) Free(b *trace.Block, _ trace.ThreadID, _ trace.StackID) {
 // heldSets returns the effective (any-mode, write-mode) lock-sets for an
 // access, applying the configured bus-lock model.
 func (d *Detector) heldSets(tl *threadLocks, a *trace.Access) (anyM, wrM SetID) {
+	if tl.dirty {
+		tl.recompute(d.sets)
+		tl.dirty = false
+	}
 	anyM, wrM = tl.anyMode, tl.writeMode
 	switch d.cfg.Bus {
 	case BusSingleMutex:

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Merge combines several collectors into one, deterministically. It exists
+// for the parallel analysis engine (internal/engine): each shard worker
+// accumulates warnings into its own collector, and Merge reassembles a
+// result that is independent of goroutine scheduling.
+//
+// Sites that appear in more than one input (the same call stack racing on
+// blocks that hashed to different shards) are folded exactly as a single
+// sequential collector would have folded them: the occurrence counts are
+// summed and the details of the earliest first occurrence win. Ordering is
+// by Warning.Seq — the global event sequence stamped by SetSequencer — so
+// when the inputs were fed disjoint substreams of one totally-ordered event
+// stream, the merged first-seen order equals the sequential one. Inputs
+// without a sequencer (Seq 0 everywhere) still merge deterministically,
+// ordered by (tool, kind, stack).
+//
+// The totals are additive: Merge assumes every dynamic warning occurrence
+// was observed by exactly one input, which holds when warnings arise only
+// from partitioned events (memory accesses and client requests). Tools that
+// warn from broadcast events (e.g. the lock-order detector) must not be run
+// on more than one shard, or their occurrences will be double-counted.
+func Merge(res trace.Resolver, sup Suppressor, parts ...*Collector) *Collector {
+	out := NewCollector(res, sup)
+	for _, c := range parts {
+		if c == nil {
+			continue
+		}
+		out.total += c.total
+		out.suppressed += c.suppressed
+		for _, k := range c.order {
+			w := c.sites[k]
+			prev, ok := out.sites[k]
+			if !ok {
+				cp := *w
+				out.sites[k] = &cp
+				out.order = append(out.order, k)
+				continue
+			}
+			prev.Count += w.Count
+			if w.Seq < prev.Seq {
+				// The other shard saw this site first: keep its details,
+				// but preserve the summed count.
+				cp := *w
+				cp.Count = prev.Count
+				*prev = cp
+			}
+		}
+	}
+	sort.SliceStable(out.order, func(i, j int) bool {
+		a, b := out.sites[out.order[i]], out.sites[out.order[j]]
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Tool != b.Tool {
+			return a.Tool < b.Tool
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Stack < b.Stack
+	})
+	return out
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func warn(tool string, stack trace.StackID) Warning {
+	return Warning{Tool: tool, Kind: KindRace, Stack: stack, Access: trace.Write}
+}
+
+// TestMergeRestoresGlobalOrder: two collectors, each fed a (disjoint)
+// substream of one sequenced event stream, merge back into the global
+// first-seen order.
+func TestMergeRestoresGlobalOrder(t *testing.T) {
+	var seqA, seqB uint64
+	a := NewCollector(nil, nil)
+	a.SetSequencer(func() uint64 { return seqA })
+	b := NewCollector(nil, nil)
+	b.SetSequencer(func() uint64 { return seqB })
+
+	// Global stream: stack 10 at seq 1 (shard B), stack 20 at seq 2
+	// (shard A), stack 30 at seq 3 (shard B), stack 20 again at seq 4 on
+	// shard B (cross-shard duplicate of the same site).
+	seqB = 1
+	b.Add(warn("t", 10))
+	seqA = 2
+	a.Add(warn("t", 20))
+	seqB = 3
+	b.Add(warn("t", 30))
+	seqB = 4
+	b.Add(warn("t", 20))
+
+	m := Merge(nil, nil, a, b)
+	sites := m.Sites()
+	if len(sites) != 3 {
+		t.Fatalf("merged %d sites, want 3", len(sites))
+	}
+	wantOrder := []trace.StackID{10, 20, 30}
+	for i, w := range sites {
+		if w.Stack != wantOrder[i] {
+			t.Errorf("site %d has stack %d, want %d", i, w.Stack, wantOrder[i])
+		}
+	}
+	// The duplicate site keeps the earliest details (Seq 2) and sums counts.
+	if sites[1].Count != 2 || sites[1].Seq != 2 {
+		t.Errorf("folded site: count=%d seq=%d, want count=2 seq=2", sites[1].Count, sites[1].Seq)
+	}
+	if m.Occurrences() != 4 || m.Locations() != 3 {
+		t.Errorf("occurrences=%d locations=%d, want 4/3", m.Occurrences(), m.Locations())
+	}
+}
+
+// TestMergeEarlierShardWinsDetails: when the later-merged collector saw the
+// site first (lower Seq), its details replace the earlier-merged ones.
+func TestMergeEarlierShardWinsDetails(t *testing.T) {
+	var seqA, seqB uint64
+	a := NewCollector(nil, nil)
+	a.SetSequencer(func() uint64 { return seqA })
+	b := NewCollector(nil, nil)
+	b.SetSequencer(func() uint64 { return seqB })
+
+	seqA = 9
+	wa := warn("t", 10)
+	wa.State = "late"
+	a.Add(wa)
+	seqB = 2
+	wb := warn("t", 10)
+	wb.State = "early"
+	b.Add(wb)
+
+	m := Merge(nil, nil, a, b)
+	sites := m.Sites()
+	if len(sites) != 1 {
+		t.Fatalf("merged %d sites, want 1", len(sites))
+	}
+	if sites[0].State != "early" || sites[0].Seq != 2 || sites[0].Count != 2 {
+		t.Errorf("got state=%q seq=%d count=%d; want early/2/2", sites[0].State, sites[0].Seq, sites[0].Count)
+	}
+}
+
+// TestMergeWithoutSequencer still yields a deterministic (tool, kind,
+// stack) order.
+func TestMergeWithoutSequencer(t *testing.T) {
+	a := NewCollector(nil, nil)
+	b := NewCollector(nil, nil)
+	a.Add(warn("z", 5))
+	a.Add(warn("a", 9))
+	b.Add(warn("a", 2))
+
+	m1 := Merge(nil, nil, a, b)
+	m2 := Merge(nil, nil, b, a)
+	if len(m1.Sites()) != 3 || len(m2.Sites()) != 3 {
+		t.Fatalf("want 3 sites in both merges")
+	}
+	for i := range m1.Sites() {
+		w1, w2 := m1.Sites()[i], m2.Sites()[i]
+		if w1.Tool != w2.Tool || w1.Stack != w2.Stack {
+			t.Errorf("site %d differs across merge orders: %v vs %v", i, w1, w2)
+		}
+	}
+	if m1.Sites()[0].Tool != "a" || m1.Sites()[0].Stack != 2 {
+		t.Errorf("expected (a,2) first, got (%s,%d)", m1.Sites()[0].Tool, m1.Sites()[0].Stack)
+	}
+}
+
+// TestMergeNilAndEmptyInputs.
+func TestMergeNilAndEmptyInputs(t *testing.T) {
+	a := NewCollector(nil, nil)
+	a.Add(warn("t", 1))
+	m := Merge(nil, nil, nil, a, NewCollector(nil, nil))
+	if m.Locations() != 1 || m.Occurrences() != 1 {
+		t.Errorf("locations=%d occurrences=%d, want 1/1", m.Locations(), m.Occurrences())
+	}
+}

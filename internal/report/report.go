@@ -88,6 +88,11 @@ type Warning struct {
 	State string
 	// Count is the number of dynamic occurrences folded into this site.
 	Count int
+	// Seq is the global event sequence number of the first occurrence, when
+	// a sequencer is installed on the collector (SetSequencer). The parallel
+	// engine uses it to restore the sequential first-seen order when merging
+	// per-shard collectors; it is 0 otherwise.
+	Seq uint64
 }
 
 type siteKey struct {
@@ -106,6 +111,7 @@ type Suppressor interface {
 type Collector struct {
 	res        trace.Resolver
 	sup        Suppressor
+	seq        func() uint64
 	sites      map[siteKey]*Warning
 	order      []siteKey
 	suppressed int
@@ -122,6 +128,12 @@ func NewCollector(res trace.Resolver, sup Suppressor) *Collector {
 	}
 }
 
+// SetSequencer installs a callback returning the current global event
+// sequence number. When set, every new site is stamped with the sequence of
+// its first occurrence (Warning.Seq), which is what lets Merge reconstruct
+// the sequential first-seen order from per-shard collectors.
+func (c *Collector) SetSequencer(fn func() uint64) { c.seq = fn }
+
 // Add records a warning occurrence. The first occurrence at a site retains
 // its details; later ones only bump the count. Add reports whether the
 // warning was a new site (neither folded nor suppressed).
@@ -131,6 +143,9 @@ func (c *Collector) Add(w Warning) bool {
 	if prev, ok := c.sites[key]; ok {
 		prev.Count++
 		return false
+	}
+	if c.seq != nil {
+		w.Seq = c.seq()
 	}
 	if c.sup != nil && c.res != nil {
 		if c.sup.Suppressed(w.Kind.Category(), c.res.Stack(w.Stack)) {

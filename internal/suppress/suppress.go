@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/trace"
 )
@@ -33,9 +34,13 @@ type Rule struct {
 	Frames []string // fun: patterns, innermost first; "..." wildcard allowed
 }
 
-// File is a parsed suppression file.
+// File is a parsed suppression file. One File may be shared by concurrent
+// consumers (the parallel engine hands the same File to every shard
+// collector): matching reads only immutable rule data, and the hit counters
+// are mutex-protected.
 type File struct {
 	Rules []Rule
+	mu    sync.Mutex
 	hits  map[string]int
 }
 
@@ -116,7 +121,9 @@ func (f *File) Suppressed(kind string, frames []trace.Frame) bool {
 			continue
 		}
 		if matchFrames(r.Frames, names) {
+			f.mu.Lock()
 			f.hits[r.Name]++
+			f.mu.Unlock()
 			return true
 		}
 	}
@@ -125,6 +132,8 @@ func (f *File) Suppressed(kind string, frames []trace.Frame) bool {
 
 // Hits returns per-rule match counts (useful for pruning stale rules).
 func (f *File) Hits() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	out := make(map[string]int, len(f.hits))
 	for k, v := range f.hits {
 		out[k] = v

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// bombSink counts events and panics on Access once armed.
+type bombSink struct {
+	BaseSink
+	armed  bool
+	events int
+}
+
+func (b *bombSink) ToolName() string { return "bomb" }
+
+func (b *bombSink) Access(*Access) {
+	if b.armed {
+		panic("tool bug")
+	}
+	b.events++
+}
+
+func (b *bombSink) Alloc(*Block) { b.events++ }
+
+func TestSafeSinkIsolatesPanic(t *testing.T) {
+	bomb := &bombSink{}
+	s := NewSafeSink(bomb)
+	s.Alloc(&Block{ID: 1})
+	s.Access(&Access{Block: 1})
+	if s.Err() != nil {
+		t.Fatalf("unexpected error before panic: %v", s.Err())
+	}
+	bomb.armed = true
+	s.Access(&Access{Block: 1}) // must not propagate the panic
+	err := s.Err()
+	if err == nil {
+		t.Fatal("panic not captured")
+	}
+	if !strings.Contains(err.Error(), "bomb") || !strings.Contains(err.Error(), "Access") {
+		t.Errorf("error should name the tool and callback: %v", err)
+	}
+	// After the first panic the sink is disabled: no more deliveries, and
+	// the first error sticks.
+	bomb.armed = false
+	before := bomb.events
+	s.Access(&Access{Block: 1})
+	s.Alloc(&Block{ID: 2})
+	if bomb.events != before {
+		t.Error("disabled sink still receives events")
+	}
+	if s.Err() != err {
+		t.Error("first error must stick")
+	}
+}
+
+func TestSafeSinkNilInner(t *testing.T) {
+	s := NewSafeSink(nil)
+	s.Access(&Access{}) // must not panic
+	s.ThreadExit(1)
+	if s.Err() != nil {
+		t.Errorf("nil inner sink produced error: %v", s.Err())
+	}
+}
+
+func TestFanoutDeliversToAllEvenWhenOneIsGuarded(t *testing.T) {
+	healthy := &bombSink{}
+	bomb := &bombSink{armed: true}
+	// Panicking member wrapped, healthy member after it: the panic must not
+	// prevent delivery to the rest.
+	guarded := NewSafeSink(bomb)
+	f := Fanout(guarded, healthy)
+	f.Access(&Access{Block: 1})
+	f.Access(&Access{Block: 1})
+	if healthy.events != 2 {
+		t.Errorf("healthy sink saw %d events, want 2", healthy.events)
+	}
+	if guarded.Err() == nil {
+		t.Error("guarded sink should have captured the panic")
+	}
+}
+
+func TestShardKeyDistributesSequentialIDs(t *testing.T) {
+	const n = 8
+	const ids = 4096
+	var counts [n]int
+	for b := BlockID(1); b <= ids; b++ {
+		s := Shard(b, n)
+		if s < 0 || s >= n {
+			t.Fatalf("Shard(%d, %d) = %d out of range", b, n, s)
+		}
+		counts[s]++
+	}
+	// Sequential IDs must spread to every shard, reasonably evenly.
+	for s, c := range counts {
+		if c < ids/n/2 || c > ids/n*2 {
+			t.Errorf("shard %d holds %d of %d ids; distribution too skewed", s, c, ids)
+		}
+	}
+	if ShardKey(42) != ShardKey(42) {
+		t.Error("ShardKey must be deterministic")
+	}
+}

@@ -1,0 +1,264 @@
+package tracelog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Op identifies the kind of a decoded event. The values coincide with the
+// on-disk opcodes.
+type Op uint8
+
+// Decoded event kinds.
+const (
+	OpAccess      Op = Op(opAccess)
+	OpAcquire     Op = Op(opAcquire)
+	OpRelease     Op = Op(opRelease)
+	OpContended   Op = Op(opContended)
+	OpAlloc       Op = Op(opAlloc)
+	OpFree        Op = Op(opFree)
+	OpSegment     Op = Op(opSegment)
+	OpSync        Op = Op(opSync)
+	OpRequest     Op = Op(opRequest)
+	OpThreadStart Op = Op(opThreadStart)
+	OpThreadExit  Op = Op(opThreadExit)
+)
+
+// Event is one decoded log event in a uniform representation. Only the
+// fields relevant to Op are meaningful. Holding events as values (rather
+// than delivering them straight into sinks, as Replay does) is what lets the
+// parallel engine decode a log once and dispatch the same event to several
+// shard workers.
+type Event struct {
+	Op Op
+	// Access is set for OpAccess.
+	Access trace.Access
+	// Block is set for OpAlloc and OpFree. It is a value copy: for OpFree it
+	// carries the descriptor of the matching allocation, reconstructed by the
+	// Decoder.
+	Block trace.Block
+	// Segment is set for OpSegment. Its In slice is freshly allocated per
+	// event and never reused, so it may be retained (read-only) by consumers.
+	Segment trace.SegmentStart
+	// Sync is set for OpSync.
+	Sync trace.SyncEvent
+	// Request is set for OpRequest.
+	Request trace.Request
+	// Thread is set for OpAcquire, OpRelease, OpContended, OpFree,
+	// OpThreadStart and OpThreadExit.
+	Thread trace.ThreadID
+	// Parent is set for OpThreadStart.
+	Parent trace.ThreadID
+	// Lock and LockKind are set for OpAcquire, OpRelease and OpContended
+	// (LockKind only for the first two).
+	Lock     trace.LockID
+	LockKind trace.LockKind
+	// Stack is set for OpAcquire, OpRelease, OpContended and OpFree.
+	Stack trace.StackID
+}
+
+// Deliver invokes the Sink callback corresponding to the event. Pointers
+// passed to the sink point into the Event itself, so the usual trace.Sink
+// contract applies: the sink must not retain them beyond the call.
+func (e *Event) Deliver(s trace.Sink) {
+	switch e.Op {
+	case OpAccess:
+		s.Access(&e.Access)
+	case OpAcquire:
+		s.Acquire(e.Thread, e.Lock, e.LockKind, e.Stack)
+	case OpRelease:
+		s.Release(e.Thread, e.Lock, e.LockKind, e.Stack)
+	case OpContended:
+		s.Contended(e.Thread, e.Lock, e.Stack)
+	case OpAlloc:
+		s.Alloc(&e.Block)
+	case OpFree:
+		s.Free(&e.Block, e.Thread, e.Stack)
+	case OpSegment:
+		s.Segment(&e.Segment)
+	case OpSync:
+		s.Sync(&e.Sync)
+	case OpRequest:
+		s.Request(&e.Request)
+	case OpThreadStart:
+		s.ThreadStart(e.Thread, e.Parent)
+	case OpThreadExit:
+		s.ThreadExit(e.Thread)
+	}
+}
+
+// Decoder reads a binary trace log event by event. It reconstructs block
+// descriptors so that OpFree events carry the matching allocation, exactly
+// as Replay does.
+type Decoder struct {
+	br     *bufio.Reader
+	blocks map[trace.BlockID]*trace.Block
+	events int64
+}
+
+// NewDecoder creates a decoder reading the binary log from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{
+		br:     bufio.NewReader(r),
+		blocks: make(map[trace.BlockID]*trace.Block),
+	}
+}
+
+// Events returns the number of events decoded so far, counting an event
+// whose payload turned out to be truncated.
+func (d *Decoder) Events() int64 { return d.events }
+
+// Next decodes the next event into *ev, overwriting all fields. It returns
+// io.EOF at a clean end of log; any other error means a corrupt or truncated
+// log.
+func (d *Decoder) Next(ev *Event) error {
+	op, err := d.br.ReadByte()
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err != nil {
+		return err
+	}
+	d.events++
+	// From here on the event has started: running out of input mid-payload
+	// is a truncated log, not a clean end, and must not look like io.EOF.
+	readU := func() (uint64, error) {
+		v, err := binary.ReadUvarint(d.br)
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return v, err
+	}
+	switch op {
+	case opAccess:
+		f, err := readN(readU, 9)
+		if err != nil {
+			return err
+		}
+		ev.Op = OpAccess
+		ev.Access = trace.Access{
+			Thread: trace.ThreadID(f[0]), Seg: trace.SegmentID(f[1]),
+			Block: trace.BlockID(f[2]), Addr: trace.Addr(f[3]),
+			Off: uint32(f[4]), Size: uint32(f[5]),
+			Kind: trace.AccessKind(f[6]), Atomic: f[7] != 0,
+			Stack: trace.StackID(f[8]),
+		}
+	case opAcquire, opRelease:
+		f, err := readN(readU, 4)
+		if err != nil {
+			return err
+		}
+		if op == opAcquire {
+			ev.Op = OpAcquire
+		} else {
+			ev.Op = OpRelease
+		}
+		ev.Thread = trace.ThreadID(f[0])
+		ev.Lock = trace.LockID(f[1])
+		ev.LockKind = trace.LockKind(f[2])
+		ev.Stack = trace.StackID(f[3])
+	case opContended:
+		f, err := readN(readU, 3)
+		if err != nil {
+			return err
+		}
+		ev.Op = OpContended
+		ev.Thread = trace.ThreadID(f[0])
+		ev.Lock = trace.LockID(f[1])
+		ev.Stack = trace.StackID(f[2])
+	case opAlloc:
+		f, err := readN(readU, 5)
+		if err != nil {
+			return err
+		}
+		tag, err := readString(d.br)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		blk := trace.Block{
+			ID: trace.BlockID(f[0]), Base: trace.Addr(f[1]), Size: uint32(f[2]),
+			Thread: trace.ThreadID(f[3]), Stack: trace.StackID(f[4]), Tag: tag,
+		}
+		own := blk
+		d.blocks[blk.ID] = &own
+		ev.Op = OpAlloc
+		ev.Block = blk
+	case opFree:
+		f, err := readN(readU, 3)
+		if err != nil {
+			return err
+		}
+		id := trace.BlockID(f[0])
+		ev.Op = OpFree
+		if blk := d.blocks[id]; blk != nil {
+			ev.Block = *blk
+			blk.Freed = true
+		} else {
+			ev.Block = trace.Block{ID: id}
+		}
+		ev.Thread = trace.ThreadID(f[1])
+		ev.Stack = trace.StackID(f[2])
+	case opSegment:
+		f, err := readN(readU, 3)
+		if err != nil {
+			return err
+		}
+		n := int(f[2])
+		edges := make([]trace.SegmentEdge, 0, n)
+		for i := 0; i < n; i++ {
+			ef, err := readN(readU, 2)
+			if err != nil {
+				return err
+			}
+			edges = append(edges, trace.SegmentEdge{From: trace.SegmentID(ef[0]), Kind: trace.EdgeKind(ef[1])})
+		}
+		ev.Op = OpSegment
+		ev.Segment = trace.SegmentStart{Seg: trace.SegmentID(f[0]), Thread: trace.ThreadID(f[1]), In: edges}
+	case opSync:
+		f, err := readN(readU, 5)
+		if err != nil {
+			return err
+		}
+		ev.Op = OpSync
+		ev.Sync = trace.SyncEvent{
+			Op: trace.SyncOp(f[0]), Obj: trace.SyncID(f[1]),
+			Thread: trace.ThreadID(f[2]), Msg: int64(f[3]), Stack: trace.StackID(f[4]),
+		}
+	case opRequest:
+		f, err := readN(readU, 6)
+		if err != nil {
+			return err
+		}
+		ev.Op = OpRequest
+		ev.Request = trace.Request{
+			Kind: trace.RequestKind(f[0]), Thread: trace.ThreadID(f[1]),
+			Block: trace.BlockID(f[2]), Off: uint32(f[3]), Size: uint32(f[4]),
+			Stack: trace.StackID(f[5]),
+		}
+	case opThreadStart:
+		f, err := readN(readU, 2)
+		if err != nil {
+			return err
+		}
+		ev.Op = OpThreadStart
+		ev.Thread = trace.ThreadID(f[0])
+		ev.Parent = trace.ThreadID(f[1])
+	case opThreadExit:
+		f, err := readN(readU, 1)
+		if err != nil {
+			return err
+		}
+		ev.Op = OpThreadExit
+		ev.Thread = trace.ThreadID(f[0])
+	default:
+		return fmt.Errorf("tracelog: unknown opcode %d", op)
+	}
+	return nil
+}

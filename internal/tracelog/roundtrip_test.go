@@ -1,0 +1,162 @@
+package tracelog
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// captureSink renders every callback's encoded payload to a canonical
+// string, so a recorded-then-replayed stream can be compared field by field
+// against direct delivery.
+type captureSink struct {
+	got []string
+}
+
+func (c *captureSink) ToolName() string { return "capture" }
+
+func (c *captureSink) Access(a *trace.Access) {
+	c.got = append(c.got, fmt.Sprintf("access t=%d seg=%d blk=%d addr=%#x off=%d size=%d kind=%d atomic=%v stack=%d",
+		a.Thread, a.Seg, a.Block, a.Addr, a.Off, a.Size, a.Kind, a.Atomic, a.Stack))
+}
+
+func (c *captureSink) Acquire(t trace.ThreadID, l trace.LockID, k trace.LockKind, s trace.StackID) {
+	c.got = append(c.got, fmt.Sprintf("acquire t=%d l=%d k=%d stack=%d", t, l, k, s))
+}
+
+func (c *captureSink) Contended(t trace.ThreadID, l trace.LockID, s trace.StackID) {
+	c.got = append(c.got, fmt.Sprintf("contended t=%d l=%d stack=%d", t, l, s))
+}
+
+func (c *captureSink) Release(t trace.ThreadID, l trace.LockID, k trace.LockKind, s trace.StackID) {
+	c.got = append(c.got, fmt.Sprintf("release t=%d l=%d k=%d stack=%d", t, l, k, s))
+}
+
+func (c *captureSink) Alloc(b *trace.Block) {
+	c.got = append(c.got, fmt.Sprintf("alloc id=%d base=%#x size=%d tag=%q t=%d stack=%d",
+		b.ID, b.Base, b.Size, b.Tag, b.Thread, b.Stack))
+}
+
+func (c *captureSink) Free(b *trace.Block, t trace.ThreadID, s trace.StackID) {
+	// Only the encoded fields: the replayed descriptor is reconstructed.
+	c.got = append(c.got, fmt.Sprintf("free id=%d t=%d stack=%d", b.ID, t, s))
+}
+
+func (c *captureSink) Segment(ss *trace.SegmentStart) {
+	line := fmt.Sprintf("segment seg=%d t=%d in=[", ss.Seg, ss.Thread)
+	for _, e := range ss.In {
+		line += fmt.Sprintf("(%d,%d)", e.From, e.Kind)
+	}
+	c.got = append(c.got, line+"]")
+}
+
+func (c *captureSink) Sync(ev *trace.SyncEvent) {
+	c.got = append(c.got, fmt.Sprintf("sync op=%d obj=%d t=%d msg=%d stack=%d",
+		ev.Op, ev.Obj, ev.Thread, ev.Msg, ev.Stack))
+}
+
+func (c *captureSink) Request(r *trace.Request) {
+	c.got = append(c.got, fmt.Sprintf("request kind=%d t=%d blk=%d off=%d size=%d stack=%d",
+		r.Kind, r.Thread, r.Block, r.Off, r.Size, r.Stack))
+}
+
+func (c *captureSink) ThreadStart(t, parent trace.ThreadID) {
+	c.got = append(c.got, fmt.Sprintf("thread-start t=%d parent=%d", t, parent))
+}
+
+func (c *captureSink) ThreadExit(t trace.ThreadID) {
+	c.got = append(c.got, fmt.Sprintf("thread-exit t=%d", t))
+}
+
+var _ trace.Sink = (*captureSink)(nil)
+
+// allOpcodeEvents delivers one event of every opcode (two for the
+// acquire/release pair) with distinctive non-zero field values, including a
+// non-ASCII allocation tag and a multi-edge segment.
+func allOpcodeEvents(s trace.Sink) {
+	s.ThreadStart(2, 1)
+	s.Segment(&trace.SegmentStart{Seg: 5, Thread: 2, In: []trace.SegmentEdge{
+		{From: 1, Kind: trace.Create}, {From: 3, Kind: trace.Queue},
+	}})
+	s.Acquire(2, 7, trace.RLock, 11)
+	s.Contended(3, 7, 12)
+	s.Release(2, 7, trace.RLock, 13)
+	s.Alloc(&trace.Block{ID: 9, Base: 0xdead_beef, Size: 48, Tag: "obj:Größe", Thread: 2, Stack: 14})
+	s.Access(&trace.Access{Thread: 2, Seg: 5, Block: 9, Addr: 0xdead_beef + 8, Off: 8, Size: 4,
+		Kind: trace.Write, Atomic: true, Stack: 15})
+	s.Sync(&trace.SyncEvent{Op: trace.QueueGet, Obj: 3, Thread: 2, Msg: 77, Stack: 16})
+	s.Request(&trace.Request{Kind: trace.ReqBenign, Thread: 2, Block: 9, Off: 4, Size: 16, Stack: 17})
+	s.Free(&trace.Block{ID: 9}, 3, 18)
+	s.ThreadExit(2)
+}
+
+// TestAllOpcodesRoundTrip asserts that every opcode survives encode→decode
+// bit-identically: the replayed callback sequence equals direct delivery.
+func TestAllOpcodesRoundTrip(t *testing.T) {
+	var want captureSink
+	allOpcodeEvents(&want)
+
+	var log bytes.Buffer
+	rec := NewRecorder(&log)
+	allOpcodeEvents(rec)
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	var got captureSink
+	events, err := Replay(bytes.NewReader(log.Bytes()), &got)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if events != rec.Events() {
+		t.Errorf("replayed %d events, recorded %d", events, rec.Events())
+	}
+	if len(got.got) != len(want.got) {
+		t.Fatalf("replayed %d callbacks, want %d", len(got.got), len(want.got))
+	}
+	for i := range want.got {
+		if got.got[i] != want.got[i] {
+			t.Errorf("event %d:\n got %s\nwant %s", i, got.got[i], want.got[i])
+		}
+	}
+}
+
+// TestEveryOpcodeTruncationFails replays each opcode's encoding with the
+// last byte cut off; every case must surface an error rather than silently
+// succeed or hang.
+func TestEveryOpcodeTruncationFails(t *testing.T) {
+	singles := map[string]func(trace.Sink){
+		"thread-start": func(s trace.Sink) { s.ThreadStart(200, 1) },
+		"thread-exit":  func(s trace.Sink) { s.ThreadExit(200) },
+		"segment": func(s trace.Sink) {
+			s.Segment(&trace.SegmentStart{Seg: 300, Thread: 2, In: []trace.SegmentEdge{{From: 299, Kind: trace.Program}}})
+		},
+		"acquire":   func(s trace.Sink) { s.Acquire(2, 300, trace.WLock, 400) },
+		"release":   func(s trace.Sink) { s.Release(2, 300, trace.WLock, 400) },
+		"contended": func(s trace.Sink) { s.Contended(2, 300, 400) },
+		"alloc":     func(s trace.Sink) { s.Alloc(&trace.Block{ID: 300, Base: 0x1000, Size: 8, Tag: "tag"}) },
+		"free":      func(s trace.Sink) { s.Free(&trace.Block{ID: 300}, 2, 400) },
+		"access":    func(s trace.Sink) { s.Access(&trace.Access{Thread: 2, Seg: 3, Block: 300, Size: 4, Stack: 400}) },
+		"sync":      func(s trace.Sink) { s.Sync(&trace.SyncEvent{Op: trace.SemPost, Obj: 300, Thread: 2, Stack: 400}) },
+		"request": func(s trace.Sink) {
+			s.Request(&trace.Request{Kind: trace.ReqCleanMemory, Thread: 2, Block: 300, Size: 4})
+		},
+	}
+	for name, emit := range singles {
+		var log bytes.Buffer
+		rec := NewRecorder(&log)
+		emit(rec)
+		if err := rec.Flush(); err != nil {
+			t.Fatalf("%s: flush: %v", name, err)
+		}
+		if log.Len() < 2 {
+			t.Fatalf("%s: implausibly small encoding (%d bytes)", name, log.Len())
+		}
+		truncated := log.Bytes()[:log.Len()-1]
+		if _, err := Replay(bytes.NewReader(truncated), trace.BaseSink{}); err == nil {
+			t.Errorf("%s: truncated event replayed without error", name)
+		}
+	}
+}

@@ -16,7 +16,6 @@ package tracelog
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
 	"io"
 
 	"repro/internal/trace"
@@ -180,149 +179,22 @@ var _ trace.Sink = (*Recorder)(nil)
 // Replay reads a binary log and delivers every event to the given sinks, in
 // order. Blocks are reconstructed so that Free events carry the matching
 // descriptor. It returns the number of events replayed.
+//
+// Replay is the sequential analysis path; internal/engine consumes the same
+// Decoder to fan a log out across shard workers.
 func Replay(rd io.Reader, sinks ...trace.Sink) (int64, error) {
-	br := bufio.NewReader(rd)
-	blocks := map[trace.BlockID]*trace.Block{}
-	var events int64
-	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	d := NewDecoder(rd)
+	var ev Event
 	for {
-		op, err := br.ReadByte()
+		err := d.Next(&ev)
 		if err == io.EOF {
-			return events, nil
+			return d.Events(), nil
 		}
 		if err != nil {
-			return events, err
+			return d.Events(), err
 		}
-		events++
-		switch op {
-		case opAccess:
-			f, err := readN(readU, 9)
-			if err != nil {
-				return events, err
-			}
-			a := trace.Access{
-				Thread: trace.ThreadID(f[0]), Seg: trace.SegmentID(f[1]),
-				Block: trace.BlockID(f[2]), Addr: trace.Addr(f[3]),
-				Off: uint32(f[4]), Size: uint32(f[5]),
-				Kind: trace.AccessKind(f[6]), Atomic: f[7] != 0,
-				Stack: trace.StackID(f[8]),
-			}
-			for _, s := range sinks {
-				s.Access(&a)
-			}
-		case opAcquire, opRelease:
-			f, err := readN(readU, 4)
-			if err != nil {
-				return events, err
-			}
-			for _, s := range sinks {
-				if op == opAcquire {
-					s.Acquire(trace.ThreadID(f[0]), trace.LockID(f[1]), trace.LockKind(f[2]), trace.StackID(f[3]))
-				} else {
-					s.Release(trace.ThreadID(f[0]), trace.LockID(f[1]), trace.LockKind(f[2]), trace.StackID(f[3]))
-				}
-			}
-		case opContended:
-			f, err := readN(readU, 3)
-			if err != nil {
-				return events, err
-			}
-			for _, s := range sinks {
-				s.Contended(trace.ThreadID(f[0]), trace.LockID(f[1]), trace.StackID(f[2]))
-			}
-		case opAlloc:
-			f, err := readN(readU, 5)
-			if err != nil {
-				return events, err
-			}
-			tag, err := readString(br)
-			if err != nil {
-				return events, err
-			}
-			blk := &trace.Block{
-				ID: trace.BlockID(f[0]), Base: trace.Addr(f[1]), Size: uint32(f[2]),
-				Thread: trace.ThreadID(f[3]), Stack: trace.StackID(f[4]), Tag: tag,
-			}
-			blocks[blk.ID] = blk
-			for _, s := range sinks {
-				s.Alloc(blk)
-			}
-		case opFree:
-			f, err := readN(readU, 3)
-			if err != nil {
-				return events, err
-			}
-			blk := blocks[trace.BlockID(f[0])]
-			if blk == nil {
-				blk = &trace.Block{ID: trace.BlockID(f[0])}
-			}
-			for _, s := range sinks {
-				s.Free(blk, trace.ThreadID(f[1]), trace.StackID(f[2]))
-			}
-			if blk != nil {
-				blk.Freed = true
-			}
-		case opSegment:
-			f, err := readN(readU, 3)
-			if err != nil {
-				return events, err
-			}
-			n := int(f[2])
-			edges := make([]trace.SegmentEdge, 0, n)
-			for i := 0; i < n; i++ {
-				ef, err := readN(readU, 2)
-				if err != nil {
-					return events, err
-				}
-				edges = append(edges, trace.SegmentEdge{From: trace.SegmentID(ef[0]), Kind: trace.EdgeKind(ef[1])})
-			}
-			ss := trace.SegmentStart{Seg: trace.SegmentID(f[0]), Thread: trace.ThreadID(f[1]), In: edges}
-			for _, s := range sinks {
-				s.Segment(&ss)
-			}
-		case opSync:
-			f, err := readN(readU, 5)
-			if err != nil {
-				return events, err
-			}
-			ev := trace.SyncEvent{
-				Op: trace.SyncOp(f[0]), Obj: trace.SyncID(f[1]),
-				Thread: trace.ThreadID(f[2]), Msg: int64(f[3]), Stack: trace.StackID(f[4]),
-			}
-			for _, s := range sinks {
-				s.Sync(&ev)
-			}
-		case opRequest:
-			f, err := readN(readU, 6)
-			if err != nil {
-				return events, err
-			}
-			req := trace.Request{
-				Kind: trace.RequestKind(f[0]), Thread: trace.ThreadID(f[1]),
-				Block: trace.BlockID(f[2]), Off: uint32(f[3]), Size: uint32(f[4]),
-				Stack: trace.StackID(f[5]),
-			}
-			for _, s := range sinks {
-				s.Request(&req)
-			}
-		case opThreadStart:
-			f, err := readN(readU, 2)
-			if err != nil {
-				return events, err
-			}
-			for _, s := range sinks {
-				s.ThreadStart(trace.ThreadID(f[0]), trace.ThreadID(f[1]))
-			}
-		case opThreadExit:
-			f, err := readN(readU, 1)
-			if err != nil {
-				return events, err
-			}
-			for _, s := range sinks {
-				s.ThreadExit(trace.ThreadID(f[0]))
-			}
-		default:
-			return events, fmt.Errorf("tracelog: unknown opcode %d", op)
+		for _, s := range sinks {
+			ev.Deliver(s)
 		}
 	}
 }

@@ -1,5 +1,10 @@
 // Package vclock implements vector clocks (Lamport [7] / DJIT [6]) used by
 // the thread-segment graph and the happens-before detectors.
+//
+// Despite the similar name, this package is only the DATATYPE: a growable
+// vector of per-thread logical clocks with join/compare operations. The
+// DJIT-style happens-before race DETECTOR built on top of it lives in
+// internal/vectorclock.
 package vclock
 
 // VC is a vector clock: one logical clock per thread, indexed by ThreadID.

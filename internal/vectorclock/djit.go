@@ -14,6 +14,10 @@
 // As the paper notes for [12], treating condition signal->wait as
 // happens-before is not sound in general; the Cond edge can be disabled via
 // Config.Edges to study that difference.
+//
+// Despite the similar name, this package is the DETECTOR; the underlying
+// vector-clock DATATYPE (join, tick, compare) lives in internal/vclock and
+// is shared with the thread-segment graph (internal/segments).
 package vectorclock
 
 import (
@@ -87,6 +91,13 @@ type Detector struct {
 	shadow  map[trace.BlockID][]shadowCell
 	freed   map[trace.BlockID]bool
 	races   int
+}
+
+// Factory returns a constructor building an independent detector per
+// collector, for use as a per-shard detector in the parallel engine. Each
+// instance owns its clocks and shadow memory outright.
+func Factory(cfg Config) func(col *report.Collector) trace.Sink {
+	return func(col *report.Collector) trace.Sink { return New(cfg, col) }
 }
 
 // New creates a DJIT detector writing to col.

@@ -3,13 +3,19 @@ package vm
 import (
 	"hash/fnv"
 	"strconv"
+	"sync"
 
 	"repro/internal/trace"
 )
 
 // StackTable interns guest call stacks. Stack IDs are stable for the life of
 // the VM; ID 0 is the empty stack.
+//
+// The table is safe for concurrent use: the guest VM goroutine interns
+// stacks while parallel-engine shard workers resolve them (suppression
+// matching and report formatting go through trace.Resolver mid-run).
 type StackTable struct {
+	mu     sync.RWMutex
 	byHash map[uint64][]trace.StackID
 	stacks [][]trace.Frame
 }
@@ -28,6 +34,8 @@ func (st *StackTable) Intern(frames []trace.Frame) trace.StackID {
 		return trace.NoStack
 	}
 	h := hashFrames(frames)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for _, id := range st.byHash[h] {
 		if framesEqual(st.stacks[id], frames) {
 			return id
@@ -44,6 +52,8 @@ func (st *StackTable) Intern(frames []trace.Frame) trace.StackID {
 // Frames returns the frames of an interned stack, innermost last. The
 // returned slice must not be modified.
 func (st *StackTable) Frames(id trace.StackID) []trace.Frame {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	if id < 0 || int(id) >= len(st.stacks) {
 		return nil
 	}
@@ -52,7 +62,11 @@ func (st *StackTable) Frames(id trace.StackID) []trace.Frame {
 
 // Len returns the number of distinct interned stacks (including the empty
 // stack).
-func (st *StackTable) Len() int { return len(st.stacks) }
+func (st *StackTable) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.stacks)
+}
 
 func hashFrames(frames []trace.Frame) uint64 {
 	h := fnv.New64a()

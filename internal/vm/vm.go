@@ -291,11 +291,16 @@ func (vm *VM) reschedule(cur *Thread) {
 				cur.quantum = vm.opt.Quantum
 				return
 			}
+			// All shared-state work (including reading cur.state) must
+			// happen before the baton is handed over: the wake send is the
+			// happens-before edge to the next thread, and anything cur
+			// touches after it would race with the new baton holder.
 			vm.running = next
+			needPark := cur.state != tsFinished
+			cur.quantum = vm.opt.Quantum
 			next.wake <- struct{}{}
-			if cur.state != tsFinished {
+			if needPark {
 				cur.park()
-				cur.quantum = vm.opt.Quantum
 			}
 			return
 		}
