@@ -1,17 +1,23 @@
 // Command perfbench regenerates the §4.5 overhead comparison: the same
 // workload natively, on the bare VM, and on the VM with each analysis
 // attached. It also measures offline replay throughput — sequential versus
-// the sharded parallel engine — per detector configuration.
+// the sharded parallel engine — per detector configuration, and the
+// one-decode comparative mode: all three paper configurations (plus any
+// extra -tools) analysed concurrently in a single pass over the trace,
+// instead of replaying it once per configuration.
 //
 // With -json the results are emitted as a machine-readable document
 // (ns/event per detector config, sequential vs -parallel N), so successive
-// PRs can track the performance trajectory in BENCH_*.json files.
+// PRs can track the performance trajectory in BENCH_*.json files. The
+// document records GOMAXPROCS, NumCPU and the shard count, so a trajectory
+// measured on a 1-CPU container is distinguishable from a multi-core run.
 //
 // Usage:
 //
 //	perfbench
 //	perfbench -threads 8 -iters 5000
 //	perfbench -json -parallel 4 > BENCH_replay.json
+//	perfbench -tools lockset,djit,deadlock,memcheck,highlevel
 package main
 
 import (
@@ -20,20 +26,25 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 )
 
 // benchDoc is the -json output schema.
 type benchDoc struct {
-	Threads   int                    `json:"threads"`
-	Iters     int                    `json:"iters"`
-	Slots     int                    `json:"slots"`
-	Blocks    int                    `json:"blocks"`
-	Seed      int64                  `json:"seed"`
-	GoMaxProc int                    `json:"gomaxprocs"`
-	Overhead  []overheadJSON         `json:"overhead"`
-	Replay    []harness.ReplayResult `json:"replay"`
+	Threads   int                     `json:"threads"`
+	Iters     int                     `json:"iters"`
+	Slots     int                     `json:"slots"`
+	Blocks    int                     `json:"blocks"`
+	Seed      int64                   `json:"seed"`
+	GoMaxProc int                     `json:"gomaxprocs"`
+	NumCPU    int                     `json:"num_cpu"`
+	Shards    int                     `json:"shards"`
+	Overhead  []overheadJSON          `json:"overhead"`
+	Replay    []harness.ReplayResult  `json:"replay"`
+	OnePass   []harness.OnePassResult `json:"one_pass"`
 }
 
 // overheadJSON is one §4.5 matrix row in machine-readable form.
@@ -52,7 +63,8 @@ func main() {
 		slots    = flag.Int("slots", 64, "shared table slots")
 		seed     = flag.Int64("seed", 1, "scheduler seed")
 		repeat   = flag.Int("repeat", 3, "repetitions (best run reported)")
-		parallel = flag.Int("parallel", 4, "engine shards for the replay measurement")
+		parallel = flag.Int("parallel", 4, "engine shards for the replay measurements")
+		tools    = flag.String("tools", "", "extra tools to add to the one-pass comparative replay (comma-separated, e.g. djit,deadlock,memcheck; 'all' for every tool)")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
 	)
 	flag.Parse()
@@ -89,11 +101,20 @@ func main() {
 		out = append(out, best[m])
 	}
 
+	// The replay benchmarks analyse a recorded trace, and recording is
+	// seeded-deterministic: record once, replay every repetition from the
+	// same log instead of re-executing the guest per repeat.
+	rvm, rlog, err := wr.RecordTrace()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench: record:", err)
+		os.Exit(1)
+	}
+
 	// ReplayBench returns rows in a fixed order (config x mode), so best-of
 	// selection aligns by index.
 	var replay []harness.ReplayResult
 	for r := 0; r < *repeat; r++ {
-		rr, err := wr.ReplayBench(*parallel)
+		rr, err := wr.ReplayBenchLog(rvm, rlog, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "perfbench: replay:", err)
 			os.Exit(1)
@@ -109,11 +130,42 @@ func main() {
 		}
 	}
 
+	// One-decode comparative mode: the three paper configurations — plus any
+	// extra -tools — registered side by side, so the trace is decoded once
+	// instead of once per configuration.
+	specs := harness.PaperConfigSpecs()
+	if *tools != "" {
+		extra, err := core.Options{}.ParseTools(*tools)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(2)
+		}
+		specs = append(specs, extra...)
+	}
+	var onePass []harness.OnePassResult
+	for r := 0; r < *repeat; r++ {
+		op, err := wr.OnePassReplayLog(rvm, rlog, *parallel, specs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench: one-pass:", err)
+			os.Exit(1)
+		}
+		if onePass == nil {
+			onePass = op
+			continue
+		}
+		for i, res := range op {
+			if res.NsTotal < onePass[i].NsTotal {
+				onePass[i] = res
+			}
+		}
+	}
+
 	if *asJSON {
 		doc := benchDoc{
 			Threads: *threads, Iters: *iters, Slots: *slots, Blocks: wr.Blocks,
-			Seed: *seed, GoMaxProc: runtime.GOMAXPROCS(0),
-			Replay: replay,
+			Seed: *seed, GoMaxProc: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+			Shards: *parallel,
+			Replay: replay, OnePass: onePass,
 		}
 		for _, r := range out {
 			row := overheadJSON{Mode: string(r.Mode), NsTotal: r.Duration.Nanoseconds(), Steps: r.Steps, Ops: r.Ops}
@@ -135,11 +187,36 @@ func main() {
 	fmt.Print(harness.FormatOverhead(out))
 	fmt.Printf("\noffline replay, ns/event (best of %d, %d events):\n\n", *repeat, replay[0].Events)
 	fmt.Printf("%-10s %14s %14s\n", "config", "sequential", replay[1].Mode)
+	var seqTotal int64
 	for i := 0; i < len(replay); i += 2 {
 		fmt.Printf("%-10s %14.1f %14.1f\n", replay[i].Config, replay[i].NsPerEvt, replay[i+1].NsPerEvt)
+		seqTotal += replay[i].NsTotal
+	}
+	fmt.Printf("\none-decode comparative mode: %d tool(s) in one pass (%d events):\n\n", len(specs), onePass[0].Events)
+	fmt.Printf("%-14s %14s %14s\n", "mode", "ns/event", "locations")
+	for _, op := range onePass {
+		names := make([]string, 0, len(op.Locations))
+		for n := range op.Locations {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		locs := ""
+		for i, n := range names {
+			if i > 0 {
+				locs += " "
+			}
+			locs += fmt.Sprintf("%s=%d", n, op.Locations[n])
+		}
+		fmt.Printf("%-14s %14.1f   %s\n", op.Mode, op.NsPerEvt, locs)
+	}
+	if *tools == "" {
+		// Only apples to apples: with extra -tools the one-pass run analyses
+		// more than the three per-config replays do.
+		fmt.Printf("\nvs %d per-config sequential replays: %.2fx the decode+analysis time in one pass\n",
+			len(specs), float64(onePass[0].NsTotal)/float64(seqTotal))
 	}
 	if runtime.GOMAXPROCS(0) < *parallel {
-		fmt.Printf("\nnote: GOMAXPROCS=%d < %d shards — the parallel column measures engine\n",
+		fmt.Printf("\nnote: GOMAXPROCS=%d < %d shards — the parallel columns measure engine\n",
 			runtime.GOMAXPROCS(0), *parallel)
 		fmt.Println("overhead, not speedup; run on a multi-core host for the scaling numbers.")
 	}

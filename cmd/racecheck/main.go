@@ -9,6 +9,7 @@
 //	racecheck -workload stringrace -config original
 //	racecheck -workload counter -detector djit
 //	racecheck -workload threadpool -config hwlc+dr -edges full
+//	racecheck -workload counter -tools lockset,djit,deadlock,memcheck -parallel 4
 package main
 
 import (
@@ -205,7 +206,8 @@ func main() {
 		deadlocks = flag.Bool("deadlocks", true, "attach the lock-order deadlock tool")
 		memchk    = flag.Bool("memcheck", true, "attach the memcheck tool")
 		highlevel = flag.Bool("highlevel", false, "attach the view-consistency (high-level race) checker")
-		parallel  = flag.Int("parallel", 1, "shard the race detector across N engine workers (>1 enables the parallel analysis engine)")
+		tools     = flag.String("tools", "", "run this comma-separated tool set concurrently in one pass (e.g. lockset,djit,deadlock; 'all' for every tool); overrides -detector and the attach flags")
+		parallel  = flag.Int("parallel", 1, "shard the registered tools across N engine workers (>1 enables the parallel analysis engine)")
 	)
 	flag.Parse()
 
@@ -256,6 +258,18 @@ func main() {
 	if *edges == "full" {
 		opt.Lockset.Mask = trace.MaskFull
 	}
+	label := fmt.Sprintf("%s/%s", *detector, *config)
+	if *tools != "" {
+		// The registry path: every named tool runs concurrently over one
+		// pass of the stream, using the configs assembled above.
+		specs, err := opt.ParseTools(*tools)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "racecheck:", err)
+			os.Exit(2)
+		}
+		opt.Tools = specs
+		label = fmt.Sprintf("tools=%s (%s)", *tools, *config)
+	}
 
 	rt := cppmodel.NewRuntime(cppmodel.Options{AnnotateDeletes: annotate, ForceNew: true})
 	res, err := core.Run(opt, wl.body(rt))
@@ -267,7 +281,7 @@ func main() {
 	if *parallel > 1 {
 		mode = fmt.Sprintf(", %d-shard engine", *parallel)
 	}
-	fmt.Printf("== workload %q under %s/%s (seed %d%s)\n\n", *workload, *detector, *config, *seed, mode)
+	fmt.Printf("== workload %q under %s (seed %d%s)\n\n", *workload, label, *seed, mode)
 	fmt.Print(res.Report())
 	if res.Err != nil {
 		fmt.Printf("\nguest execution ended abnormally: %v\n", res.Err)

@@ -4,11 +4,16 @@
 // something an on-the-fly tool cannot do, at the §4.5 cost of storing the
 // trace.
 //
+// With -tools the replay runs the registry's one-pass mode instead: every
+// named tool — several race detectors and all auxiliary checkers — analyses
+// the trace concurrently over a SINGLE decode, sequentially or sharded.
+//
 // Usage:
 //
 //	tracereplay                     # record T2 in memory, replay 3 configs
 //	tracereplay -case T5 -log /tmp/t5.trace
 //	tracereplay -parallel 8         # replay through the sharded engine
+//	tracereplay -tools all -parallel 4
 package main
 
 import (
@@ -17,7 +22,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	"repro/internal/core"
 	"repro/internal/cppmodel"
 	"repro/internal/engine"
 	"repro/internal/harness"
@@ -26,6 +33,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sip"
 	"repro/internal/sipp"
+	"repro/internal/trace"
 	"repro/internal/tracelog"
 	"repro/internal/vm"
 )
@@ -35,6 +43,7 @@ func main() {
 		caseID   = flag.String("case", "T2", "test case T1..T8")
 		seed     = flag.Int64("seed", 1, "scheduler seed")
 		logPath  = flag.String("log", "", "write the binary trace to this file (default: in memory)")
+		tools    = flag.String("tools", "", "replay once through this comma-separated tool set in one decode (e.g. lockset,djit,deadlock; 'all' for every tool) instead of the per-config loop")
 		parallel = flag.Int("parallel", 1, "replay through the sharded analysis engine with N workers (>1)")
 	)
 	flag.Parse()
@@ -81,6 +90,39 @@ func main() {
 	fmt.Printf("recorded %s: %d events, %d bytes (%.1f bytes/event)\n\n",
 		tc.ID, rec.Events(), sinkBuf.Len(), float64(sinkBuf.Len())/float64(rec.Events()))
 
+	if *tools != "" {
+		// One-pass mode: a single decode fans out to every named tool.
+		specs, err := core.Options{}.ParseTools(*tools)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracereplay:", err)
+			os.Exit(2)
+		}
+		col, err := replayOnce(specs, v, *parallel, sinkBuf.Bytes())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracereplay:", err)
+			os.Exit(1)
+		}
+		byTool := col.LocationsByTool()
+		names := make([]string, 0, len(byTool))
+		for n := range byTool {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("%-20s %10s\n", "tool", "locations")
+		for _, n := range names {
+			fmt.Printf("%-20s %10d\n", n, byTool[n])
+		}
+		fmt.Printf("%-20s %10d\n", "total", col.Locations())
+		fmt.Printf("\n%d tool(s) analysed the trace concurrently over a SINGLE decode;\n", len(specs))
+		if *parallel > 1 {
+			fmt.Printf("the run was sharded across %d engine workers and the merged report is\n", *parallel)
+			fmt.Println("byte-identical to the sequential single-pass result.")
+		} else {
+			fmt.Println("rerun with -parallel N to shard the same pass across engine workers.")
+		}
+		return
+	}
+
 	// Phase 2: replay the identical interleaving into each configuration,
 	// sequentially or through the sharded engine.
 	fmt.Printf("%-10s %10s\n", "config", "locations")
@@ -89,7 +131,7 @@ func main() {
 		if *parallel > 1 {
 			eng, err := engine.New(engine.Options{
 				Shards:   *parallel,
-				Factory:  lockset.Factory(det.Cfg),
+				Tools:    []trace.ToolSpec{lockset.Spec(det.Cfg)},
 				Resolver: v, // resolver from the recording VM
 			})
 			if err != nil {
@@ -120,4 +162,29 @@ func main() {
 		fmt.Printf("each replay ran sharded across %d engine workers; the merged reports are\n", *parallel)
 		fmt.Println("deterministic and identical to a sequential replay of the same log.")
 	}
+}
+
+// replayOnce streams one decode of the log through all specs, sequentially
+// or sharded, and returns the merged collector.
+func replayOnce(specs []trace.ToolSpec, res trace.Resolver, parallel int, log []byte) (*report.Collector, error) {
+	opt := engine.Options{Tools: specs, Resolver: res}
+	if parallel > 1 {
+		opt.Shards = parallel
+		eng, err := engine.New(opt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.ReplayLog(bytes.NewReader(log)); err != nil {
+			return nil, err
+		}
+		return eng.Close()
+	}
+	seq, err := engine.NewSequential(opt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := seq.ReplayLog(bytes.NewReader(log)); err != nil {
+		return nil, err
+	}
+	return seq.Close()
 }

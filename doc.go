@@ -7,39 +7,72 @@
 //
 // # Analysis pipelines
 //
-// Analysis runs in three modes, all producing identical reports:
+// Analysis runs in three modes, all producing byte-identical reports:
 //
-//   - online: detectors attached to the VM observe events as the guest
-//     executes (internal/core, the paper's on-the-fly mode);
-//   - offline: a recorded binary trace (internal/tracelog) is replayed
-//     sequentially into any set of detectors (§2.2 post-mortem mode);
+//   - online: the tool pipeline attached to the VM observes events as the
+//     guest executes (internal/core, the paper's on-the-fly mode);
+//   - offline: a recorded binary trace (internal/tracelog) is replayed into
+//     the same pipeline post-mortem (§2.2);
 //   - parallel: internal/engine shards the stream — recorded or live —
 //     across N worker cores.
 //
-// # The parallel engine (internal/engine)
+// # The tool registry
 //
-// The engine decodes the event stream once and partitions it by memory
-// shard: each heap block is assigned to a shard by hashing its BlockID
-// (trace.Shard), and every block-carrying event (access, alloc, free,
-// client request) goes only to the owning shard's worker. Events that carry
-// the happens-before structure — lock acquire/release, segment starts,
-// higher-level synchronisation, thread lifecycle — are broadcast to all
-// shards, so every worker maintains a complete picture of thread and lock
-// state while owning only its slice of shadow memory. Events travel in
-// bounded batched channels (backpressure, no unbounded queues), and each
-// shard runs an independent detector instance behind a panic-isolating
-// trace.SafeSink.
+// Where the paper runs each analysis as a separate Valgrind tool — one
+// execution per tool, and one replay per detector configuration — this
+// reproduction registers any number of tools (trace.ToolSpec) and runs them
+// all concurrently over a SINGLE pass of the event stream: several race
+// detector configurations side by side, plus the lock-order deadlock
+// detector, memcheck and the view-consistency checker. Each detector
+// package exports a Spec constructor declaring its name and routing class;
+// core.Options.Tools (or the -tools flag of racecheck, tracereplay and
+// perfbench) selects the registry for a run.
 //
-// Warnings accumulate in per-shard report.Collectors whose sites carry the
-// global sequence number of their first occurrence; report.Merge folds
-// duplicate sites (summing occurrence counts, keeping the earliest
-// details) and orders the union by that sequence. The merged report is
-// therefore deterministic — independent of goroutine scheduling — and
-// byte-identical to what a sequential replay of the same stream produces.
+// Every tool instance sits behind its own panic-isolating trace.SafeSink
+// and writes to its own report.Collector, whose sites are stamped with the
+// global sequence number of the event that produced them. At the end of the
+// stream, end-of-phase passes (trace.Finisher) run, and report.Merge folds
+// all collectors into one report ordered by global first-seen occurrence —
+// across tools and, in the parallel mode, across shards.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the paper-vs-measured results. The public
-// entry point is internal/core; the benchmarks in bench_test.go regenerate
-// every table and figure of the paper's evaluation, and
-// internal/engine.BenchmarkParallelReplay tracks parallel replay throughput.
+// # The sharded engine (internal/engine)
+//
+// The engine decodes the event stream once, on the dispatcher goroutine,
+// and fans it out to N shard workers over bounded batched channels
+// (backpressure, no unbounded queues). How much of the stream a tool's
+// instances see is the tool's routing class (trace.Routing), which encodes
+// the soundness argument for parallelising it:
+//
+//   - block-routed (trace.RouteBlock — lockset, DJIT, hybrid, memcheck):
+//     one instance per shard. Events naming a heap block (accesses, allocs,
+//     frees, client requests) go only to the shard owning that block
+//     (trace.Shard of its BlockID); synchronisation, segment and
+//     thread-lifecycle events are broadcast to all shards. This is sound
+//     because these tools keep their warning-producing shadow state per
+//     block and warn only from block-carrying events, while their
+//     thread/lock/segment state derives purely from broadcast events and
+//     therefore evolves identically in every shard. Memcheck is the extreme
+//     case: its whole state is the per-block freed flag, so it needs only
+//     its own block's events.
+//   - broadcast (trace.RouteBroadcast — deadlock): one pinned instance fed
+//     the broadcast substream only. The lock-order graph is global — no
+//     partition of it preserves cycles — but it is built exclusively from
+//     acquire/contended/release events, which every shard observes in full
+//     order anyway; the engine simply designates one home shard.
+//   - single-shard (trace.RouteSingle — highlevel): one pinned instance fed
+//     the complete stream; the engine additionally forwards every block
+//     event to its home shard. View consistency correlates accesses to
+//     different blocks made under one critical section, so neither a block
+//     partition nor the broadcast substream suffices.
+//
+// The merged multi-tool report is deterministic — independent of goroutine
+// scheduling and of the shard count — and byte-identical to the sequential
+// single-pass pipeline (engine.Sequential) over the same stream, live or
+// replayed. This invariant is tested for all tools at once, under all three
+// paper configurations, at 1/4/8 shards.
+//
+// See README.md for the architecture overview. The public entry point is
+// internal/core; the benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation, and internal/engine's benchmarks track
+// replay throughput.
 package repro

@@ -1,7 +1,7 @@
 // Package core is the library's public façade: it assembles the virtual
-// machine, the detectors and the report pipeline into a single entry point,
-// mirroring the paper's debugging process (Fig. 3): instrument → execute on
-// the VM → analyse the warnings.
+// machine, the tool registry and the report pipeline into a single entry
+// point, mirroring the paper's debugging process (Fig. 3): instrument →
+// execute on the VM → analyse the warnings.
 //
 // A minimal session:
 //
@@ -13,14 +13,18 @@
 //	})
 //	fmt.Print(res.Report())
 //
-// Detector selection, bus-lock model, destructor annotations, thread-segment
-// edges, suppressions and auxiliary tools (lock-order deadlock detection,
-// memcheck) are all options. The paper's three evaluation configurations are
-// available as OptionsOriginal, OptionsHWLC and OptionsHWLCDR.
+// Every analysis is a registered tool: the race detectors (lock-set, DJIT,
+// hybrid) and the auxiliary checkers (lock-order deadlock detection,
+// memcheck, view-consistency) all run concurrently over a single pass of the
+// event stream, sequentially by default or sharded across Options.Parallel
+// engine workers — with byte-identical reports either way. The paper's three
+// evaluation configurations are available as OptionsOriginal, OptionsHWLC
+// and OptionsHWLCDR.
 package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/deadlock"
 	"repro/internal/engine"
@@ -35,7 +39,8 @@ import (
 	"repro/internal/vm"
 )
 
-// DetectorKind selects the race-detection algorithm.
+// DetectorKind selects the race-detection algorithm for the deprecated
+// single-detector Options fields; prefer Options.Tools.
 type DetectorKind uint8
 
 // Available detectors.
@@ -66,21 +71,33 @@ func (k DetectorKind) String() string {
 
 // Options configures a checking run.
 type Options struct {
+	// Tools is the full tool registry for the run: every listed tool runs
+	// concurrently over one pass of the event stream (see trace.ToolSpec and
+	// the Spec constructors in the detector packages). When Tools is empty,
+	// the deprecated selector fields below are converted into the
+	// equivalent registry — one race detector plus the requested auxiliary
+	// tools.
+	Tools []trace.ToolSpec
 	// Detector selects the algorithm (default DetectorLockset).
+	// Deprecated: list the detector in Tools instead.
 	Detector DetectorKind
-	// Lockset configures the lock-set detector (defaults to the paper's
-	// strongest configuration, HWLC+DR).
+	// Lockset configures the lock-set detector. The zero value (and only
+	// the zero value — see lockset.Config.IsZero) defaults to the paper's
+	// strongest configuration, HWLC+DR.
 	Lockset lockset.Config
 	// DJIT configures the happens-before detector when selected.
 	DJIT vectorclock.Config
 	// Hybrid configures the hybrid detector when selected.
 	Hybrid hybrid.Config
 	// Deadlocks attaches the lock-order-graph deadlock tool.
+	// Deprecated: list deadlock.Spec in Tools instead.
 	Deadlocks bool
 	// Memcheck attaches the use-after-free tool.
+	// Deprecated: list memcheck.Spec in Tools instead.
 	Memcheck bool
 	// HighLevel attaches the view-consistency checker for high-level data
 	// races ([1], discussed in the paper's §2.1).
+	// Deprecated: list highlevel.Spec in Tools instead.
 	HighLevel bool
 	// Suppressions holds suppression rules in the Valgrind-like format
 	// accepted by internal/suppress.
@@ -91,12 +108,12 @@ type Options struct {
 	Quantum int
 	// MaxSteps bounds the run.
 	MaxSteps int64
-	// Parallel > 1 runs the race detector sharded across that many workers
-	// of the analysis engine (internal/engine), consuming the VM event
-	// stream live. Auxiliary tools (deadlocks, memcheck, high-level races)
-	// warn from broadcast events and therefore stay on the sequential path;
-	// their collector shares the engine's event sequence so the final
-	// merged report preserves the global first-seen order.
+	// Parallel > 1 runs the registered tools sharded across that many
+	// workers of the analysis engine (internal/engine), consuming the VM
+	// event stream live: block-routed tools get an instance per shard,
+	// broadcast and single-shard tools run as pinned instances inside the
+	// engine. The merged report is byte-identical to the sequential
+	// single-pass result.
 	Parallel int
 }
 
@@ -109,24 +126,120 @@ func OptionsHWLC() Options { return Options{Lockset: lockset.ConfigHWLC()} }
 // OptionsHWLCDR mirrors the full HWLC+DR configuration.
 func OptionsHWLCDR() Options { return Options{Lockset: lockset.ConfigHWLCDR()} }
 
+// locksetSpec resolves the lock-set configuration: only the explicit zero
+// value defaults to the paper's best.
+func (opt Options) locksetSpec() trace.ToolSpec {
+	cfg := opt.Lockset
+	if cfg.IsZero() {
+		cfg = lockset.ConfigHWLCDR()
+	}
+	return lockset.Spec(cfg)
+}
+
+// djitSpec resolves the happens-before configuration: only the explicit zero
+// value (vectorclock.Config.IsZero) defaults to standard DJIT; any partially
+// set config is taken as intentional and passed through verbatim.
+func (opt Options) djitSpec() trace.ToolSpec {
+	cfg := opt.DJIT
+	if cfg.IsZero() {
+		cfg = vectorclock.DefaultConfig()
+	}
+	return vectorclock.Spec(cfg)
+}
+
+// toolSpecs resolves Options into the effective registry: Tools verbatim
+// when set, otherwise the deprecated selector fields adapted.
+func (opt Options) toolSpecs() ([]trace.ToolSpec, error) {
+	if len(opt.Tools) > 0 {
+		return opt.Tools, nil
+	}
+	var specs []trace.ToolSpec
+	switch opt.Detector {
+	case DetectorLockset:
+		specs = append(specs, opt.locksetSpec())
+	case DetectorDJIT:
+		specs = append(specs, opt.djitSpec())
+	case DetectorHybrid:
+		specs = append(specs, hybrid.Spec(opt.Hybrid))
+	case DetectorNone:
+		// No race detector.
+	default:
+		return nil, fmt.Errorf("core: unknown detector %d", opt.Detector)
+	}
+	if opt.Deadlocks {
+		specs = append(specs, deadlock.Spec(deadlock.Config{}))
+	}
+	if opt.Memcheck {
+		specs = append(specs, memcheck.Spec(memcheck.Config{}))
+	}
+	if opt.HighLevel {
+		specs = append(specs, highlevel.Spec(highlevel.Config{}))
+	}
+	return specs, nil
+}
+
+// ToolNames lists the names accepted by ParseTools.
+var ToolNames = []string{"lockset", "djit", "hybrid", "deadlock", "memcheck", "highlevel"}
+
+// ParseTools converts a comma-separated tool list — e.g.
+// "lockset,djit,deadlock", or "all" for every known tool — into registry
+// specs, using the receiver's per-tool configurations (Lockset, DJIT,
+// Hybrid) for the detectors that have one. The result is suitable for
+// Options.Tools or engine.Options.Tools.
+func (opt Options) ParseTools(list string) ([]trace.ToolSpec, error) {
+	var specs []trace.ToolSpec
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "":
+			continue
+		case "all":
+			all, err := opt.ParseTools(strings.Join(ToolNames, ","))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, all...)
+		case "lockset":
+			specs = append(specs, opt.locksetSpec())
+		case "djit":
+			specs = append(specs, opt.djitSpec())
+		case "hybrid":
+			specs = append(specs, hybrid.Spec(opt.Hybrid))
+		case "deadlock":
+			specs = append(specs, deadlock.Spec(deadlock.Config{}))
+		case "memcheck":
+			specs = append(specs, memcheck.Spec(memcheck.Config{}))
+		case "highlevel":
+			specs = append(specs, highlevel.Spec(highlevel.Config{}))
+		default:
+			return nil, fmt.Errorf("core: unknown tool %q (known: %s, all)", name, strings.Join(ToolNames, ", "))
+		}
+	}
+	return specs, nil
+}
+
 // Result is the outcome of a checking run.
 type Result struct {
-	// Collector holds the deduplicated warnings.
+	// Collector holds the deduplicated warnings of every registered tool,
+	// merged in global first-seen order.
 	Collector *report.Collector
 	// VM is the machine the program ran on (stacks and blocks resolve
 	// against it).
 	VM *vm.VM
-	// Err is the guest execution error, if any (including deadlock).
+	// Err is the guest execution error, if any (including deadlock), or the
+	// first tool panic caught by the pipeline.
 	Err error
 	// Steps is the number of guest operations executed.
 	Steps int64
-	// LocksetDetector is set when the lock-set detector ran inline (for its
-	// dynamic counters). It is nil under Parallel > 1, where the detector
-	// exists once per engine shard.
+	// LocksetDetector is set when exactly one lock-set detector instance ran
+	// (for its dynamic counters). It is nil under Parallel > 1, where the
+	// detector exists once per engine shard.
 	LocksetDetector *lockset.Detector
-	// DeadlockDetector is set when the lock-order tool ran.
+	// DeadlockDetector is set when the lock-order tool ran (it is a pinned
+	// single instance even under Parallel > 1).
 	DeadlockDetector *deadlock.Detector
-	// MemcheckDetector is set when memcheck ran.
+	// MemcheckDetector is set when memcheck ran sequentially. It is nil
+	// under Parallel > 1, where memcheck is sharded per block.
 	MemcheckDetector *memcheck.Detector
 	// HighLevelDetector is set when the view-consistency checker ran.
 	HighLevelDetector *highlevel.Detector
@@ -138,14 +251,22 @@ func (r *Result) Locations() int { return r.Collector.Locations() }
 // Report renders the warnings in Helgrind-like format.
 func (r *Result) Report() string { return r.Collector.Format() }
 
+// pipeline is the slice of engine.Engine / engine.Sequential that Run needs:
+// both consume the live stream as a trace.Sink and finish the same way.
+type pipeline interface {
+	trace.Sink
+	Close() (*report.Collector, error)
+	Tool(name string) []trace.Sink
+}
+
 // Run executes the guest program under the configured tools. The returned
 // error covers configuration problems only; guest failures (panic, deadlock,
 // step limit) are reported in Result.Err so that warnings collected up to
 // that point remain accessible.
 func Run(opt Options, body func(*vm.Thread)) (*Result, error) {
-	if opt.Lockset.Bus == lockset.BusNone && opt.Lockset.Mask == 0 && !opt.Lockset.Destruct {
-		// Zero-value lockset config: default to the paper's best.
-		opt.Lockset = lockset.ConfigHWLCDR()
+	specs, err := opt.toolSpecs()
+	if err != nil {
+		return nil, err
 	}
 	machine := vm.New(vm.Options{Seed: opt.Seed, Quantum: opt.Quantum, MaxSteps: opt.MaxSteps})
 
@@ -157,78 +278,68 @@ func Run(opt Options, body func(*vm.Thread)) (*Result, error) {
 		}
 		sup = f
 	}
-	col := report.NewCollector(machine, sup)
-	res := &Result{Collector: col, VM: machine}
+	res := &Result{VM: machine}
 
-	// Resolve the race-detector factory first: with Parallel > 1 it is
-	// instantiated once per engine shard instead of once inline.
-	var factory engine.Factory
-	switch opt.Detector {
-	case DetectorLockset:
-		factory = lockset.Factory(opt.Lockset)
-	case DetectorDJIT:
-		cfg := opt.DJIT
-		if cfg.Tool == "" && !cfg.LockEdges {
-			cfg = vectorclock.DefaultConfig()
+	// Both paths run the same registry over one pass of the stream; the only
+	// difference is whether events fan out to shard workers or are delivered
+	// inline. Reports are byte-identical between the two.
+	var pipe pipeline
+	if len(specs) > 0 {
+		eopt := engine.Options{Tools: specs, Resolver: machine, Suppressor: sup}
+		if opt.Parallel > 1 {
+			eopt.Shards = opt.Parallel
+			eng, err := engine.New(eopt)
+			if err != nil {
+				return nil, fmt.Errorf("core: engine: %w", err)
+			}
+			pipe = eng
+		} else {
+			seq, err := engine.NewSequential(eopt)
+			if err != nil {
+				return nil, fmt.Errorf("core: engine: %w", err)
+			}
+			pipe = seq
 		}
-		factory = vectorclock.Factory(cfg)
-	case DetectorHybrid:
-		cfg := opt.Hybrid
-		factory = func(c *report.Collector) trace.Sink { return hybrid.New(cfg, c) }
-	case DetectorNone:
-		// No race detector.
-	default:
-		return nil, fmt.Errorf("core: unknown detector %d", opt.Detector)
-	}
-
-	var eng *engine.Engine
-	if factory != nil && opt.Parallel > 1 {
-		var err error
-		eng, err = engine.New(engine.Options{
-			Shards:     opt.Parallel,
-			Factory:    factory,
-			Resolver:   machine,
-			Suppressor: sup,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: engine: %w", err)
-		}
-		// The engine must see (and sequence-number) every event before the
-		// auxiliary tools do, so the aux collector's sites interleave with
-		// the engine shards' in global first-seen order after the merge.
-		machine.AddTool(eng)
-		col.SetSequencer(func() uint64 { return uint64(eng.Events()) })
-	} else if factory != nil {
-		det := factory(col)
-		if ld, ok := det.(*lockset.Detector); ok {
-			res.LocksetDetector = ld
-		}
-		machine.AddTool(det)
-	}
-	if opt.Deadlocks {
-		res.DeadlockDetector = deadlock.New(deadlock.Config{}, col)
-		machine.AddTool(res.DeadlockDetector)
-	}
-	if opt.Memcheck {
-		res.MemcheckDetector = memcheck.New(memcheck.Config{}, col)
-		machine.AddTool(res.MemcheckDetector)
-	}
-	if opt.HighLevel {
-		res.HighLevelDetector = highlevel.New(highlevel.Config{}, col)
-		machine.AddTool(res.HighLevelDetector)
+		machine.AddTool(pipe)
 	}
 
 	res.Err = machine.Run(body)
 	res.Steps = machine.Steps()
-	if res.HighLevelDetector != nil {
-		res.HighLevelDetector.Finish()
+	if pipe == nil {
+		res.Collector = report.NewCollector(machine, sup)
+		return res, nil
 	}
-	if eng != nil {
-		merged, err := eng.Close()
-		if err != nil && res.Err == nil {
-			res.Err = err
+	merged, cerr := pipe.Close()
+	if cerr != nil && res.Err == nil {
+		res.Err = cerr
+	}
+	res.Collector = merged
+	// Surface the concrete detector instances for their dynamic counters —
+	// only where exactly one instance exists (sharded tools have one per
+	// worker under Parallel > 1).
+	for _, spec := range specs {
+		insts := pipe.Tool(spec.Name)
+		if len(insts) != 1 {
+			continue
 		}
-		res.Collector = report.Merge(machine, sup, merged, col)
+		switch det := insts[0].(type) {
+		case *lockset.Detector:
+			if res.LocksetDetector == nil {
+				res.LocksetDetector = det
+			}
+		case *deadlock.Detector:
+			if res.DeadlockDetector == nil {
+				res.DeadlockDetector = det
+			}
+		case *memcheck.Detector:
+			if res.MemcheckDetector == nil {
+				res.MemcheckDetector = det
+			}
+		case *highlevel.Detector:
+			if res.HighLevelDetector == nil {
+				res.HighLevelDetector = det
+			}
+		}
 	}
 	return res, nil
 }

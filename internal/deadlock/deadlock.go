@@ -34,15 +34,31 @@ type edgeInfo struct {
 type Detector struct {
 	trace.BaseSink
 	cfg      Config
-	col      *report.Collector
+	col      trace.Reporter
 	held     map[trace.ThreadID][]trace.LockID // acquisition order per thread
 	edges    map[trace.LockID]map[trace.LockID]edgeInfo
 	reported map[string]bool
 	cycles   int
 }
 
+// Spec registers the detector with the analysis engine's tool registry. The
+// lock-order tool warns from broadcast events (acquire/contended) and keeps
+// a single global lock-order graph, so it runs as one instance consuming the
+// broadcast substream — which any one shard observes in full — and needs no
+// block-carrying events at all.
+func Spec(cfg Config) trace.ToolSpec {
+	if cfg.Tool == "" {
+		cfg.Tool = "helgrind-deadlock"
+	}
+	return trace.ToolSpec{
+		Name:    cfg.Tool,
+		Routing: trace.RouteBroadcast,
+		Factory: func(col trace.Reporter) trace.Sink { return New(cfg, col) },
+	}
+}
+
 // New creates a deadlock detector writing to col.
-func New(cfg Config, col *report.Collector) *Detector {
+func New(cfg Config, col trace.Reporter) *Detector {
 	if cfg.Tool == "" {
 		cfg.Tool = "helgrind-deadlock"
 	}

@@ -2,36 +2,37 @@
 // recorded trace — or consumes a live VM event stream — across N CPU cores
 // and produces a report set identical to sequential analysis.
 //
-// Architecture (see also the root doc.go):
+// Architecture (see also the root doc.go): the engine runs a *tool registry*
+// — any number of trace.ToolSpecs, each naming a routing class — over a
+// single decode of the event stream, fanned out to N shard workers:
 //
 //   - The event stream is decoded (or received from the VM) exactly once, on
 //     the dispatcher goroutine, and split into per-memory-shard substreams:
 //     every event that names a heap block (memory accesses, allocations,
 //     frees, client requests) is routed to the shard owning that block
 //     (trace.Shard of its BlockID), while synchronisation, segment and
-//     thread-lifecycle events are broadcast to all shards, so every shard
-//     observes the full happens-before structure.
-//   - Each shard runs an independent detector instance, built by the
-//     configured Factory, on its own worker goroutine. Events travel in
-//     batches over bounded channels, so a slow shard exerts backpressure on
-//     the dispatcher instead of queueing unbounded memory. Detector state is
-//     per-shard by construction — the factory is called once per shard — so
-//     workers share nothing and need no locks.
-//   - Each shard's warnings accumulate in a private report.Collector whose
-//     sites are stamped with the global event sequence number of their first
-//     occurrence. Close joins the workers and merges the per-shard
-//     collectors deterministically (report.Merge): duplicate sites fold with
-//     summed counts and the merged order is the global first-seen order, so
-//     the output does not depend on goroutine scheduling and matches what a
-//     sequential replay into a single detector would have produced.
+//     thread-lifecycle events are broadcast to all shards.
+//   - Block-routed tools (trace.RouteBlock) get one independent instance per
+//     shard; pinned tools (trace.RouteBroadcast, trace.RouteSingle) get
+//     exactly one instance homed on one shard, with the engine forwarding
+//     every block event to the home shards of single-shard tools. Events
+//     travel in batches over bounded channels, so a slow shard exerts
+//     backpressure on the dispatcher instead of queueing unbounded memory.
+//     Instances share nothing and need no locks; each sits behind its own
+//     panic-isolating trace.SafeSink, so one buggy tool cannot take down its
+//     shard siblings.
+//   - Every instance writes to a private report.Collector whose sites are
+//     stamped with the global event sequence number of their first
+//     occurrence. Close joins the workers, runs end-of-stream passes
+//     (trace.Finisher) and merges all collectors deterministically
+//     (report.Merge): duplicate sites fold with summed counts and the merged
+//     order is the global first-seen order across every tool, so the output
+//     does not depend on goroutine scheduling and is byte-identical to what
+//     the Sequential pipeline produces from the same stream.
 //
-// The decomposition is sound for detectors whose shadow state is per-block
-// and whose warnings arise only from block-carrying events — the lock-set
-// and DJIT race detectors both qualify: their thread/lock/segment state is
-// derived from broadcast events and therefore evolves identically in every
-// shard, while their per-block shadow memory is partitioned. Tools that
-// warn from broadcast events themselves (the lock-order deadlock detector)
-// must stay on a sequential path.
+// The routing classes and their soundness arguments are documented on
+// trace.Routing; every detector package exports a Spec constructor declaring
+// its class.
 package engine
 
 import (
@@ -46,12 +47,14 @@ import (
 )
 
 // Factory builds one detector instance for one shard, writing warnings to
-// the shard's private collector. lockset.Factory and vectorclock.Factory
-// return ready-made implementations; use trace.Fanout to run several tools
-// per shard.
+// the shard's private collector.
+//
+// Deprecated: configure the engine with Options.Tools instead. Factory
+// remains as the single-tool shorthand: a non-nil Factory with empty Tools
+// is adapted into one block-routed ToolSpec.
 type Factory func(col *report.Collector) trace.Sink
 
-// Options configures an Engine.
+// Options configures an Engine (or a Sequential).
 type Options struct {
 	// Shards is the number of parallel workers (default: GOMAXPROCS).
 	Shards int
@@ -62,12 +65,16 @@ type Options struct {
 	// Together with BatchSize it bounds the memory between dispatcher and
 	// workers and provides backpressure.
 	QueueDepth int
-	// Factory builds the per-shard detector. Required.
+	// Tools is the registry: every listed tool runs concurrently over the
+	// single decode of the stream, routed per its spec. Names must be
+	// unique. Required unless Factory is set.
+	Tools []trace.ToolSpec
+	// Factory is the deprecated single-tool constructor; see Factory's doc.
 	Factory Factory
 	// Resolver resolves stacks and blocks at reporting time; it is handed to
-	// every shard collector and to the merged result.
+	// every instance collector and to the merged result.
 	Resolver trace.Resolver
-	// Suppressor applies suppression rules in every shard collector.
+	// Suppressor applies suppression rules in every instance collector.
 	Suppressor report.Suppressor
 }
 
@@ -81,12 +88,59 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 8
 	}
+	if len(o.Tools) == 0 && o.Factory != nil {
+		f := o.Factory
+		o.Tools = []trace.ToolSpec{{
+			Name:    "detector",
+			Routing: trace.RouteBlock,
+			Factory: func(col trace.Reporter) trace.Sink { return f(col.(*report.Collector)) },
+		}}
+	}
 	return o
 }
 
-// event is one dispatched trace event plus its global sequence number.
+// validateTools checks the registry invariants shared by Engine and
+// Sequential.
+func validateTools(tools []trace.ToolSpec) error {
+	if len(tools) == 0 {
+		return fmt.Errorf("engine: no tools registered (set Options.Tools)")
+	}
+	seen := make(map[string]bool, len(tools))
+	for _, spec := range tools {
+		if spec.Factory == nil {
+			return fmt.Errorf("engine: tool %q has no Factory", spec.Name)
+		}
+		if spec.Name == "" {
+			return fmt.Errorf("engine: tool with empty Name")
+		}
+		if seen[spec.Name] {
+			return fmt.Errorf("engine: duplicate tool name %q (give each registered tool a distinct report name)", spec.Name)
+		}
+		seen[spec.Name] = true
+		switch spec.Routing {
+		case trace.RouteBlock, trace.RouteBroadcast, trace.RouteSingle:
+		default:
+			// Rejected here, not just in New's placement switch, so a bad
+			// spec fails identically whether or not sharding is enabled.
+			return fmt.Errorf("engine: tool %q has unknown routing %d", spec.Name, spec.Routing)
+		}
+	}
+	return nil
+}
+
+// Delivery destinations within one shard. A broadcast event addresses both
+// groups; a block event addresses the owning shard's block-routed instances
+// and, separately, the single-shard instances wherever they are homed.
+const (
+	dstSharded uint8 = 1 << iota // the shard's block-routed instances
+	dstPinned                    // the shard's pinned (broadcast/single) instances
+)
+
+// event is one dispatched trace event plus its global sequence number and
+// destination groups.
 type event struct {
 	seq uint64
+	dst uint8
 	tracelog.Event
 }
 
@@ -97,27 +151,74 @@ type event struct {
 // dispatch: all events must come from one goroutine, as both the VM and the
 // log decoder guarantee.
 type Engine struct {
-	opt    Options
-	shards []*shard
-	pool   sync.Pool
-	seq    uint64
-	closed bool
-	merged *report.Collector
-	err    error
+	opt        Options
+	shards     []*shard
+	insts      []*toolInst // all instances, in (tool, shard) order
+	fullShards []int       // shards hosting at least one RouteSingle instance
+	active     []int       // shards hosting any instance (broadcast targets)
+	hasSharded bool        // any RouteBlock tool registered
+	pool       sync.Pool
+	seq        uint64
+	closed     bool
+	merged     *report.Collector
+	err        error
 }
 
 // New creates an engine and starts its shard workers.
 func New(opt Options) (*Engine, error) {
-	if opt.Factory == nil {
-		return nil, fmt.Errorf("engine: Options.Factory is required")
-	}
 	opt = opt.withDefaults()
+	if err := validateTools(opt.Tools); err != nil {
+		return nil, err
+	}
 	e := &Engine{opt: opt}
 	e.pool.New = func() any { return make([]event, 0, opt.BatchSize) }
 	e.shards = make([]*shard, opt.Shards)
 	for i := range e.shards {
-		s := newShard(i, opt, e.newBatch())
-		e.shards[i] = s
+		e.shards[i] = newShard(i, opt, e.newBatch())
+	}
+	// Instantiate the registry: block-routed tools once per shard, pinned
+	// tools once each, spread round-robin across shards so several pinned
+	// tools do not pile onto one worker.
+	pinned := 0
+	hasFull := make([]bool, opt.Shards)
+	for _, spec := range opt.Tools {
+		switch spec.Routing {
+		case trace.RouteBlock:
+			e.hasSharded = true
+			for _, s := range e.shards {
+				ti := newToolInst(spec, opt, &s.cur)
+				s.sharded = append(s.sharded, ti)
+				e.insts = append(e.insts, ti)
+			}
+		case trace.RouteBroadcast, trace.RouteSingle:
+			s := e.shards[pinned%opt.Shards]
+			pinned++
+			ti := newToolInst(spec, opt, &s.cur)
+			if spec.Routing == trace.RouteSingle {
+				s.pinnedFull = append(s.pinnedFull, ti)
+				hasFull[s.id] = true
+			} else {
+				s.pinnedBcast = append(s.pinnedBcast, ti)
+			}
+			e.insts = append(e.insts, ti)
+		default:
+			return nil, fmt.Errorf("engine: tool %q has unknown routing %d", spec.Name, spec.Routing)
+		}
+	}
+	for i, ok := range hasFull {
+		if ok {
+			e.fullShards = append(e.fullShards, i)
+		}
+	}
+	// With block-routed tools registered every shard hosts instances; with a
+	// pinned-only registry, only home shards do — the rest never need to see
+	// an event.
+	for _, s := range e.shards {
+		if e.hasSharded || len(s.pinnedBcast)+len(s.pinnedFull) > 0 {
+			e.active = append(e.active, s.id)
+		}
+	}
+	for _, s := range e.shards {
 		go s.run(&e.pool)
 	}
 	return e, nil
@@ -133,33 +234,52 @@ func (e *Engine) newBatch() []event {
 	return e.pool.Get().([]event)[:0]
 }
 
-// dispatch routes one event: block-carrying events to the owning shard,
-// everything else to all shards. ev.Segment.In must not be reused by the
-// caller afterwards (the decoder allocates it fresh; the live Sink methods
-// copy it).
+// dispatch routes one event. Block-carrying events go to the owning shard's
+// block-routed instances and to the home shards of single-shard tools;
+// everything else is broadcast to all shards for every instance.
+// ev.Segment.In must not be reused by the caller afterwards (the decoder
+// allocates it fresh; the live Sink methods copy it).
 func (e *Engine) dispatch(ev *tracelog.Event) {
 	if e.closed {
 		return
 	}
 	e.seq++
 	n := len(e.shards)
+	var owner int
 	switch ev.Op {
 	case tracelog.OpAccess:
-		e.enqueue(trace.Shard(ev.Access.Block, n), ev)
+		owner = trace.Shard(ev.Access.Block, n)
 	case tracelog.OpAlloc, tracelog.OpFree:
-		e.enqueue(trace.Shard(ev.Block.ID, n), ev)
+		owner = trace.Shard(ev.Block.ID, n)
 	case tracelog.OpRequest:
-		e.enqueue(trace.Shard(ev.Request.Block, n), ev)
+		owner = trace.Shard(ev.Request.Block, n)
 	default:
-		for i := 0; i < n; i++ {
-			e.enqueue(i, ev)
+		for _, i := range e.active {
+			e.enqueue(i, ev, dstSharded|dstPinned)
 		}
+		return
+	}
+	if e.hasSharded && len(e.fullShards) == 0 {
+		e.enqueue(owner, ev, dstSharded)
+		return
+	}
+	ownerSent := false
+	for _, i := range e.fullShards {
+		d := dstPinned
+		if i == owner && e.hasSharded {
+			d |= dstSharded
+			ownerSent = true
+		}
+		e.enqueue(i, ev, d)
+	}
+	if e.hasSharded && !ownerSent {
+		e.enqueue(owner, ev, dstSharded)
 	}
 }
 
-func (e *Engine) enqueue(i int, ev *tracelog.Event) {
+func (e *Engine) enqueue(i int, ev *tracelog.Event, dst uint8) {
 	s := e.shards[i]
-	s.pending = append(s.pending, event{seq: e.seq, Event: *ev})
+	s.pending = append(s.pending, event{seq: e.seq, dst: dst, Event: *ev})
 	if len(s.pending) >= e.opt.BatchSize {
 		s.ch <- s.pending
 		s.pending = e.newBatch()

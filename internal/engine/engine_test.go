@@ -238,7 +238,7 @@ func TestEngineLiveStream(t *testing.T) {
 // panicSink panics the first time it sees an access to the poison block.
 type panicSink struct {
 	trace.BaseSink
-	col    *report.Collector
+	col    trace.Reporter
 	poison trace.BlockID
 }
 

@@ -1,6 +1,9 @@
 package engine
 
-import "repro/internal/report"
+import (
+	"repro/internal/report"
+	"repro/internal/trace"
+)
 
 // ShardStat describes one shard's share of the work.
 type ShardStat struct {
@@ -8,12 +11,14 @@ type ShardStat struct {
 	Events int64 // events processed by this shard (broadcasts count once per shard)
 }
 
-// Close flushes the partial batches, joins the shard workers and merges the
-// per-shard collectors into one deterministic result (see report.Merge).
-// The error reports the first detector panic caught by a shard's SafeSink;
-// the merged collector is valid either way and holds everything collected
-// up to the failure. Close is idempotent; dispatching after Close is a
-// no-op.
+// Close flushes the partial batches, joins the shard workers, runs the
+// end-of-stream passes of tools implementing trace.Finisher, and merges the
+// per-instance collectors into one deterministic result (see report.Merge):
+// the merged order is the global first-seen order across every tool and
+// shard. The error reports the first tool panic caught by an instance's
+// SafeSink; the merged collector is valid either way and holds everything
+// collected up to the failure. Close is idempotent; dispatching after Close
+// is a no-op.
 func (e *Engine) Close() (*report.Collector, error) {
 	if e.closed {
 		return e.merged, e.err
@@ -26,16 +31,44 @@ func (e *Engine) Close() (*report.Collector, error) {
 		}
 		close(s.ch)
 	}
-	cols := make([]*report.Collector, len(e.shards))
-	for i, s := range e.shards {
+	for _, s := range e.shards {
 		<-s.done
-		cols[i] = s.col
-		if err := s.sink.Err(); err != nil && e.err == nil {
+	}
+	// The workers have joined, so instance state is safe to touch from here.
+	// Finish-phase warnings are stamped one past the last stream sequence:
+	// they sort after every stream warning regardless of which shard hosts
+	// the finishing tool, exactly as in the Sequential pipeline.
+	for _, ti := range e.insts {
+		*ti.cur = e.seq + 1
+		ti.sink.Finish()
+	}
+	cols := make([]*report.Collector, len(e.insts))
+	for i, ti := range e.insts {
+		cols[i] = ti.col
+		if err := ti.sink.Err(); err != nil && e.err == nil {
 			e.err = err
 		}
 	}
 	e.merged = report.Merge(e.opt.Resolver, e.opt.Suppressor, cols...)
 	return e.merged, e.err
+}
+
+// Tool returns the live instances of the named registered tool — one per
+// shard for block-routed tools, exactly one for pinned tools, none for an
+// unknown name. The instances are unwrapped from their SafeSinks. Only
+// valid after Close: until the workers have joined, instance state is owned
+// by the shard goroutines.
+func (e *Engine) Tool(name string) []trace.Sink {
+	if !e.closed {
+		return nil
+	}
+	var out []trace.Sink
+	for _, ti := range e.insts {
+		if ti.name == name {
+			out = append(out, ti.sink.Unwrap())
+		}
+	}
+	return out
 }
 
 // Stats returns per-shard event counts. Valid after Close.

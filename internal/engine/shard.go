@@ -5,47 +5,97 @@ import (
 
 	"repro/internal/report"
 	"repro/internal/trace"
+	"repro/internal/tracelog"
 )
 
-// shard is one worker: a bounded batch channel, a detector instance and a
-// private collector. Everything behind the channel is touched only by the
-// worker goroutine until Close has joined it.
+// toolInst is one live tool instance: a sink behind its panic isolator and a
+// private collector stamping sites with the owning worker's current global
+// sequence number. Block-routed tools have one per shard; pinned tools have
+// exactly one, homed on one shard. cur points at the owning worker's
+// sequence counter (shard.cur, or Sequential.seq), which the worker updates
+// before delivering each event on its own goroutine — the same goroutine the
+// collector's sequencer then reads it from.
+type toolInst struct {
+	name string
+	col  *report.Collector
+	sink *trace.SafeSink
+	cur  *uint64
+}
+
+func newToolInst(spec trace.ToolSpec, opt Options, cur *uint64) *toolInst {
+	col := report.NewCollector(opt.Resolver, opt.Suppressor)
+	col.SetSequencer(func() uint64 { return *cur })
+	return &toolInst{
+		name: spec.Name,
+		col:  col,
+		// The SafeSink isolates a panicking tool to this one instance: the
+		// worker keeps draining its channel and sibling tools on the same
+		// shard keep analysing; the panic surfaces as an error from Close.
+		sink: trace.NewSafeSink(spec.Factory(col)),
+		cur:  cur,
+	}
+}
+
+// shard is one worker: a bounded batch channel and the tool instances homed
+// here. Everything behind the channel is touched only by the worker
+// goroutine until Close has joined it.
 type shard struct {
-	id      int
-	ch      chan []event
-	pending []event // dispatcher-side partial batch
-	col     *report.Collector
-	sink    *trace.SafeSink
-	cur     uint64 // global sequence of the event being processed
-	events  int64
-	done    chan struct{}
+	id          int
+	ch          chan []event
+	pending     []event // dispatcher-side partial batch
+	sharded     []*toolInst
+	pinnedBcast []*toolInst // RouteBroadcast instances homed here
+	pinnedFull  []*toolInst // RouteSingle instances homed here
+	cur         uint64      // global sequence of the event being processed
+	events      int64
+	done        chan struct{}
 }
 
 func newShard(id int, opt Options, batch []event) *shard {
-	s := &shard{
+	return &shard{
 		id:      id,
 		ch:      make(chan []event, opt.QueueDepth),
 		pending: batch,
 		done:    make(chan struct{}),
 	}
-	s.col = report.NewCollector(opt.Resolver, opt.Suppressor)
-	// The detector calls Collector.Add synchronously from Deliver, on this
-	// shard's goroutine, so reading cur here is race-free.
-	s.col.SetSequencer(func() uint64 { return s.cur })
-	// The SafeSink isolates a panicking detector to its shard: the worker
-	// keeps draining its channel (preserving backpressure behaviour) and the
-	// panic surfaces as an error from Close.
-	s.sink = trace.NewSafeSink(opt.Factory(s.col))
-	return s
 }
 
-// run is the worker loop. Batches go back into the pool after processing.
+// blockOp reports whether the opcode names a heap block — the events that
+// are partitioned rather than broadcast.
+func blockOp(op tracelog.Op) bool {
+	switch op {
+	case tracelog.OpAccess, tracelog.OpAlloc, tracelog.OpFree, tracelog.OpRequest:
+		return true
+	}
+	return false
+}
+
+// run is the worker loop. Each event is delivered to the destination groups
+// named by its dst bits: block-routed instances see their partition plus all
+// broadcasts; pinned broadcast instances see only non-block events; pinned
+// single-shard instances see everything addressed here. Batches go back into
+// the pool after processing.
 func (s *shard) run(pool *sync.Pool) {
 	defer close(s.done)
 	for batch := range s.ch {
 		for i := range batch {
-			s.cur = batch[i].seq
-			batch[i].Deliver(s.sink)
+			ev := &batch[i]
+			s.cur = ev.seq
+			if ev.dst&dstSharded != 0 {
+				for _, ti := range s.sharded {
+					ev.Deliver(ti.sink)
+				}
+			}
+			if ev.dst&dstPinned != 0 {
+				if !blockOp(ev.Op) {
+					for _, ti := range s.pinnedBcast {
+						ev.Deliver(ti.sink)
+					}
+				}
+				for _, ti := range s.pinnedFull {
+					ev.Deliver(ti.sink)
+				}
+			}
 		}
 		s.events += int64(len(batch))
 		pool.Put(batch[:0]) //nolint:staticcheck // slice reuse is the point

@@ -174,7 +174,7 @@ func RunCase(tc sipp.TestCase, det DetectorConfig, opt RunOptions) (*Result, err
 		var err error
 		eng, err = engine.New(engine.Options{
 			Shards:     opt.Parallel,
-			Factory:    lockset.Factory(det.Cfg),
+			Tools:      []trace.ToolSpec{lockset.Spec(det.Cfg)},
 			Resolver:   v,
 			Suppressor: sup,
 		})

@@ -432,3 +432,42 @@ func TestRunCaseParallelWithSuppressions(t *testing.T) {
 			par.Collector.SuppressedSites(), seq.Collector.SuppressedSites())
 	}
 }
+
+// TestOnePassReplayMatchesPerConfig: the one-decode comparative mode must
+// report, per paper configuration, exactly the location counts the classic
+// one-config-per-replay benchmark reports — sequentially and sharded.
+func TestOnePassReplayMatchesPerConfig(t *testing.T) {
+	w := PerfWorkload{Threads: 2, Iters: 100, Slots: 16, Seed: 1, Blocks: 16, Racy: true}
+	perConfig, err := w.ReplayBench(4)
+	if err != nil {
+		t.Fatalf("ReplayBench: %v", err)
+	}
+	want := map[string]int{}
+	for _, r := range perConfig {
+		if r.Mode == "sequential" {
+			want[r.Config] = r.Locations
+		}
+	}
+	onePass, err := w.OnePassReplay(4, PaperConfigSpecs())
+	if err != nil {
+		t.Fatalf("OnePassReplay: %v", err)
+	}
+	reported := 0
+	for _, n := range want {
+		reported += n
+	}
+	if reported == 0 {
+		t.Fatal("racy workload reported nothing; the cross-check is vacuous")
+	}
+	for _, op := range onePass {
+		for cfg, locs := range want {
+			if op.Locations[cfg] != locs {
+				t.Errorf("%s: config %s = %d locations in one pass, %d per-config",
+					op.Mode, cfg, op.Locations[cfg], locs)
+			}
+		}
+	}
+	if onePass[0].Events == 0 || onePass[0].Events != onePass[1].Events {
+		t.Errorf("event counts inconsistent: %d vs %d", onePass[0].Events, onePass[1].Events)
+	}
+}

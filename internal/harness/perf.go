@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lockset"
 	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/tracelog"
 	"repro/internal/vectorclock"
 	"repro/internal/vm"
@@ -54,6 +55,10 @@ type PerfWorkload struct {
 	// instead of one, giving the parallel engine's per-block shard hash
 	// something to distribute. 0 or 1 keeps the classic single-block table.
 	Blocks int
+	// Racy additionally hammers an unlocked counter so detectors have
+	// something to report. Off for the §4.5 benchmarks (whose trajectories
+	// must stay comparable across PRs); used by determinism cross-checks.
+	Racy bool
 }
 
 // DefaultPerfWorkload returns a workload sized for a quick benchmark run.
@@ -111,6 +116,10 @@ func (w PerfWorkload) guestBody(v *vm.VM) func(*vm.Thread) {
 			blocks[i] = main.Alloc(perBlock*8, fmt.Sprintf("perf-table-%d", i))
 		}
 		counter := main.Alloc(8, "perf-counter")
+		var racy *vm.Block
+		if w.Racy {
+			racy = main.Alloc(8, "perf-racy")
+		}
 		workers := make([]*vm.Thread, w.Threads)
 		for th := 0; th < w.Threads; th++ {
 			th := th
@@ -124,6 +133,9 @@ func (w PerfWorkload) guestBody(v *vm.VM) func(*vm.Thread) {
 					b.Store64(t, off, b.Load64(t, off)+local)
 					counter.Store64(t, 0, counter.Load64(t, 0)+1)
 					mu.Unlock(t)
+					if racy != nil {
+						racy.Store64(t, 0, local) // unlocked on purpose
+					}
 					local = local*1664525 + 1013904223
 				}
 			})
@@ -183,23 +195,41 @@ type ReplayResult struct {
 	Locations int     `json:"locations"`
 }
 
+// RecordTrace executes the workload once on the VM with only the trace
+// recorder attached and returns the machine (for stack/block resolution)
+// plus the encoded binary log. Benchmarks that replay the same trace many
+// times (best-of repetitions, several shard counts) should record once with
+// this and hand the log to the *Log variants, instead of re-executing the
+// deterministic guest on every repetition.
+func (w PerfWorkload) RecordTrace() (*vm.VM, []byte, error) {
+	var buf bytes.Buffer
+	rec := tracelog.NewRecorder(&buf)
+	v := vm.New(vm.Options{Seed: w.Seed, Quantum: 10, MaxSteps: 500_000_000})
+	v.AddTool(rec)
+	if err := v.Run(w.guestBody(v)); err != nil {
+		return nil, nil, err
+	}
+	if err := rec.Flush(); err != nil {
+		return nil, nil, err
+	}
+	return v, buf.Bytes(), nil
+}
+
 // ReplayBench records the workload's trace once, then measures offline
 // analysis throughput for every paper configuration: sequential
 // tracelog.Replay versus the engine with the given shard count. The
 // location counts double as a determinism cross-check (they must agree
 // between the two modes).
 func (w PerfWorkload) ReplayBench(shards int) ([]ReplayResult, error) {
-	var buf bytes.Buffer
-	rec := tracelog.NewRecorder(&buf)
-	v := vm.New(vm.Options{Seed: w.Seed, Quantum: 10, MaxSteps: 500_000_000})
-	v.AddTool(rec)
-	if err := v.Run(w.guestBody(v)); err != nil {
+	v, log, err := w.RecordTrace()
+	if err != nil {
 		return nil, err
 	}
-	if err := rec.Flush(); err != nil {
-		return nil, err
-	}
-	log := buf.Bytes()
+	return w.ReplayBenchLog(v, log, shards)
+}
+
+// ReplayBenchLog is ReplayBench over an already-recorded trace.
+func (w PerfWorkload) ReplayBenchLog(v *vm.VM, log []byte, shards int) ([]ReplayResult, error) {
 	var out []ReplayResult
 	for _, det := range PaperConfigs() {
 		start := time.Now()
@@ -233,6 +263,95 @@ func (w PerfWorkload) ReplayBench(shards int) ([]ReplayResult, error) {
 			Locations: merged.Locations(),
 		})
 	}
+	return out, nil
+}
+
+// PaperConfigSpecs returns the three Fig. 6 lock-set configurations as
+// independently named registry tools (the column name doubles as the report
+// name), so one engine pass can evaluate all three columns over a single
+// decode of the trace — the paper's "replay the trace N times" comparison
+// collapsed into one.
+func PaperConfigSpecs() []trace.ToolSpec {
+	specs := make([]trace.ToolSpec, 0, 3)
+	for _, det := range PaperConfigs() {
+		cfg := det.Cfg
+		cfg.Tool = det.Name
+		specs = append(specs, lockset.Spec(cfg))
+	}
+	return specs
+}
+
+// OnePassResult is one single-decode multi-tool replay measurement: every
+// registered tool analysed the trace concurrently in one pass.
+type OnePassResult struct {
+	Mode      string         `json:"mode"` // "sequential" or "parallel-N"
+	Shards    int            `json:"shards"`
+	Tools     []string       `json:"tools"`
+	Events    int64          `json:"events"`
+	NsTotal   int64          `json:"ns_total"`
+	NsPerEvt  float64        `json:"ns_per_event"`
+	Locations map[string]int `json:"locations_by_tool"`
+}
+
+// OnePassReplay records the workload's trace once, then measures the
+// single-decode multi-tool replay: all given tools run concurrently over one
+// pass of the log, sequentially (engine.Sequential) and through the engine
+// with the given shard count. The per-tool location counts double as a
+// determinism cross-check — they must agree between the two modes, and with
+// the equivalent one-tool-per-replay runs.
+func (w PerfWorkload) OnePassReplay(shards int, specs []trace.ToolSpec) ([]OnePassResult, error) {
+	v, log, err := w.RecordTrace()
+	if err != nil {
+		return nil, err
+	}
+	return w.OnePassReplayLog(v, log, shards, specs)
+}
+
+// OnePassReplayLog is OnePassReplay over an already-recorded trace.
+func (w PerfWorkload) OnePassReplayLog(v *vm.VM, log []byte, shards int, specs []trace.ToolSpec) ([]OnePassResult, error) {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+
+	start := time.Now()
+	seq, err := engine.NewSequential(engine.Options{Tools: specs, Resolver: v})
+	if err != nil {
+		return nil, err
+	}
+	events, err := seq.ReplayLog(bytes.NewReader(log))
+	if err != nil {
+		return nil, err
+	}
+	col, err := seq.Close()
+	if err != nil {
+		return nil, err
+	}
+	dur := time.Since(start)
+	out := []OnePassResult{{
+		Mode: "sequential", Shards: 1, Tools: names, Events: events,
+		NsTotal: dur.Nanoseconds(), NsPerEvt: float64(dur.Nanoseconds()) / float64(events),
+		Locations: col.LocationsByTool(),
+	}}
+
+	start = time.Now()
+	eng, err := engine.New(engine.Options{Shards: shards, Tools: specs, Resolver: v})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.ReplayLog(bytes.NewReader(log)); err != nil {
+		return nil, err
+	}
+	merged, err := eng.Close()
+	if err != nil {
+		return nil, err
+	}
+	dur = time.Since(start)
+	out = append(out, OnePassResult{
+		Mode: fmt.Sprintf("parallel-%d", shards), Shards: shards, Tools: names, Events: events,
+		NsTotal: dur.Nanoseconds(), NsPerEvt: float64(dur.Nanoseconds()) / float64(events),
+		Locations: merged.LocationsByTool(),
+	})
 	return out, nil
 }
 

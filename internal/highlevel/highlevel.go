@@ -77,7 +77,7 @@ func (v *view) key() string {
 type Detector struct {
 	trace.BaseSink
 	cfg      Config
-	col      *report.Collector
+	col      trace.Reporter
 	open     map[trace.ThreadID]map[trace.LockID]*view
 	views    map[trace.LockID]map[trace.ThreadID][]*view
 	viewKeys map[trace.LockID]map[trace.ThreadID]map[string]bool
@@ -85,8 +85,25 @@ type Detector struct {
 	reports  int
 }
 
+// Spec registers the detector with the analysis engine's tool registry. View
+// consistency is inherently cross-block: one critical section's view spans
+// every location the thread touches while holding the lock, regardless of
+// which heap block it lives in, so no block partition preserves the
+// analysis. The tool therefore runs as a single instance that the engine
+// feeds the complete stream (broadcast events plus every block event),
+// pinned to one shard. Its warnings are emitted by the end-of-stream Finish
+// pass, which the engine sequences after every stream event.
+func Spec(cfg Config) trace.ToolSpec {
+	cfg = cfg.withDefaults()
+	return trace.ToolSpec{
+		Name:    cfg.Tool,
+		Routing: trace.RouteSingle,
+		Factory: func(col trace.Reporter) trace.Sink { return New(cfg, col) },
+	}
+}
+
 // New creates a view-consistency detector writing to col.
-func New(cfg Config, col *report.Collector) *Detector {
+func New(cfg Config, col trace.Reporter) *Detector {
 	return &Detector{
 		cfg:      cfg.withDefaults(),
 		col:      col,

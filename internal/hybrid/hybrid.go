@@ -60,7 +60,7 @@ type cell struct {
 type Detector struct {
 	trace.BaseSink
 	cfg     Config
-	col     *report.Collector
+	col     trace.Reporter
 	sets    *lockset.SetTable
 	threads map[trace.ThreadID]*threadState
 	locks   map[trace.LockID]vclock.VC
@@ -80,8 +80,21 @@ type threadState struct {
 	wrBus  lockset.SetID
 }
 
+// Spec registers the detector with the analysis engine's tool registry. The
+// hybrid is block-routed for the same reason as its two parents: lock-sets
+// and vector clocks are derived from broadcast events, shadow cells are per
+// block, and warnings arise only from memory accesses.
+func Spec(cfg Config) trace.ToolSpec {
+	cfg = cfg.withDefaults()
+	return trace.ToolSpec{
+		Name:    cfg.Tool,
+		Routing: trace.RouteBlock,
+		Factory: func(col trace.Reporter) trace.Sink { return New(cfg, col) },
+	}
+}
+
 // New creates a hybrid detector writing to col.
-func New(cfg Config, col *report.Collector) *Detector {
+func New(cfg Config, col trace.Reporter) *Detector {
 	cfg = cfg.withDefaults()
 	return &Detector{
 		cfg:     cfg,

@@ -16,6 +16,25 @@ func TestConfigDefaults(t *testing.T) {
 	}
 }
 
+func TestConfigIsZero(t *testing.T) {
+	if !(Config{}).IsZero() {
+		t.Error("zero value must report IsZero")
+	}
+	for _, c := range []Config{
+		{ThreadSegments: true},
+		{Tool: "bare"},
+		{Granule: 8},
+		{Bus: BusSingleMutex},
+		{Mask: trace.MaskFull},
+		{Destruct: true},
+		ConfigOriginal(),
+	} {
+		if c.IsZero() {
+			t.Errorf("%+v must not report IsZero: any set field marks the config intentional", c)
+		}
+	}
+}
+
 func TestPaperConfigs(t *testing.T) {
 	o := ConfigOriginal()
 	if o.Bus != BusSingleMutex || o.Destruct || !o.ThreadSegments {

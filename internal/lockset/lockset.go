@@ -74,6 +74,13 @@ type Config struct {
 	Granule int
 }
 
+// IsZero reports whether c is the zero configuration — no field set at all.
+// core.Run replaces only the zero value with the paper's strongest default
+// (HWLC+DR); a configuration with any field set explicitly (Tool, Granule,
+// ThreadSegments, ...) is taken at face value, so an intentionally minimal
+// detector — e.g. Config{Tool: "bare"} — is never silently upgraded.
+func (c Config) IsZero() bool { return c == Config{} }
+
 func (c Config) withDefaults() Config {
 	if c.Tool == "" {
 		c.Tool = "helgrind"
@@ -158,7 +165,7 @@ type Detector struct {
 	cfg     Config
 	sets    *SetTable
 	graph   *segments.Graph
-	col     *report.Collector
+	col     trace.Reporter
 	threads map[trace.ThreadID]*threadLocks
 	shadow  map[trace.BlockID][]gran
 	freed   map[trace.BlockID]bool
@@ -169,12 +176,29 @@ type Detector struct {
 // collector — the shape the parallel engine wants for its per-shard
 // detectors. Each instance owns all of its state (set table, segment graph,
 // shadow memory), so instances never share mutable state.
+//
+// Deprecated: register the detector through Spec instead; Factory remains
+// for single-tool engine callers.
 func Factory(cfg Config) func(col *report.Collector) trace.Sink {
 	return func(col *report.Collector) trace.Sink { return New(cfg, col) }
 }
 
+// Spec registers the detector with the analysis engine's tool registry. The
+// detector is block-routed: its warning-producing shadow state is per heap
+// block and warnings arise only from block-carrying events, while the
+// thread/lock/segment state it also keeps is derived purely from broadcast
+// events and therefore evolves identically in every shard.
+func Spec(cfg Config) trace.ToolSpec {
+	cfg = cfg.withDefaults()
+	return trace.ToolSpec{
+		Name:    cfg.Tool,
+		Routing: trace.RouteBlock,
+		Factory: func(col trace.Reporter) trace.Sink { return New(cfg, col) },
+	}
+}
+
 // New creates a detector writing to the given collector.
-func New(cfg Config, col *report.Collector) *Detector {
+func New(cfg Config, col trace.Reporter) *Detector {
 	cfg = cfg.withDefaults()
 	return &Detector{
 		cfg:     cfg,

@@ -20,13 +20,29 @@ type Config struct {
 type Detector struct {
 	trace.BaseSink
 	cfg    Config
-	col    *report.Collector
+	col    trace.Reporter
 	freed  map[trace.BlockID]bool
 	errors int
 }
 
+// Spec registers the tool with the analysis engine's tool registry. Memcheck
+// is block-routed — and therefore truly sharded: its entire state is the
+// per-block freed flag, and both of its warnings (use after free, double
+// free) arise from events carrying that block. An instance never needs to
+// see any other block's events, so partitioning by block hash is exact.
+func Spec(cfg Config) trace.ToolSpec {
+	if cfg.Tool == "" {
+		cfg.Tool = "memcheck"
+	}
+	return trace.ToolSpec{
+		Name:    cfg.Tool,
+		Routing: trace.RouteBlock,
+		Factory: func(col trace.Reporter) trace.Sink { return New(cfg, col) },
+	}
+}
+
 // New creates a memcheck tool writing to col.
-func New(cfg Config, col *report.Collector) *Detector {
+func New(cfg Config, col trace.Reporter) *Detector {
 	if cfg.Tool == "" {
 		cfg.Tool = "memcheck"
 	}

@@ -16,84 +16,24 @@ import (
 	"repro/internal/trace"
 )
 
-// Kind classifies a warning.
-type Kind uint8
+// Kind classifies a warning. The type and its values live in internal/trace
+// (shared with the tool-registry machinery); these aliases keep report the
+// canonical vocabulary for everything that formats or classifies warnings.
+type Kind = trace.Kind
 
 // Warning kinds.
 const (
-	// KindRace is a possible data race (lock-set violation or unordered
-	// conflicting accesses, depending on the tool).
-	KindRace Kind = iota
-	// KindDeadlock is a lock-order cycle or an observed deadlock.
-	KindDeadlock
-	// KindUseAfterFree is an access to freed guest memory.
-	KindUseAfterFree
-	// KindInvalidFree is a free of an already-freed block.
-	KindInvalidFree
-	// KindHighLevel is a high-level data race (view inconsistency, [1] in
-	// the paper): every access is locked, but the lock granularity admits
-	// inconsistent intermediate states.
-	KindHighLevel
+	KindRace         = trace.KindRace
+	KindDeadlock     = trace.KindDeadlock
+	KindUseAfterFree = trace.KindUseAfterFree
+	KindInvalidFree  = trace.KindInvalidFree
+	KindHighLevel    = trace.KindHighLevel
 )
 
-func (k Kind) String() string {
-	switch k {
-	case KindRace:
-		return "possible data race"
-	case KindDeadlock:
-		return "lock order violation"
-	case KindUseAfterFree:
-		return "invalid access to freed memory"
-	case KindHighLevel:
-		return "high-level data race"
-	default:
-		return "invalid free"
-	}
-}
-
-// Category returns the short token used in suppression files
-// ("Helgrind:Race" matches KindRace).
-func (k Kind) Category() string {
-	switch k {
-	case KindRace:
-		return "Race"
-	case KindDeadlock:
-		return "Deadlock"
-	case KindUseAfterFree:
-		return "UseAfterFree"
-	case KindHighLevel:
-		return "HighLevelRace"
-	default:
-		return "InvalidFree"
-	}
-}
-
-// Warning is a single tool finding. Stack identifies the reporting site and,
-// together with Kind and Tool, forms the deduplication signature.
-type Warning struct {
-	Tool   string
-	Kind   Kind
-	Thread trace.ThreadID
-	Addr   trace.Addr
-	Block  trace.BlockID
-	Off    uint32
-	Size   uint32
-	Access trace.AccessKind
-	Stack  trace.StackID
-	// PrevStack is the other side of the conflict when the tool knows it
-	// (happens-before detectors do; pure lock-set does not).
-	PrevStack trace.StackID
-	// State describes the shadow state at the time of the report, e.g.
-	// "shared RO, no locks" — mirroring Helgrind's "Previous state" line.
-	State string
-	// Count is the number of dynamic occurrences folded into this site.
-	Count int
-	// Seq is the global event sequence number of the first occurrence, when
-	// a sequencer is installed on the collector (SetSequencer). The parallel
-	// engine uses it to restore the sequential first-seen order when merging
-	// per-shard collectors; it is 0 otherwise.
-	Seq uint64
-}
+// Warning is a single tool finding; see trace.Warning for the field
+// contract. Stack identifies the reporting site and, together with Kind and
+// Tool, forms the deduplication signature.
+type Warning = trace.Warning
 
 type siteKey struct {
 	tool  string
@@ -134,9 +74,10 @@ func NewCollector(res trace.Resolver, sup Suppressor) *Collector {
 // the sequential first-seen order from per-shard collectors.
 func (c *Collector) SetSequencer(fn func() uint64) { c.seq = fn }
 
-// Add records a warning occurrence. The first occurrence at a site retains
-// its details; later ones only bump the count. Add reports whether the
-// warning was a new site (neither folded nor suppressed).
+// Add records a warning occurrence, implementing trace.Reporter. The first
+// occurrence at a site retains its details; later ones only bump the count.
+// Add reports whether the warning was a new site (neither folded nor
+// suppressed).
 func (c *Collector) Add(w Warning) bool {
 	c.total++
 	key := siteKey{tool: w.Tool, kind: w.Kind, stack: w.Stack}
@@ -159,6 +100,8 @@ func (c *Collector) Add(w Warning) bool {
 	return true
 }
 
+var _ trace.Reporter = (*Collector)(nil)
+
 // Sites returns the distinct warning sites in first-seen order.
 func (c *Collector) Sites() []*Warning {
 	out := make([]*Warning, 0, len(c.order))
@@ -178,6 +121,16 @@ func (c *Collector) Occurrences() int { return c.total - c.suppressed }
 
 // SuppressedSites returns the number of sites dropped by suppressions.
 func (c *Collector) SuppressedSites() int { return c.suppressed }
+
+// LocationsByTool returns the number of distinct sites per tool report name
+// — the per-tool breakdown of Locations for multi-tool runs.
+func (c *Collector) LocationsByTool() map[string]int {
+	m := make(map[string]int)
+	for _, w := range c.Sites() {
+		m[w.Tool]++
+	}
+	return m
+}
 
 // CountByKind returns the number of distinct sites per warning kind.
 func (c *Collector) CountByKind() map[Kind]int {

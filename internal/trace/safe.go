@@ -97,6 +97,15 @@ func (s *SafeSink) ThreadStart(t, parent ThreadID) {
 // ThreadExit implements Sink.
 func (s *SafeSink) ThreadExit(t ThreadID) { s.safely("ThreadExit", func() { s.inner.ThreadExit(t) }) }
 
+// Finish forwards the end-of-stream pass to the wrapped sink when it
+// implements Finisher, with the same panic isolation as the event callbacks.
+// It is a no-op otherwise, so callers can invoke it unconditionally.
+func (s *SafeSink) Finish() {
+	if f, ok := s.inner.(Finisher); ok {
+		s.safely("Finish", func() { f.Finish() })
+	}
+}
+
 var _ Sink = (*SafeSink)(nil)
 
 // Fanout returns a Sink that forwards every event to each of the given

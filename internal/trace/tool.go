@@ -1,0 +1,75 @@
+package trace
+
+// Routing classifies how the sharded analysis engine (internal/engine) must
+// route events to a tool. The class is the tool's soundness contract with the
+// engine: it states which slice of the event stream the tool needs in order
+// to produce exactly the warnings a sequential single-pass run would produce.
+type Routing uint8
+
+// Routing classes.
+const (
+	// RouteBlock tools keep their mutable warning-producing state per heap
+	// block and warn only from block-carrying events (accesses, allocations,
+	// frees, client requests). The engine runs one independent instance per
+	// shard: block events are partitioned by block hash, while
+	// synchronisation, segment and thread events are broadcast so every
+	// instance evolves the same thread/lock/segment picture. The race
+	// detectors (lockset, DJIT, hybrid) and memcheck are block-routed.
+	RouteBlock Routing = iota
+	// RouteBroadcast tools warn from broadcast events only and need none of
+	// the block-carrying stream (the lock-order deadlock detector: its input
+	// is the global acquire/contended/release order, which every shard sees
+	// anyway). The engine runs exactly one instance, pinned to one shard,
+	// fed only the broadcast substream.
+	RouteBroadcast
+	// RouteSingle tools need the full, totally-ordered stream in one place —
+	// their state spans blocks in ways no partition preserves (the
+	// view-consistency checker correlates accesses to different blocks made
+	// under one critical section). The engine runs exactly one instance,
+	// pinned to one shard, and additionally forwards every block-carrying
+	// event to that shard for it.
+	RouteSingle
+)
+
+func (r Routing) String() string {
+	switch r {
+	case RouteBlock:
+		return "block-routed"
+	case RouteBroadcast:
+		return "broadcast"
+	default:
+		return "single-shard"
+	}
+}
+
+// ToolFactory builds one tool instance writing its warnings to col. The
+// engine calls it once per shard for block-routed tools and exactly once for
+// pinned (broadcast/single-shard) tools; every call must return a fresh
+// instance sharing no mutable state with its siblings.
+type ToolFactory func(col Reporter) Sink
+
+// ToolSpec registers one analysis tool with the engine. Every detector
+// package exports a Spec constructor returning its canonical entry:
+// lockset.Spec, vectorclock.Spec, hybrid.Spec, deadlock.Spec, memcheck.Spec,
+// highlevel.Spec. Any number of specs — several race detector configurations
+// side by side, plus all auxiliary checkers — can run concurrently over a
+// single decode of the stream.
+type ToolSpec struct {
+	// Name identifies the tool within a run; the engine rejects duplicate
+	// names. It should equal the report name the tool stamps into warnings
+	// (Warning.Tool), since that name keys warning deduplication.
+	Name string
+	// Routing is the tool's routing class (see Routing).
+	Routing Routing
+	// Factory builds the tool's instances. Required.
+	Factory ToolFactory
+}
+
+// Finisher is implemented by tools that run an end-of-stream analysis pass
+// (the view-consistency checker accumulates views during the run and compares
+// them at the end). The engine invokes Finish after the last event and before
+// merging reports; warnings added from Finish are sequenced after every
+// stream event, so the merged order stays deterministic.
+type Finisher interface {
+	Finish()
+}

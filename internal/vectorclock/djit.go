@@ -58,6 +58,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// IsZero reports whether c is the zero configuration — no field set at all.
+// Callers that want "unset defaults to standard DJIT" semantics (core.Run)
+// must test IsZero rather than sniffing individual fields, so that an
+// intentional partial config (say, LockEdges off to study pure program-order
+// edges) is honoured rather than silently replaced.
+func (c Config) IsZero() bool { return c == Config{} }
+
 // DefaultConfig returns the standard DJIT configuration.
 func DefaultConfig() Config {
 	return Config{LockEdges: true, FirstRaceOnly: true}.withDefaults()
@@ -82,7 +89,7 @@ type shadowCell struct {
 type Detector struct {
 	trace.BaseSink
 	cfg     Config
-	col     *report.Collector
+	col     trace.Reporter
 	threads map[trace.ThreadID]vclock.VC
 	locks   map[trace.LockID]vclock.VC
 	syncs   map[trace.SyncID]vclock.VC
@@ -96,12 +103,28 @@ type Detector struct {
 // Factory returns a constructor building an independent detector per
 // collector, for use as a per-shard detector in the parallel engine. Each
 // instance owns its clocks and shadow memory outright.
+//
+// Deprecated: register the detector through Spec instead; Factory remains
+// for single-tool engine callers.
 func Factory(cfg Config) func(col *report.Collector) trace.Sink {
 	return func(col *report.Collector) trace.Sink { return New(cfg, col) }
 }
 
+// Spec registers the detector with the analysis engine's tool registry. Like
+// the lock-set detector it is block-routed: vector clocks are driven purely
+// by broadcast synchronisation events, shadow cells are per block, and every
+// warning arises from a memory access.
+func Spec(cfg Config) trace.ToolSpec {
+	cfg = cfg.withDefaults()
+	return trace.ToolSpec{
+		Name:    cfg.Tool,
+		Routing: trace.RouteBlock,
+		Factory: func(col trace.Reporter) trace.Sink { return New(cfg, col) },
+	}
+}
+
 // New creates a DJIT detector writing to col.
-func New(cfg Config, col *report.Collector) *Detector {
+func New(cfg Config, col trace.Reporter) *Detector {
 	cfg = cfg.withDefaults()
 	return &Detector{
 		cfg:     cfg,
@@ -118,6 +141,9 @@ func New(cfg Config, col *report.Collector) *Detector {
 
 // ToolName implements trace.Sink.
 func (d *Detector) ToolName() string { return d.cfg.Tool }
+
+// Config returns the effective (defaulted) configuration.
+func (d *Detector) Config() Config { return d.cfg }
 
 // DynamicRaces returns the dynamic (pre-dedup) race count.
 func (d *Detector) DynamicRaces() int { return d.races }
