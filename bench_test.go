@@ -17,6 +17,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/libc"
 	"repro/internal/lockset"
+	"repro/internal/scenario"
 	"repro/internal/sip"
 	"repro/internal/sipp"
 	"repro/internal/trace"
@@ -427,6 +428,34 @@ func BenchmarkLocksetPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- E15: generated-scenario replay throughput ----
+
+// BenchmarkScenarioReplay replays one generated conformance scenario
+// (internal/scenario, the trace recorded once outside the loop) through the
+// full six-tool registry, reporting ns/event — offline multi-tool analysis
+// throughput on a catalog workload rather than the SIP server.
+func BenchmarkScenarioReplay(b *testing.B) {
+	s := scenario.Generate(scenario.GenConfig{Seed: 7})
+	recVM, log, err := scenario.Record(s, true, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := scenario.CountEvents(log)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var locations int
+	for i := 0; i < b.N; i++ {
+		col, err := scenario.RunOffline(recVM, log, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		locations = col.Locations()
+	}
+	b.ReportMetric(float64(locations), "locations")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*events), "ns/event")
 }
 
 // ---- E14: the §2.3.1 manual suppression workflow vs the improvements ----

@@ -71,6 +71,40 @@
 // replayed. This invariant is tested for all tools at once, under all three
 // paper configurations, at 1/4/8 shards.
 //
+// # Conformance scenarios (internal/scenario)
+//
+// The paper's evaluation seeds a handful of known bugs into one SIP server;
+// internal/scenario generalises that into a generator: seeded random guest
+// programs over the full VM API, each planting bugs from a fixed catalog
+// with known ground truth —
+//
+//   - race-ww: concurrent unlocked writes (lockset + DJIT + hybrid)
+//   - race-lockset-only: unlocked writes ordered by a semaphore handoff —
+//     the lock-set detector must report, happens-before tools must NOT
+//   - lost-signal: a condition-variable signal provably lost under every
+//     schedule; the timed-out waiter then races the producer (all three)
+//   - lock-order: an inverted acquisition order, serialised so the run
+//     itself never deadlocks (deadlock tool)
+//   - use-after-free / double-free (memcheck)
+//   - highlevel-split: two fields updated as a unit by one thread and
+//     field-by-field by another, fully locked (view-consistency checker)
+//
+// Every bug is constructed to be schedule-independent (its expected tools
+// report it under EVERY scheduler seed), and every scenario has a bug-free
+// control variant that must produce zero warnings. The conformance suite
+// (internal/scenario/scenario_conformance_test.go) runs each scenario
+// through all six tools under {sequential, 4-shard, 8-shard} × {live,
+// offline-replay} across several scheduler seeds and asserts byte-identical
+// reports across shapes, zero catalog false negatives and clean controls.
+//
+// cmd/scenariogen generates, describes and verifies scenarios; a committed
+// golden corpus (internal/scenario/testdata/golden) pins the generator and
+// the trace encoding, and seeds the tracelog decoder fuzz target. A
+// conformance failure prints its generator and scheduler seeds; reproduce it
+// with
+//
+//	go run ./cmd/scenariogen -seed <gen-seed> -sched <sched-seed> -report
+//
 // See README.md for the architecture overview. The public entry point is
 // internal/core; the benchmarks in bench_test.go regenerate every table and
 // figure of the paper's evaluation, and internal/engine's benchmarks track

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hybrid"
+	"repro/internal/lockset"
+	"repro/internal/trace"
+	"repro/internal/vectorclock"
+	"repro/internal/vm"
+)
+
+// ---- ParseTools error paths ----
+
+func TestParseToolsUnknownName(t *testing.T) {
+	for _, list := range []string{"nonsense", "lockset,nonsense", "all,nonsense"} {
+		_, err := Options{}.ParseTools(list)
+		if err == nil {
+			t.Errorf("ParseTools(%q): no error for unknown tool", list)
+			continue
+		}
+		if !strings.Contains(err.Error(), "nonsense") || !strings.Contains(err.Error(), "known:") {
+			t.Errorf("ParseTools(%q): error %q does not name the bad tool and the known set", list, err)
+		}
+	}
+}
+
+func TestParseToolsEmpty(t *testing.T) {
+	for _, list := range []string{"", ",", " , "} {
+		specs, err := Options{}.ParseTools(list)
+		if err != nil {
+			t.Errorf("ParseTools(%q): %v", list, err)
+		}
+		if len(specs) != 0 {
+			t.Errorf("ParseTools(%q) = %d specs, want 0", list, len(specs))
+		}
+	}
+}
+
+func TestParseToolsAll(t *testing.T) {
+	specs, err := Options{}.ParseTools("all")
+	if err != nil {
+		t.Fatalf("ParseTools(all): %v", err)
+	}
+	if len(specs) != len(ToolNames) {
+		t.Fatalf("ParseTools(all) = %d specs, want %d", len(specs), len(ToolNames))
+	}
+	// Per-tool configurations flow into the expansion.
+	opt := Options{Lockset: lockset.Config{Tool: "custom-helgrind", Bus: lockset.BusRWLock}}
+	specs, err = opt.ParseTools("lockset,deadlock")
+	if err != nil {
+		t.Fatalf("ParseTools: %v", err)
+	}
+	if specs[0].Name != "custom-helgrind" {
+		t.Errorf("configured lockset name not honoured: got %q", specs[0].Name)
+	}
+}
+
+// TestParseToolsDuplicate: ParseTools happily returns duplicate names (the
+// registry is a list), and the duplicate is rejected by engine validation —
+// identically for sequential and sharded runs.
+func TestParseToolsDuplicate(t *testing.T) {
+	specs, err := Options{}.ParseTools("lockset,lockset")
+	if err != nil {
+		t.Fatalf("ParseTools: %v", err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("got %d specs, want 2", len(specs))
+	}
+	for _, parallel := range []int{1, 4} {
+		_, err := Run(Options{Tools: specs, Parallel: parallel}, func(main *vm.Thread) {})
+		if err == nil || !strings.Contains(err.Error(), "duplicate tool name") {
+			t.Errorf("Run(parallel=%d) with duplicate tools: err = %v, want duplicate-name error", parallel, err)
+		}
+	}
+}
+
+// ---- deprecated-field adapters (Options.Detector / Deadlocks / ...) ----
+
+func TestToolSpecsAdaptersDetectorKinds(t *testing.T) {
+	cases := []struct {
+		kind    DetectorKind
+		name    string
+		routing trace.Routing
+	}{
+		{DetectorLockset, "helgrind", trace.RouteBlock},
+		{DetectorDJIT, "djit", trace.RouteBlock},
+		{DetectorHybrid, "hybrid", trace.RouteBlock},
+	}
+	for _, c := range cases {
+		specs, err := Options{Detector: c.kind}.toolSpecs()
+		if err != nil {
+			t.Fatalf("%v: %v", c.kind, err)
+		}
+		if len(specs) != 1 || specs[0].Name != c.name || specs[0].Routing != c.routing {
+			t.Errorf("%v: got %d specs, first %q/%v; want 1 spec %q/%v",
+				c.kind, len(specs), specs[0].Name, specs[0].Routing, c.name, c.routing)
+		}
+	}
+
+	specs, err := Options{Detector: DetectorNone}.toolSpecs()
+	if err != nil || len(specs) != 0 {
+		t.Errorf("DetectorNone: specs %d err %v, want 0 specs, nil", len(specs), err)
+	}
+
+	if _, err := (Options{Detector: DetectorKind(99)}).toolSpecs(); err == nil {
+		t.Error("unknown DetectorKind accepted")
+	}
+}
+
+func TestToolSpecsAdaptersAuxFlags(t *testing.T) {
+	specs, err := Options{Detector: DetectorNone, Deadlocks: true, Memcheck: true, HighLevel: true}.toolSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]trace.Routing{
+		"helgrind-deadlock": trace.RouteBroadcast,
+		"memcheck":          trace.RouteBlock,
+		"highlevel":         trace.RouteSingle,
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for _, sp := range specs {
+		r, ok := want[sp.Name]
+		if !ok {
+			t.Errorf("unexpected spec %q", sp.Name)
+			continue
+		}
+		if sp.Routing != r {
+			t.Errorf("%q routing = %v, want %v", sp.Name, sp.Routing, r)
+		}
+	}
+}
+
+// TestToolSpecsToolsOverridesDeprecated: a non-empty Tools registry wins
+// over every deprecated selector field.
+func TestToolSpecsToolsOverridesDeprecated(t *testing.T) {
+	opt := Options{
+		Tools:     []trace.ToolSpec{hybrid.Spec(hybrid.Config{Tool: "only-me"})},
+		Detector:  DetectorDJIT,
+		Deadlocks: true,
+		Memcheck:  true,
+	}
+	specs, err := opt.toolSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Name != "only-me" {
+		t.Fatalf("Tools not taken verbatim: %d specs, first %q", len(specs), specs[0].Name)
+	}
+}
+
+// TestToolSpecsConfigDefaulting: only the zero-value detector configs are
+// upgraded to the canonical defaults; explicit partial configs pass through.
+func TestToolSpecsConfigDefaulting(t *testing.T) {
+	// Zero lockset config → paper's strongest (HWLC+DR: rwlock bus, destruct).
+	spec := Options{}.locksetSpec()
+	if spec.Name != "helgrind" {
+		t.Errorf("default lockset name %q", spec.Name)
+	}
+	// Explicit partial config must NOT be upgraded.
+	partial := Options{Lockset: lockset.Config{Tool: "bare"}}.locksetSpec()
+	if partial.Name != "bare" {
+		t.Errorf("explicit lockset config clobbered: name %q", partial.Name)
+	}
+	// Same contract for DJIT.
+	dj := Options{DJIT: vectorclock.Config{Tool: "dj2"}}.djitSpec()
+	if dj.Name != "dj2" {
+		t.Errorf("explicit djit config clobbered: name %q", dj.Name)
+	}
+}

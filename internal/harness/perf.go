@@ -245,7 +245,7 @@ func (w PerfWorkload) ReplayBenchLog(v *vm.VM, log []byte, shards int) ([]Replay
 			Locations: col.Locations(),
 		})
 		start = time.Now()
-		eng, err := engine.New(engine.Options{Shards: shards, Factory: lockset.Factory(det.Cfg), Resolver: v})
+		eng, err := engine.New(engine.Options{Shards: shards, Tools: []trace.ToolSpec{lockset.Spec(det.Cfg)}, Resolver: v})
 		if err != nil {
 			return nil, err
 		}

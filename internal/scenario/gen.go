@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterises Generate.
+type GenConfig struct {
+	// Seed drives every random choice; equal seeds yield equal scenarios.
+	Seed int64
+	// Kinds lists the bugs to plant, in order. Nil derives a deterministic
+	// set from the seed: scenario seed i always includes catalog entry
+	// (i-1) mod 7 — so any 7 consecutive seeds cover the whole catalog —
+	// plus a random selection of extra kinds.
+	Kinds []BugKind
+}
+
+// Generate builds a scenario from the configuration. The result depends only
+// on cfg: the same config always yields the same program structure, and the
+// VM then guarantees the same (program, scheduler seed) pair always yields
+// the same event stream.
+func Generate(cfg GenConfig) *Scenario {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Scenario{Seed: cfg.Seed}
+
+	// Shared benign resources: a few mutex-guarded records plus, sometimes,
+	// a read-only record behind an rwlock. Every critical section touches
+	// the record's full field set, which keeps view consistency trivially
+	// satisfied (see the package comment on schedule independence).
+	nRes := 2 + rng.Intn(2)
+	for i := 0; i < nRes; i++ {
+		s.resources = append(s.resources, resource{fields: 1 + rng.Intn(3)})
+	}
+	if rng.Intn(2) == 0 {
+		s.resources = append(s.resources, resource{fields: 1 + rng.Intn(2), readOnly: true})
+	}
+	var mutexRes, roRes []int
+	for i, r := range s.resources {
+		if r.readOnly {
+			roRes = append(roRes, i)
+		} else {
+			mutexRes = append(mutexRes, i)
+		}
+	}
+
+	// Benign worker scripts.
+	nWorkers := 2 + rng.Intn(2)
+	for w := 0; w < nWorkers; w++ {
+		nOps := 5 + rng.Intn(6)
+		var script []op
+		for j := 0; j < nOps; j++ {
+			switch pick := rng.Intn(10); {
+			case pick < 3:
+				script = append(script, op{kind: opLockedWriteUnit, res: mutexRes[rng.Intn(len(mutexRes))]})
+			case pick < 5:
+				script = append(script, op{kind: opLockedReadUnit, res: mutexRes[rng.Intn(len(mutexRes))]})
+			case pick < 6 && len(mutexRes) >= 2:
+				// Two locks, always in ascending resource order: a global
+				// lock order, so the benign workload never contributes a
+				// cycle to the lock-order graph.
+				a, b := rng.Intn(len(mutexRes)), rng.Intn(len(mutexRes))
+				if a == b {
+					b = (b + 1) % len(mutexRes)
+				}
+				if a > b {
+					a, b = b, a
+				}
+				script = append(script, op{kind: opLockedPair, res: mutexRes[a], res2: mutexRes[b]})
+			case pick < 7 && len(roRes) > 0:
+				script = append(script, op{kind: opRWRead, res: roRes[rng.Intn(len(roRes))]})
+			case pick < 9:
+				script = append(script, op{kind: opYield})
+			default:
+				script = append(script, op{kind: opSleep, ticks: 1 + int64(rng.Intn(4))})
+			}
+		}
+		s.scripts = append(s.scripts, script)
+	}
+
+	// One producer/consumer queue between the first two workers, with puts
+	// and gets balanced so the consumer never blocks forever. Messages carry
+	// no shared-memory payload: an unlocked ownership handoff through a
+	// queue would be a (deliberate, Fig. 10/11) lock-set false positive,
+	// which belongs in the bug catalog, not the benign workload.
+	if nWorkers >= 2 && rng.Intn(2) == 0 {
+		s.queues = 1
+		msgs := 1 + rng.Intn(3)
+		for m := 0; m < msgs; m++ {
+			pi := rng.Intn(len(s.scripts[0]) + 1)
+			s.scripts[0] = append(s.scripts[0][:pi], append([]op{{kind: opQueuePut, queue: 0}}, s.scripts[0][pi:]...)...)
+			gi := rng.Intn(len(s.scripts[1]) + 1)
+			s.scripts[1] = append(s.scripts[1][:gi], append([]op{{kind: opQueueGet, queue: 0}}, s.scripts[1][gi:]...)...)
+		}
+	}
+
+	// Planted bugs: at most one instance of each kind per scenario, so that
+	// expectations match warnings unambiguously (lock-order warnings carry
+	// no block tag).
+	kinds := cfg.Kinds
+	if kinds == nil {
+		forced := BugKind(((cfg.Seed-1)%numBugKinds + numBugKinds) % numBugKinds)
+		include := map[BugKind]bool{forced: true}
+		for _, k := range Kinds() {
+			if !include[k] && rng.Intn(4) == 0 {
+				include[k] = true
+			}
+		}
+		for _, k := range Kinds() {
+			if include[k] {
+				kinds = append(kinds, k)
+			}
+		}
+	} else {
+		seen := map[BugKind]bool{}
+		var dedup []BugKind
+		for _, k := range kinds {
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, k)
+			}
+		}
+		kinds = dedup
+	}
+	for i, k := range kinds {
+		s.Bugs = append(s.Bugs, Bug{Index: i, Kind: k, Tag: fmt.Sprintf("bug%d-%s", i, k.Family())})
+	}
+	return s
+}

@@ -1,0 +1,400 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// This file turns a Scenario into an executable guest program. Two variants
+// share one structure: Body(true) plants the bugs, Body(false) is the
+// control with every bug replaced by its fixed counterpart (same threads,
+// same objects, same benign traffic). Thread-creation and allocation order
+// is independent of the variant and of the scheduler seed, so block IDs,
+// lock IDs and allocation tags are stable and warnings can be attributed to
+// bugs by tag.
+//
+// Every access site records a distinct simulated source line (the VM has no
+// program counter), so warnings from different planted bugs never fold into
+// one deduplicated report site.
+
+// bugObjs holds the guest objects owned by one planted bug.
+type bugObjs struct {
+	blk  *vm.Block
+	mu   *vm.Mutex // fix lock / cond mutex / unit lock / lock-order first
+	mu2  *vm.Mutex // lock-order second
+	sem  *vm.Semaphore
+	cond *vm.Cond
+}
+
+// newBugObjs creates the bug's guest objects. Called from main before any
+// thread is spawned, in bug order, so IDs are deterministic.
+func newBugObjs(main *vm.Thread, b Bug) *bugObjs {
+	v := main.VM()
+	o := &bugObjs{}
+	switch b.Kind {
+	case BugRaceWW:
+		o.blk = main.Alloc(4, b.Tag)
+		o.mu = v.NewMutex(b.Tag + "-mu")
+	case BugRaceLocksetOnly:
+		o.blk = main.Alloc(4, b.Tag)
+		o.mu = v.NewMutex(b.Tag + "-mu")
+		o.sem = v.NewSemaphore(b.Tag+"-sem", 0)
+	case BugLostSignal:
+		o.blk = main.Alloc(4, b.Tag)
+		o.mu = v.NewMutex(b.Tag + "-mu")
+		o.cond = v.NewCond(b.Tag+"-cond", o.mu)
+		o.sem = v.NewSemaphore(b.Tag+"-sem", 0)
+	case BugLockOrder:
+		o.mu = v.NewMutex(b.Tag + "-A")
+		o.mu2 = v.NewMutex(b.Tag + "-B")
+	case BugUseAfterFree, BugDoubleFree:
+		o.blk = main.Alloc(4, b.Tag)
+	case BugHighLevel:
+		o.blk = main.Alloc(8, b.Tag)
+		o.mu = v.NewMutex(b.Tag + "-mu")
+	}
+	return o
+}
+
+// Body returns the guest program for the buggy or control variant.
+func (s *Scenario) Body(buggy bool) func(*vm.Thread) {
+	file := s.Name() + ".go"
+	return func(main *vm.Thread) {
+		v := main.VM()
+		defer main.Func("main", file, 1)()
+
+		// Benign shared state, initialised by main before any spawn (the
+		// create edge orders these writes before every worker access).
+		blocks := make([]*vm.Block, len(s.resources))
+		mus := make([]*vm.Mutex, len(s.resources))
+		rws := make([]*vm.RWMutex, len(s.resources))
+		for i, r := range s.resources {
+			blocks[i] = main.Alloc(r.fields*4, fmt.Sprintf("res%d", i))
+			if r.readOnly {
+				rws[i] = v.NewRWMutex(fmt.Sprintf("rw%d", i))
+			} else {
+				mus[i] = v.NewMutex(fmt.Sprintf("mu%d", i))
+			}
+			main.SetLine(10 + i)
+			for f := 0; f < r.fields; f++ {
+				blocks[i].Store32(main, f*4, uint32(i*8+f))
+			}
+		}
+		queues := make([]*vm.Queue, s.queues)
+		for i := range queues {
+			queues[i] = v.NewQueue(fmt.Sprintf("q%d", i), 0)
+		}
+		objs := make([]*bugObjs, len(s.Bugs))
+		for i, b := range s.Bugs {
+			objs[i] = newBugObjs(main, b)
+		}
+
+		// Benign workers.
+		workers := make([]*vm.Thread, len(s.scripts))
+		for w := range s.scripts {
+			w := w
+			workers[w] = main.Go(fmt.Sprintf("worker%d", w), func(t *vm.Thread) {
+				defer t.Func(fmt.Sprintf("worker%d", w), file, 100+w*100)()
+				s.runScript(t, w, blocks, mus, rws, queues)
+			})
+		}
+
+		// Concurrent bug threads.
+		var bugThreads []*vm.Thread
+		for i, b := range s.Bugs {
+			if b.Kind != BugLockOrder {
+				bugThreads = append(bugThreads, s.spawnBug(main, b, objs[i], buggy)...)
+			}
+		}
+
+		// The lock-order bug runs serialised (A to completion, then B): the
+		// inverted acquisition order is in the graph, but the run itself can
+		// never deadlock under any schedule.
+		for i, b := range s.Bugs {
+			if b.Kind == BugLockOrder {
+				s.runLockOrder(main, b, objs[i], buggy)
+			}
+		}
+
+		for _, t := range workers {
+			main.Join(t)
+		}
+		for _, t := range bugThreads {
+			main.Join(t)
+		}
+
+		// Post-join epilogues (the use-after-free read and double free
+		// happen on main, strictly ordered after the freeing thread).
+		for i, b := range s.Bugs {
+			s.bugEpilogue(main, b, objs[i], buggy)
+		}
+
+		// Final cleanup: every block freed exactly once across both
+		// variants (the memcheck bugs manage their own block's lifetime).
+		main.SetLine(50)
+		for _, blk := range blocks {
+			blk.Free(main)
+		}
+		for i, b := range s.Bugs {
+			switch b.Kind {
+			case BugRaceWW, BugRaceLocksetOnly, BugLostSignal, BugHighLevel:
+				objs[i].blk.Free(main)
+			}
+		}
+	}
+}
+
+// runScript interprets one benign worker script.
+func (s *Scenario) runScript(t *vm.Thread, w int, blocks []*vm.Block, mus []*vm.Mutex, rws []*vm.RWMutex, queues []*vm.Queue) {
+	writeUnit := func(res int) {
+		for f := 0; f < s.resources[res].fields; f++ {
+			blocks[res].Store32(t, f*4, uint32(w*64+f))
+		}
+	}
+	readUnit := func(res int) {
+		for f := 0; f < s.resources[res].fields; f++ {
+			blocks[res].Load32(t, f*4)
+		}
+	}
+	for j, o := range s.scripts[w] {
+		t.SetLine(100 + w*100 + j)
+		switch o.kind {
+		case opLockedWriteUnit:
+			mus[o.res].Lock(t)
+			writeUnit(o.res)
+			mus[o.res].Unlock(t)
+		case opLockedReadUnit:
+			mus[o.res].Lock(t)
+			readUnit(o.res)
+			mus[o.res].Unlock(t)
+		case opLockedPair:
+			mus[o.res].Lock(t)
+			mus[o.res2].Lock(t)
+			writeUnit(o.res)
+			writeUnit(o.res2)
+			mus[o.res2].Unlock(t)
+			mus[o.res].Unlock(t)
+		case opRWRead:
+			rws[o.res].RLock(t)
+			readUnit(o.res)
+			rws[o.res].RUnlock(t)
+		case opQueuePut:
+			queues[o.queue].Put(t, j)
+		case opQueueGet:
+			queues[o.queue].Get(t)
+		case opYield:
+			t.Yield()
+		case opSleep:
+			t.Sleep(o.ticks)
+		}
+	}
+}
+
+// spawnBug starts the bug's concurrent threads and returns them for joining.
+func (s *Scenario) spawnBug(main *vm.Thread, b Bug, o *bugObjs, buggy bool) []*vm.Thread {
+	file := s.Name() + ".go"
+	base := 1000 + b.Index*20
+	name := func(side string) string { return fmt.Sprintf("%s-%s", b.Tag, side) }
+
+	switch b.Kind {
+	case BugRaceWW:
+		// Two concurrent unlocked writers (the control takes the fix lock).
+		body := func(val uint32, line int, side string) func(*vm.Thread) {
+			return func(t *vm.Thread) {
+				defer t.Func(name(side), file, line)()
+				if !buggy {
+					o.mu.Lock(t)
+				}
+				t.SetLine(line + 1)
+				o.blk.Store32(t, 0, val)
+				t.SetLine(line + 2)
+				o.blk.Store32(t, 0, val+1)
+				if !buggy {
+					o.mu.Unlock(t)
+				}
+			}
+		}
+		return []*vm.Thread{
+			main.Go(name("a"), body(1, base, "a")),
+			main.Go(name("b"), body(10, base+5, "b")),
+		}
+
+	case BugRaceLocksetOnly:
+		// Unlocked writes ordered by a semaphore handoff: the lock-set
+		// detector (which ignores semaphore edges) reports, happens-before
+		// tools must not.
+		a := main.Go(name("a"), func(t *vm.Thread) {
+			defer t.Func(name("a"), file, base)()
+			if !buggy {
+				o.mu.Lock(t)
+			}
+			t.SetLine(base + 1)
+			o.blk.Store32(t, 0, 1)
+			if !buggy {
+				o.mu.Unlock(t)
+			}
+			t.SetLine(base + 2)
+			o.sem.Post(t)
+		})
+		b2 := main.Go(name("b"), func(t *vm.Thread) {
+			defer t.Func(name("b"), file, base+5)()
+			o.sem.Wait(t)
+			if !buggy {
+				o.mu.Lock(t)
+			}
+			t.SetLine(base + 6)
+			o.blk.Store32(t, 0, 2)
+			if !buggy {
+				o.mu.Unlock(t)
+			}
+		})
+		return []*vm.Thread{a, b2}
+
+	case BugLostSignal:
+		// The producer signals before the consumer waits (the semaphore
+		// enforces the loss under every schedule); the consumer's timed
+		// wait expires and, in the buggy variant, both sides then touch the
+		// payload outside the bound mutex.
+		a := main.Go(name("a"), func(t *vm.Thread) {
+			defer t.Func(name("a"), file, base)()
+			if buggy {
+				t.SetLine(base + 1)
+				o.cond.Signal(t)
+				t.SetLine(base + 2)
+				o.sem.Post(t)
+				t.SetLine(base + 3)
+				o.blk.Store32(t, 0, 1)
+			} else {
+				o.mu.Lock(t)
+				t.SetLine(base + 1)
+				o.blk.Store32(t, 0, 1)
+				o.mu.Unlock(t)
+				t.SetLine(base + 2)
+				o.cond.Signal(t)
+				t.SetLine(base + 3)
+				o.sem.Post(t)
+			}
+		})
+		b2 := main.Go(name("b"), func(t *vm.Thread) {
+			defer t.Func(name("b"), file, base+10)()
+			o.sem.Wait(t)
+			o.mu.Lock(t)
+			t.SetLine(base + 11)
+			o.cond.WaitTimeout(t, 20)
+			if buggy {
+				o.mu.Unlock(t)
+				t.SetLine(base + 12)
+				o.blk.Store32(t, 0, 2)
+			} else {
+				t.SetLine(base + 12)
+				o.blk.Store32(t, 0, 2)
+				o.mu.Unlock(t)
+			}
+		})
+		return []*vm.Thread{a, b2}
+
+	case BugUseAfterFree:
+		// The worker writes and (buggy) frees; main reads after the join —
+		// see bugEpilogue.
+		a := main.Go(name("a"), func(t *vm.Thread) {
+			defer t.Func(name("a"), file, base)()
+			t.SetLine(base + 1)
+			o.blk.Store32(t, 0, 7)
+			if buggy {
+				t.SetLine(base + 2)
+				o.blk.Free(t)
+			}
+		})
+		return []*vm.Thread{a}
+
+	case BugDoubleFree:
+		a := main.Go(name("a"), func(t *vm.Thread) {
+			defer t.Func(name("a"), file, base)()
+			t.SetLine(base + 1)
+			o.blk.Store32(t, 0, 7)
+			t.SetLine(base + 2)
+			o.blk.Free(t)
+		})
+		return []*vm.Thread{a}
+
+	case BugHighLevel:
+		// A treats the two fields as one atomic unit; B (buggy) updates
+		// them in separate critical sections. Every access is locked.
+		a := main.Go(name("a"), func(t *vm.Thread) {
+			defer t.Func(name("a"), file, base)()
+			o.mu.Lock(t)
+			t.SetLine(base + 1)
+			o.blk.Store32(t, 0, 1)
+			t.SetLine(base + 2)
+			o.blk.Store32(t, 4, 2)
+			o.mu.Unlock(t)
+		})
+		b2 := main.Go(name("b"), func(t *vm.Thread) {
+			defer t.Func(name("b"), file, base+5)()
+			if buggy {
+				o.mu.Lock(t)
+				t.SetLine(base + 6)
+				o.blk.Store32(t, 0, 3)
+				o.mu.Unlock(t)
+				o.mu.Lock(t)
+				t.SetLine(base + 7)
+				o.blk.Store32(t, 4, 4)
+				o.mu.Unlock(t)
+			} else {
+				o.mu.Lock(t)
+				t.SetLine(base + 6)
+				o.blk.Store32(t, 0, 3)
+				t.SetLine(base + 7)
+				o.blk.Store32(t, 4, 4)
+				o.mu.Unlock(t)
+			}
+		})
+		return []*vm.Thread{a, b2}
+	}
+	return nil
+}
+
+// runLockOrder runs the serialised lock-order bug inline on main.
+func (s *Scenario) runLockOrder(main *vm.Thread, b Bug, o *bugObjs, buggy bool) {
+	file := s.Name() + ".go"
+	base := 1000 + b.Index*20
+	pair := func(first, second *vm.Mutex, line int, side string) func(*vm.Thread) {
+		return func(t *vm.Thread) {
+			defer t.Func(fmt.Sprintf("%s-%s", b.Tag, side), file, line)()
+			first.Lock(t)
+			t.SetLine(line + 1)
+			second.Lock(t)
+			second.Unlock(t)
+			first.Unlock(t)
+		}
+	}
+	ta := main.Go(b.Tag+"-a", pair(o.mu, o.mu2, base, "a"))
+	main.Join(ta)
+	var tb *vm.Thread
+	if buggy {
+		tb = main.Go(b.Tag+"-b", pair(o.mu2, o.mu, base+5, "b"))
+	} else {
+		tb = main.Go(b.Tag+"-b", pair(o.mu, o.mu2, base+5, "b"))
+	}
+	main.Join(tb)
+}
+
+// bugEpilogue runs the post-join part of a bug on main.
+func (s *Scenario) bugEpilogue(main *vm.Thread, b Bug, o *bugObjs, buggy bool) {
+	base := 1000 + b.Index*20
+	switch b.Kind {
+	case BugUseAfterFree:
+		main.SetLine(base + 10)
+		o.blk.Load32(main, 0) // buggy: reads freed memory
+		if !buggy {
+			main.SetLine(base + 11)
+			o.blk.Free(main)
+		}
+	case BugDoubleFree:
+		if buggy {
+			main.SetLine(base + 10)
+			o.blk.Free(main) // second free
+		}
+	}
+}

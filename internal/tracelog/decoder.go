@@ -91,6 +91,17 @@ func (e *Event) Deliver(s trace.Sink) {
 	}
 }
 
+// Corruption bounds: a decoder must fail cleanly on a corrupt or hostile
+// log, never allocate from an attacker-controlled length. The VM caps stacks
+// far below these, so no legitimate log comes near them.
+const (
+	// maxSegmentEdges bounds a segment's incoming-edge count. Real segments
+	// have a handful of edges (program order plus create/join/queue/...).
+	maxSegmentEdges = 1 << 16
+	// maxTagLen bounds an allocation tag's byte length.
+	maxTagLen = 1 << 20
+)
+
 // Decoder reads a binary trace log event by event. It reconstructs block
 // descriptors so that OpFree events carry the matching allocation, exactly
 // as Replay does.
@@ -209,6 +220,9 @@ func (d *Decoder) Next(ev *Event) error {
 		f, err := readN(readU, 3)
 		if err != nil {
 			return err
+		}
+		if f[2] > maxSegmentEdges {
+			return fmt.Errorf("tracelog: corrupt segment event: %d incoming edges", f[2])
 		}
 		n := int(f[2])
 		edges := make([]trace.SegmentEdge, 0, n)

@@ -16,6 +16,7 @@ package tracelog
 import (
 	"bufio"
 	"encoding/binary"
+	"fmt"
 	"io"
 
 	"repro/internal/trace"
@@ -215,6 +216,9 @@ func readString(br *bufio.Reader) (string, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return "", err
+	}
+	if n > maxTagLen {
+		return "", fmt.Errorf("tracelog: corrupt string length %d", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(br, buf); err != nil {
