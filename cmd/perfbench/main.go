@@ -6,6 +6,12 @@
 // extra -tools) analysed concurrently in a single pass over the trace,
 // instead of replaying it once per configuration.
 //
+// With -ingest it additionally measures the live trace-ingest daemon
+// (internal/ingest): the recorded workload trace streamed over real loopback
+// connections into a private server, at each -ingest-sessions concurrency
+// level (default 1, 8 and 64 concurrent sessions), reporting aggregate
+// events/sec per level.
+//
 // With -json the results are emitted as a machine-readable document
 // (ns/event per detector config, sequential vs -parallel N), so successive
 // PRs can track the performance trajectory in BENCH_*.json files. The
@@ -18,6 +24,7 @@
 //	perfbench -threads 8 -iters 5000
 //	perfbench -json -parallel 4 > BENCH_replay.json
 //	perfbench -tools lockset,djit,deadlock,memcheck,highlevel
+//	perfbench -ingest -ingest-sessions 1,8,64
 package main
 
 import (
@@ -27,6 +34,9 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -45,6 +55,7 @@ type benchDoc struct {
 	Overhead  []overheadJSON          `json:"overhead"`
 	Replay    []harness.ReplayResult  `json:"replay"`
 	OnePass   []harness.OnePassResult `json:"one_pass"`
+	Ingest    []harness.IngestResult  `json:"ingest,omitempty"`
 }
 
 // overheadJSON is one §4.5 matrix row in machine-readable form.
@@ -58,14 +69,17 @@ type overheadJSON struct {
 
 func main() {
 	var (
-		threads  = flag.Int("threads", 4, "guest worker threads")
-		iters    = flag.Int("iters", 2000, "iterations per thread")
-		slots    = flag.Int("slots", 64, "shared table slots")
-		seed     = flag.Int64("seed", 1, "scheduler seed")
-		repeat   = flag.Int("repeat", 3, "repetitions (best run reported)")
-		parallel = flag.Int("parallel", 4, "engine shards for the replay measurements")
-		tools    = flag.String("tools", "", "extra tools to add to the one-pass comparative replay (comma-separated, e.g. djit,deadlock,memcheck; 'all' for every tool)")
-		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
+		threads        = flag.Int("threads", 4, "guest worker threads")
+		iters          = flag.Int("iters", 2000, "iterations per thread")
+		slots          = flag.Int("slots", 64, "shared table slots")
+		seed           = flag.Int64("seed", 1, "scheduler seed")
+		repeat         = flag.Int("repeat", 3, "repetitions (best run reported)")
+		parallel       = flag.Int("parallel", 4, "engine shards for the replay measurements")
+		tools          = flag.String("tools", "", "extra tools to add to the one-pass comparative replay (comma-separated, e.g. djit,deadlock,memcheck; 'all' for every tool)")
+		asJSON         = flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
+		ingest         = flag.Bool("ingest", false, "also measure live-ingest throughput through the trace-ingest server")
+		ingestSessions = flag.String("ingest-sessions", "1,8,64", "comma-separated concurrent session counts for -ingest")
+		ingestShards   = flag.Int("ingest-shards", 1, "per-session engine shards for -ingest (1 = sequential per session)")
 	)
 	flag.Parse()
 	if *repeat < 1 {
@@ -160,12 +174,34 @@ func main() {
 		}
 	}
 
+	// Live-ingest throughput: the same recorded trace streamed concurrently
+	// into a private ingest server, once per session count. The full
+	// six-tool registry runs per session, like a production daemon would.
+	var ingestRows []harness.IngestResult
+	if *ingest {
+		counts, err := parseSessionCounts(*ingestSessions)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(2)
+		}
+		ingestTools, err := (core.Options{}).ToolFactory("all")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(2)
+		}
+		ingestRows, err = harness.IngestBenchLog(rlog, ingestTools, *ingestShards, counts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench: ingest:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *asJSON {
 		doc := benchDoc{
 			Threads: *threads, Iters: *iters, Slots: *slots, Blocks: wr.Blocks,
 			Seed: *seed, GoMaxProc: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 			Shards: *parallel,
-			Replay: replay, OnePass: onePass,
+			Replay: replay, OnePass: onePass, Ingest: ingestRows,
 		}
 		for _, r := range out {
 			row := overheadJSON{Mode: string(r.Mode), NsTotal: r.Duration.Nanoseconds(), Steps: r.Steps, Ops: r.Ops}
@@ -215,9 +251,38 @@ func main() {
 		fmt.Printf("\nvs %d per-config sequential replays: %.2fx the decode+analysis time in one pass\n",
 			len(specs), float64(onePass[0].NsTotal)/float64(seqTotal))
 	}
+	if len(ingestRows) > 0 {
+		fmt.Printf("\nlive ingest (all six tools per session, %d shard(s)/session, %d events/trace):\n\n",
+			ingestRows[0].Shards, ingestRows[0].Events/int64(ingestRows[0].Sessions))
+		fmt.Printf("%-10s %14s %14s %14s\n", "sessions", "events", "wall time", "events/sec")
+		for _, r := range ingestRows {
+			fmt.Printf("%-10d %14d %14s %14.0f\n", r.Sessions, r.Events,
+				time.Duration(r.NsTotal).Round(time.Millisecond).String(), r.EventsPerSec)
+		}
+	}
 	if runtime.GOMAXPROCS(0) < *parallel {
 		fmt.Printf("\nnote: GOMAXPROCS=%d < %d shards — the parallel columns measure engine\n",
 			runtime.GOMAXPROCS(0), *parallel)
 		fmt.Println("overhead, not speedup; run on a multi-core host for the scaling numbers.")
 	}
+}
+
+// parseSessionCounts parses "1,8,64" into ints.
+func parseSessionCounts(list string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -ingest-sessions entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -ingest-sessions")
+	}
+	return out, nil
 }

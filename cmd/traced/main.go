@@ -1,0 +1,91 @@
+// Command traced is the live trace-ingest daemon: the long-running analysis
+// server of internal/ingest. It listens on a unix socket or TCP address,
+// accepts any number of concurrent client connections each streaming one
+// length-framed trace (see the tracelog frame layer), analyses every session
+// through its own engine pipeline under the registered tools, and answers
+// each client with the rendered report for exactly its stream.
+//
+// The daemon shape mirrors the paper's deployment: the tools watched a
+// long-running SIP server under live traffic, not a one-shot replay. A
+// client is cmd/traceload (a replay load generator), or anything speaking
+// the frame protocol.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting,
+// flushes in-flight sessions within the grace period, then prints the
+// cross-session aggregate report to stdout. The same aggregate is available
+// at any time to an "aggregate" query connection (traceload -aggregate).
+//
+// Usage:
+//
+//	traced -listen unix:/tmp/traced.sock
+//	traced -listen tcp:127.0.0.1:7433 -tools lockset,memcheck -parallel 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "tcp:127.0.0.1:7433", "listen address (network:address; unix:/path or tcp:host:port)")
+		toolList    = flag.String("tools", "all", "per-session tool registry (comma-separated, 'all' for every tool)")
+		parallel    = flag.Int("parallel", 1, "per-session engine shards (<= 1 analyses each session sequentially)")
+		maxSessions = flag.Int("max-sessions", 64, "concurrently analysed session cap")
+		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight sessions")
+	)
+	flag.Parse()
+
+	tools, err := (core.Options{}).ToolFactory(*toolList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traced:", err)
+		os.Exit(2)
+	}
+
+	srv, err := ingest.NewServer(ingest.Config{
+		Tools:       tools,
+		Shards:      *parallel,
+		MaxSessions: *maxSessions,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traced:", err)
+		os.Exit(2)
+	}
+	ln, err := ingest.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traced:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("traced: listening on %s (tools %s, %d shard(s)/session, %d session slot(s))\n",
+		*listen, *toolList, *parallel, *maxSessions)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("traced: %v — draining in-flight sessions (grace %v)\n", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "traced: forced shutdown:", err)
+		}
+		<-done
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traced: serve:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Print(srv.Aggregate().Format())
+}

@@ -1,0 +1,251 @@
+// Command traceload is the load-generator client for the trace-ingest
+// daemon (cmd/traced): it replays a corpus of recorded scenario traces over
+// N concurrent connections, each as one live session, collects every
+// returned report and measures aggregate ingest throughput.
+//
+// The corpus is either a directory of recorded *.trace files (e.g. the
+// committed golden corpus under internal/scenario/testdata/golden) or a set
+// of freshly generated scenarios (-generate). With -verify, every returned
+// report is compared byte-for-byte against an in-process offline replay of
+// the same trace — the live/offline conformance check, run against a real
+// server over a real socket. With -aggregate, the run finishes by querying
+// the server's cross-session aggregate report and asserting that this run's
+// sessions all reported.
+//
+// Usage:
+//
+//	traceload -addr unix:/tmp/traced.sock -corpus internal/scenario/testdata/golden -sessions 16 -verify
+//	traceload -inproc -generate 7 -sessions 64 -verify -aggregate
+//
+// -inproc starts a private in-process server instead of dialing one, which
+// makes a self-contained smoke test (the CI ingest smoke drives a real
+// traced process instead).
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ingest"
+	"repro/internal/scenario"
+)
+
+type traceEntry struct {
+	name string
+	log  []byte
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "tcp:127.0.0.1:7433", "server address (network:address)")
+		inproc    = flag.Bool("inproc", false, "start a private in-process server instead of dialing -addr")
+		sessions  = flag.Int("sessions", 8, "concurrent sessions to run (the corpus is cycled)")
+		corpus    = flag.String("corpus", "", "directory of recorded *.trace files to replay")
+		generate  = flag.Int("generate", 4, "without -corpus: number of scenario seeds to generate (buggy variants)")
+		schedSeed = flag.Int64("sched", 1, "scheduler seed for generated scenarios")
+		chunk     = flag.Int("chunk", 64<<10, "events frame chunk size in bytes")
+		toolList  = flag.String("tools", "all", "tool registry for -verify and -inproc (must match the server's)")
+		verify    = flag.Bool("verify", false, "compare every returned report against an offline replay of the same trace")
+		aggregate = flag.Bool("aggregate", false, "finish by querying and printing the server's aggregate report")
+		parallel  = flag.Int("parallel", 1, "per-session engine shards for -inproc")
+	)
+	flag.Parse()
+
+	tools, err := (core.Options{}).ToolFactory(*toolList)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	traces, err := loadCorpus(*corpus, *generate, *schedSeed)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(traces) == 0 {
+		fail("empty corpus")
+	}
+
+	target := *addr
+	if *inproc {
+		srv, err := ingest.NewServer(ingest.Config{Tools: tools, Shards: *parallel, MaxSessions: *sessions})
+		if err != nil {
+			fail("%v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail("%v", err)
+		}
+		go srv.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		target = "tcp:" + ln.Addr().String()
+	}
+
+	// Per-trace event counts, decoded once outside the timed window (the
+	// streaming loop must time ingest work only).
+	counts := make(map[string]int64, len(traces))
+	for _, tr := range traces {
+		n, err := scenario.CountEvents(tr.log)
+		if err != nil {
+			fail("corrupt trace %s: %v", tr.name, err)
+		}
+		counts[tr.name] = n
+	}
+
+	// Offline reference reports, computed once per distinct trace.
+	want := make(map[string]string, len(traces))
+	if *verify {
+		for _, tr := range traces {
+			pipe, err := engine.NewPipeline(engine.Options{Tools: tools()})
+			if err != nil {
+				fail("offline pipeline: %v", err)
+			}
+			if _, err := pipe.ReplayLog(bytes.NewReader(tr.log)); err != nil {
+				pipe.Close()
+				fail("offline replay %s: %v", tr.name, err)
+			}
+			col, err := pipe.Close()
+			if err != nil {
+				fail("offline close %s: %v", tr.name, err)
+			}
+			want[tr.name] = col.Format()
+		}
+	}
+
+	fmt.Printf("traceload: %d session(s) over %d trace(s) against %s\n", *sessions, len(traces), target)
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var events int64
+	var failures []string
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := traces[i%len(traces)]
+			c, err := ingest.Dial(target)
+			if err != nil {
+				mu.Lock()
+				failures = append(failures, fmt.Sprintf("session %d: dial: %v", i, err))
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			report, err := c.StreamTrace(fmt.Sprintf("load-%d-%s", i, tr.name), tr.log, *chunk)
+			if err != nil {
+				mu.Lock()
+				failures = append(failures, fmt.Sprintf("session %d (%s): %v", i, tr.name, err))
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			events += counts[tr.name]
+			mu.Unlock()
+			if *verify && report != want[tr.name] {
+				mu.Lock()
+				failures = append(failures, fmt.Sprintf("session %d (%s): live report differs from offline replay", i, tr.name))
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	sort.Strings(failures)
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "traceload:", f)
+	}
+	fmt.Printf("traceload: %d/%d session(s) ok, %d event(s) in %v (%.0f events/sec)\n",
+		*sessions-len(failures), *sessions, events, dur.Round(time.Millisecond), float64(events)/dur.Seconds())
+	if *verify && len(failures) == 0 {
+		fmt.Println("traceload: verify ok — every live report byte-identical to its offline replay")
+	}
+
+	if *aggregate {
+		c, err := ingest.Dial(target)
+		if err != nil {
+			fail("aggregate: %v", err)
+		}
+		text, err := c.Aggregate()
+		c.Close()
+		if err != nil {
+			fail("aggregate: %v", err)
+		}
+		fmt.Print(text)
+		// This client knows how many sessions it just completed; the
+		// aggregate must account for at least that many reported sessions
+		// (a long-running daemon may have served other clients too).
+		reported, err := parseReported(text)
+		if err != nil {
+			fail("aggregate: %v", err)
+		}
+		if ok := *sessions - len(failures); reported < ok {
+			fail("aggregate reports %d session(s), but this run alone completed %d", reported, ok)
+		}
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseReported extracts the reported-session count from the aggregate
+// header line ("== ingest aggregate: N session(s) — R reported, ...").
+func parseReported(text string) (int, error) {
+	m := regexp.MustCompile(`(\d+) reported`).FindStringSubmatch(text)
+	if m == nil {
+		return 0, fmt.Errorf("no reported count in aggregate header")
+	}
+	return strconv.Atoi(m[1])
+}
+
+// loadCorpus reads *.trace files from dir, or generates scenario traces.
+func loadCorpus(dir string, generate int, schedSeed int64) ([]traceEntry, error) {
+	if dir != "" {
+		paths, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+		if err != nil {
+			return nil, err
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("no *.trace files in %s", dir)
+		}
+		sort.Strings(paths)
+		var out []traceEntry
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, traceEntry{name: filepath.Base(p), log: data})
+		}
+		return out, nil
+	}
+	var out []traceEntry
+	for seed := int64(1); seed <= int64(generate); seed++ {
+		s := scenario.Generate(scenario.GenConfig{Seed: seed})
+		_, log, err := scenario.Record(s, true, schedSeed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, traceEntry{name: s.Name(), log: log})
+	}
+	return out, nil
+}

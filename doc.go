@@ -105,6 +105,43 @@
 //
 //	go run ./cmd/scenariogen -seed <gen-seed> -sched <sched-seed> -report
 //
+// # The live trace-ingest server (internal/ingest)
+//
+// The paper's tools watched a long-running SIP server under production
+// traffic; internal/ingest is that deployment shape. cmd/traced is a
+// long-running daemon accepting many concurrent connections (unix socket or
+// TCP), each carrying one length-framed trace stream; every connection
+// becomes an independent session analysed by its own engine pipeline
+// (engine.NewPipeline — sequential or sharded), so a session's report is
+// byte-identical to an offline replay of the same trace.
+//
+//   - Framing (internal/tracelog frame layer): a framed stream is a 4-byte
+//     magic plus [kind][uvarint length][payload] frames; the offline log
+//     format is exactly the payload of events frames. An explicit end frame
+//     marks the clean end — truncation anywhere else is io.ErrUnexpectedEOF,
+//     hostile length claims are rejected before allocation, and
+//     FuzzFramedStream covers the whole untrusted surface.
+//   - Lifecycle: sessions move open → streaming → drained → reported, or
+//     fail from any state (torn stream, tool panic, forced shutdown); the
+//     registry retains terminal sessions for the cross-session aggregate
+//     (per-tool warning counts, summed tool summaries, and a report.Merge
+//     of every reported session), served to "aggregate" query connections.
+//   - Bounded memory: per session via the engine's bounded batch channels
+//     (backpressure propagates to the socket and flow-controls the client),
+//     across sessions via the MaxSessions slots.
+//   - Shutdown flushes: in-flight sessions get a grace period to drain and
+//     report, then are force-closed as failed — never silently dropped.
+//
+// cmd/traceload replays scenario corpora over N concurrent live sessions
+// (with -verify pinning live == offline byte-identity against a real
+// server), and perfbench -ingest measures aggregate ingest throughput at
+// 1/8/64 concurrent sessions.
+//
+// Dynamic counters that must survive sharding (memcheck's error and leak
+// totals) flow through trace.Summarizer: the engine sums SummaryCounts per
+// tool across shard instances, so core.Result.Summaries — and the ingest
+// aggregate — report the same totals at every shard count.
+//
 // See README.md for the architecture overview. The public entry point is
 // internal/core; the benchmarks in bench_test.go regenerate every table and
 // figure of the paper's evaluation, and internal/engine's benchmarks track

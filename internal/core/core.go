@@ -218,6 +218,20 @@ func (opt Options) ParseTools(list string) ([]trace.ToolSpec, error) {
 	return specs, nil
 }
 
+// ToolFactory validates a -tools list once and returns a constructor that
+// builds a fresh registry per call — the shape long-running consumers need
+// (the ingest server instantiates the registry once per session). The
+// receiver's per-tool configurations apply exactly as in ParseTools.
+func (opt Options) ToolFactory(list string) (func() []trace.ToolSpec, error) {
+	if _, err := opt.ParseTools(list); err != nil {
+		return nil, err
+	}
+	return func() []trace.ToolSpec {
+		specs, _ := opt.ParseTools(list) // validated above
+		return specs
+	}, nil
+}
+
 // Result is the outcome of a checking run.
 type Result struct {
 	// Collector holds the deduplicated warnings of every registered tool,
@@ -231,6 +245,13 @@ type Result struct {
 	Err error
 	// Steps is the number of guest operations executed.
 	Steps int64
+	// Summaries holds the per-tool end-of-run counter rollups of every
+	// registered tool implementing trace.Summarizer, keyed by tool report
+	// name. Unlike the *Detector fields below, the summaries are
+	// shard-count-independent: under Parallel > 1 the engine sums the
+	// counters of all shard instances, so e.g. memcheck's error and leak
+	// totals are identical between sequential and parallel runs.
+	Summaries map[string]trace.ToolSummary
 	// LocksetDetector is set when exactly one lock-set detector instance ran
 	// (for its dynamic counters). It is nil under Parallel > 1, where the
 	// detector exists once per engine shard.
@@ -239,7 +260,9 @@ type Result struct {
 	// single instance even under Parallel > 1).
 	DeadlockDetector *deadlock.Detector
 	// MemcheckDetector is set when memcheck ran sequentially. It is nil
-	// under Parallel > 1, where memcheck is sharded per block.
+	// under Parallel > 1, where memcheck is sharded per block; use
+	// Summaries["memcheck"] for the error and leak totals, which survive
+	// sharding.
 	MemcheckDetector *memcheck.Detector
 	// HighLevelDetector is set when the view-consistency checker ran.
 	HighLevelDetector *highlevel.Detector
@@ -251,13 +274,10 @@ func (r *Result) Locations() int { return r.Collector.Locations() }
 // Report renders the warnings in Helgrind-like format.
 func (r *Result) Report() string { return r.Collector.Format() }
 
-// pipeline is the slice of engine.Engine / engine.Sequential that Run needs:
-// both consume the live stream as a trace.Sink and finish the same way.
-type pipeline interface {
-	trace.Sink
-	Close() (*report.Collector, error)
-	Tool(name string) []trace.Sink
-}
+// pipeline is engine.Pipeline: the shared surface of engine.Engine and
+// engine.Sequential. Both consume the live stream as a trace.Sink and finish
+// the same way.
+type pipeline = engine.Pipeline
 
 // Run executes the guest program under the configured tools. The returned
 // error covers configuration problems only; guest failures (panic, deadlock,
@@ -288,17 +308,10 @@ func Run(opt Options, body func(*vm.Thread)) (*Result, error) {
 		eopt := engine.Options{Tools: specs, Resolver: machine, Suppressor: sup}
 		if opt.Parallel > 1 {
 			eopt.Shards = opt.Parallel
-			eng, err := engine.New(eopt)
-			if err != nil {
-				return nil, fmt.Errorf("core: engine: %w", err)
-			}
-			pipe = eng
-		} else {
-			seq, err := engine.NewSequential(eopt)
-			if err != nil {
-				return nil, fmt.Errorf("core: engine: %w", err)
-			}
-			pipe = seq
+		}
+		pipe, err = engine.NewPipeline(eopt)
+		if err != nil {
+			return nil, fmt.Errorf("core: engine: %w", err)
 		}
 		machine.AddTool(pipe)
 	}
@@ -314,6 +327,7 @@ func Run(opt Options, body func(*vm.Thread)) (*Result, error) {
 		res.Err = cerr
 	}
 	res.Collector = merged
+	res.Summaries = pipe.Summaries()
 	// Surface the concrete detector instances for their dynamic counters —
 	// only where exactly one instance exists (sharded tools have one per
 	// worker under Parallel > 1).

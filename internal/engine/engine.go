@@ -162,6 +162,7 @@ type Engine struct {
 	closed     bool
 	merged     *report.Collector
 	err        error
+	streamErr  error // first mid-stream failure (e.g. a ReplayLog decode error)
 }
 
 // New creates an engine and starts its shard workers.
@@ -289,6 +290,10 @@ func (e *Engine) enqueue(i int, ev *tracelog.Event, dst uint8) {
 // ReplayLog decodes a recorded binary log once and streams it through the
 // shards. It returns the number of events dispatched. Call Close afterwards
 // to obtain the merged report.
+//
+// A decode error (corrupt or truncated log) marks the whole run failed: the
+// events dispatched so far analysed only a prefix of the stream, so Close
+// will return the error instead of a partial merged report.
 func (e *Engine) ReplayLog(r io.Reader) (int64, error) {
 	dec := tracelog.NewDecoder(r)
 	var ev tracelog.Event
@@ -298,9 +303,19 @@ func (e *Engine) ReplayLog(r io.Reader) (int64, error) {
 			return dec.Events(), nil
 		}
 		if err != nil {
+			e.fail(err)
 			return dec.Events(), err
 		}
 		e.dispatch(&ev)
+	}
+}
+
+// fail records a mid-stream failure: the analysed events are only a prefix of
+// the intended stream, so no merged report may be emitted. The first failure
+// sticks; Close reports it.
+func (e *Engine) fail(err error) {
+	if e.streamErr == nil && err != nil {
+		e.streamErr = err
 	}
 }
 

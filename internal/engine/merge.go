@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -17,24 +19,33 @@ type ShardStat struct {
 // the merged order is the global first-seen order across every tool and
 // shard. The error reports the first tool panic caught by an instance's
 // SafeSink; the merged collector is valid either way and holds everything
-// collected up to the failure. Close is idempotent; dispatching after Close
-// is a no-op.
+// collected up to the failure.
+//
+// A mid-stream failure (a ReplayLog decode error) is different: the analysed
+// events are only a prefix of the intended stream, so Close joins the
+// workers, returns a nil collector and reports the stream error — never a
+// partial merged report. Close is idempotent: a second call returns exactly
+// the first call's collector and error. Dispatching after Close is a no-op.
 func (e *Engine) Close() (*report.Collector, error) {
 	if e.closed {
 		return e.merged, e.err
 	}
 	e.closed = true
 	for _, s := range e.shards {
-		if len(s.pending) > 0 {
+		if len(s.pending) > 0 && e.streamErr == nil {
 			s.ch <- s.pending
-			s.pending = nil
 		}
+		s.pending = nil
 		close(s.ch)
 	}
 	for _, s := range e.shards {
 		<-s.done
 	}
 	// The workers have joined, so instance state is safe to touch from here.
+	if e.streamErr != nil {
+		e.err = fmt.Errorf("engine: stream failed after %d events: %w", e.seq, e.streamErr)
+		return nil, e.err
+	}
 	// Finish-phase warnings are stamped one past the last stream sequence:
 	// they sort after every stream warning regardless of which shard hosts
 	// the finishing tool, exactly as in the Sequential pipeline.
@@ -67,6 +78,39 @@ func (e *Engine) Tool(name string) []trace.Sink {
 		if ti.name == name {
 			out = append(out, ti.sink.Unwrap())
 		}
+	}
+	return out
+}
+
+// Summaries returns the per-tool counter rollups of every instance
+// implementing trace.Summarizer, summed per tool name — the shard-count-
+// independent surface for dynamic counters like memcheck's error and leak
+// totals. Only valid after Close: until the workers have joined, instance
+// state is owned by the shard goroutines.
+func (e *Engine) Summaries() map[string]trace.ToolSummary {
+	if !e.closed || e.streamErr != nil {
+		// Counters of a failed stream cover only a prefix: as misleading as
+		// a partial merged report, and suppressed the same way.
+		return nil
+	}
+	return summarize(e.insts)
+}
+
+// summarize sums SummaryCounts per tool name across instances. Shared by
+// Engine and Sequential so both surfaces are computed identically.
+func summarize(insts []*toolInst) map[string]trace.ToolSummary {
+	out := make(map[string]trace.ToolSummary)
+	for _, ti := range insts {
+		sum, ok := ti.sink.Unwrap().(trace.Summarizer)
+		if !ok {
+			continue
+		}
+		s := out[ti.name]
+		if s == nil {
+			s = make(trace.ToolSummary)
+			out[ti.name] = s
+		}
+		s.Merge(sum.SummaryCounts())
 	}
 	return out
 }

@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"io"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// Pipeline is the surface shared by Engine and Sequential: a live event sink
+// that can also replay recorded logs, finished by Close into a merged
+// deterministic report. Everything that runs the tool registry over a stream
+// — core.Run, the offline replay paths, the ingest server's per-session
+// pipelines — programs against this interface and picks the sharded or the
+// inline implementation per run.
+type Pipeline interface {
+	trace.Sink
+	// ReplayLog decodes a recorded binary log once and streams it through
+	// the pipeline, returning the number of events dispatched. A decode
+	// error marks the run failed: Close then returns the error and no
+	// partial merged report.
+	ReplayLog(r io.Reader) (int64, error)
+	// Events returns the number of events dispatched so far.
+	Events() int64
+	// Close ends the stream, runs end-of-stream passes and returns the
+	// merged deterministic report (see Engine.Close for the full contract).
+	Close() (*report.Collector, error)
+	// Tool returns the live instances of the named registered tool. Only
+	// valid after Close.
+	Tool(name string) []trace.Sink
+	// Summaries returns the per-tool counter rollups, summed across shard
+	// instances. Only valid after Close.
+	Summaries() map[string]trace.ToolSummary
+}
+
+var (
+	_ Pipeline = (*Engine)(nil)
+	_ Pipeline = (*Sequential)(nil)
+)
+
+// NewPipeline creates the sharded engine when opt.Shards > 1 and the inline
+// single-pass Sequential otherwise. Both produce byte-identical reports from
+// the same stream; the choice is purely a throughput decision.
+func NewPipeline(opt Options) (Pipeline, error) {
+	if opt.Shards > 1 {
+		return New(opt)
+	}
+	return NewSequential(opt)
+}

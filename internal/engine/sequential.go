@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/report"
@@ -20,13 +21,14 @@ import (
 // AddTool; recorded logs go through ReplayLog. Routing classes are ignored —
 // sequentially, every tool simply sees the full ordered stream.
 type Sequential struct {
-	opt    Options
-	insts  []*toolInst
-	seq    uint64 // events delivered
-	cur    uint64 // sequence the collectors stamp with (seq, or seq+1 in Close)
-	closed bool
-	merged *report.Collector
-	err    error
+	opt       Options
+	insts     []*toolInst
+	seq       uint64 // events delivered
+	cur       uint64 // sequence the collectors stamp with (seq, or seq+1 in Close)
+	closed    bool
+	merged    *report.Collector
+	err       error
+	streamErr error // first mid-stream failure (e.g. a ReplayLog decode error)
 }
 
 // NewSequential creates the single-pass multi-tool pipeline. Shards,
@@ -49,6 +51,10 @@ func (s *Sequential) Events() int64 { return int64(s.seq) }
 
 // ReplayLog decodes a recorded binary log once and delivers every event to
 // every tool. Call Close afterwards to obtain the merged report.
+//
+// A decode error (corrupt or truncated log) marks the whole run failed, with
+// the same contract as Engine.ReplayLog: Close will return the error instead
+// of a partial merged report.
 func (s *Sequential) ReplayLog(r io.Reader) (int64, error) {
 	dec := tracelog.NewDecoder(r)
 	var ev tracelog.Event
@@ -58,6 +64,9 @@ func (s *Sequential) ReplayLog(r io.Reader) (int64, error) {
 			return dec.Events(), nil
 		}
 		if err != nil {
+			if s.streamErr == nil {
+				s.streamErr = err
+			}
 			return dec.Events(), err
 		}
 		ev.Deliver(s)
@@ -66,13 +75,19 @@ func (s *Sequential) ReplayLog(r io.Reader) (int64, error) {
 
 // Close runs the end-of-stream passes of tools implementing trace.Finisher
 // and merges the per-tool collectors deterministically, mirroring
-// Engine.Close (including the error contract for tool panics). Close is
-// idempotent; delivering events after Close is a no-op.
+// Engine.Close — including the error contracts: a tool panic still yields
+// the merged collector, while a mid-stream failure yields a nil collector
+// and a stable error, never a partial merged report. Close is idempotent;
+// delivering events after Close is a no-op.
 func (s *Sequential) Close() (*report.Collector, error) {
 	if s.closed {
 		return s.merged, s.err
 	}
 	s.closed = true
+	if s.streamErr != nil {
+		s.err = fmt.Errorf("engine: stream failed after %d events: %w", s.seq, s.streamErr)
+		return nil, s.err
+	}
 	s.cur = s.seq + 1 // Finish-phase warnings sort after every stream event
 	cols := make([]*report.Collector, len(s.insts))
 	for i, ti := range s.insts {
@@ -84,6 +99,17 @@ func (s *Sequential) Close() (*report.Collector, error) {
 	}
 	s.merged = report.Merge(s.opt.Resolver, s.opt.Suppressor, cols...)
 	return s.merged, s.err
+}
+
+// Summaries returns the per-tool counter rollups of every instance
+// implementing trace.Summarizer (see Engine.Summaries — the two surfaces are
+// computed identically, so sequential and sharded runs report the same
+// totals). Only valid after Close.
+func (s *Sequential) Summaries() map[string]trace.ToolSummary {
+	if !s.closed || s.streamErr != nil {
+		return nil
+	}
+	return summarize(s.insts)
 }
 
 // Tool returns the live instance of the named registered tool (always

@@ -1,0 +1,82 @@
+package ingest
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/tracelog"
+)
+
+// Client is one connection to a trace-ingest server: either a session (one
+// streamed trace, one returned report) or a query exchange. It is the
+// programmatic face of what an instrumented server process — or the
+// cmd/traceload replay client — speaks over the wire.
+type Client struct {
+	conn net.Conn
+	fw   *tracelog.FrameWriter
+	fr   *tracelog.FrameReader
+}
+
+// Dial connects to a server at a "network:address" spec (see Listen).
+func Dial(spec string) (*Client, error) {
+	conn, err := DialSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		fw:   tracelog.NewFrameWriter(conn),
+		fr:   tracelog.NewFrameReader(conn),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// StreamTrace runs one full session: hello, the trace in chunked events
+// frames, end — then blocks for the server's rendered report. chunk bounds
+// the frame payload size (<= 0 takes 64 KiB), exercising event batches that
+// span frame boundaries exactly as a live producer would.
+func (c *Client) StreamTrace(name string, log []byte, chunk int) (string, error) {
+	if chunk <= 0 {
+		chunk = 64 << 10
+	}
+	if err := c.fw.Hello(name); err != nil {
+		return "", fmt.Errorf("ingest: hello: %w", err)
+	}
+	for len(log) > 0 {
+		n := chunk
+		if n > len(log) {
+			n = len(log)
+		}
+		if err := c.fw.Events(log[:n]); err != nil {
+			return "", fmt.Errorf("ingest: events: %w", err)
+		}
+		log = log[n:]
+	}
+	if err := c.fw.End(); err != nil {
+		return "", fmt.Errorf("ingest: end: %w", err)
+	}
+	text, err := c.fr.Response()
+	if err != nil {
+		return "", fmt.Errorf("ingest: response: %w", err)
+	}
+	return text, nil
+}
+
+// Aggregate asks the server for its cross-session aggregate report.
+func (c *Client) Aggregate() (string, error) {
+	if err := c.fw.Query("aggregate"); err != nil {
+		return "", fmt.Errorf("ingest: query: %w", err)
+	}
+	text, err := c.fr.Response()
+	if err != nil {
+		return "", fmt.Errorf("ingest: response: %w", err)
+	}
+	return text, nil
+}

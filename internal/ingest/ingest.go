@@ -1,0 +1,499 @@
+// Package ingest is the live trace-ingest server: a long-running analysis
+// daemon that accepts many concurrent client connections, each carrying one
+// length-framed trace stream (tracelog's frame layer), and multiplexes them
+// into independent per-session analysis pipelines.
+//
+// This is the step from one-shot replay to the paper's actual deployment
+// shape: the tools monitored a long-running SIP server in production, not a
+// single recorded run. A traced process (or a replay client such as
+// cmd/traceload) connects, streams its events, and receives the rendered
+// report for exactly its stream; the daemon additionally keeps a session
+// registry and serves an aggregated cross-session report.
+//
+// Design notes:
+//
+//   - One connection is one session is one engine pipeline
+//     (engine.NewPipeline): sequential per session by default, or sharded
+//     across Config.Shards workers. Reports are therefore byte-identical to
+//     an offline replay of the same trace through the same registry — the
+//     conformance suite pins this.
+//   - Memory is bounded per session by the engine's batch/backpressure
+//     machinery (bounded channels between decode and shards) and across
+//     sessions by Config.MaxSessions: beyond the cap, accepted connections
+//     wait before their stream is read, which stalls the client through
+//     transport flow control instead of queueing unbounded input.
+//   - Session lifecycle: open (accepted, handshaking) → streaming (events
+//     flowing) → drained (end frame seen, pipeline closing) → reported
+//     (report delivered) — or failed, from any state. Completed sessions
+//     stay in the registry for the aggregate report.
+//   - Shutdown stops accepting, then flushes: in-flight sessions are given
+//     the context's grace period to drain and report; after that their
+//     connections are force-closed, which surfaces to the session as a
+//     truncated (failed) stream, never as a silently-dropped report.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/tracelog"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Tools builds the per-session tool registry. Every session gets fresh
+	// instances (the engine calls each spec's Factory anew), so sessions
+	// share no mutable analysis state. Required.
+	Tools func() []trace.ToolSpec
+	// Shards is the per-session engine worker count; <= 1 runs each session
+	// on the inline sequential pipeline. Either way the session report is
+	// byte-identical (engine determinism).
+	Shards int
+	// MaxSessions bounds concurrently-analysed sessions (default 64).
+	// Further connections are accepted but wait their turn before any of
+	// their stream is read.
+	MaxSessions int
+	// BatchSize and QueueDepth tune the per-session engine (see
+	// engine.Options); zero values take the engine defaults.
+	BatchSize  int
+	QueueDepth int
+}
+
+// SessionState is a session's lifecycle position.
+type SessionState uint8
+
+// Session lifecycle states.
+const (
+	// StateOpen: connection accepted, handshake pending.
+	StateOpen SessionState = iota
+	// StateStreaming: events are being decoded into the pipeline.
+	StateStreaming
+	// StateDrained: end frame received; pipeline closing.
+	StateDrained
+	// StateReported: analysis complete, report produced and being (or
+	// already) delivered to the client; terminal unless delivery fails,
+	// which downgrades the session to failed.
+	StateReported
+	// StateFailed: handshake, stream, pipeline or write failure; terminal.
+	StateFailed
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateStreaming:
+		return "streaming"
+	case StateDrained:
+		return "drained"
+	case StateReported:
+		return "reported"
+	default:
+		return "failed"
+	}
+}
+
+// Session is one client stream's registry entry.
+type Session struct {
+	ID   uint64
+	Name string
+
+	mu     sync.Mutex
+	state  SessionState
+	events int64
+	err    error
+	col    *report.Collector // set in StateReported
+	sums   map[string]trace.ToolSummary
+}
+
+// State returns the current lifecycle state.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Events returns the number of events the session's stream carried. It is
+// set when the stream ends (drained or failed) and is 0 while the session is
+// still streaming: the decode loop runs lock-free, so there is no cheap live
+// counter to expose (see the ROADMAP's incremental-reporting item).
+func (s *Session) Events() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+// Err returns the terminal failure of a failed session.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// setState advances the lifecycle under the session lock.
+func (s *Session) setState(st SessionState) {
+	s.mu.Lock()
+	s.state = st
+	s.mu.Unlock()
+}
+
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	s.state = StateFailed
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Server is the multiplexed trace-ingest daemon.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*Session
+	order    []uint64 // session IDs in open order (deterministic aggregate)
+	nextID   uint64
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	sem chan struct{} // MaxSessions slots
+	wg  sync.WaitGroup
+}
+
+// NewServer creates a server; call Serve with a listener to start it.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Tools == nil {
+		return nil, errors.New("ingest: Config.Tools is required")
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	return &Server{
+		cfg:      cfg,
+		sessions: make(map[uint64]*Session),
+		conns:    make(map[net.Conn]struct{}),
+		sem:      make(chan struct{}, cfg.MaxSessions),
+	}, nil
+}
+
+// Serve accepts connections on ln until Shutdown (or a listener error) and
+// blocks while doing so. Each connection is served on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting and flushes in-flight sessions: it waits for them
+// to drain and report until ctx expires, then force-closes the remaining
+// connections (their sessions fail with a truncated stream) and waits for
+// the handlers to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// register creates a new session registry entry.
+func (s *Server) register(name string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	sess := &Session{ID: s.nextID, Name: name, state: StateOpen}
+	s.sessions[sess.ID] = sess
+	s.order = append(s.order, sess.ID)
+	return sess
+}
+
+// serveConn runs one connection: a query exchange or a full session.
+func (s *Server) serveConn(conn net.Conn) {
+	fr := tracelog.NewFrameReader(conn)
+	fw := tracelog.NewFrameWriter(conn)
+	kind, meta, err := fr.Handshake()
+	if err != nil {
+		fw.Error(fmt.Sprintf("bad handshake: %v", err))
+		return
+	}
+	if kind == tracelog.FrameQuery {
+		s.serveQuery(fw, meta)
+		return
+	}
+
+	// A session occupies an analysis slot for its whole pipeline lifetime;
+	// waiting here (before any stream is read) is the cross-session
+	// backpressure described in the package comment.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	sess := s.register(meta)
+	sess.setState(StateStreaming)
+
+	pipe, err := engine.NewPipeline(engine.Options{
+		Tools:      s.cfg.Tools(),
+		Shards:     s.cfg.Shards,
+		BatchSize:  s.cfg.BatchSize,
+		QueueDepth: s.cfg.QueueDepth,
+	})
+	if err != nil {
+		sess.fail(err)
+		fw.Error(fmt.Sprintf("pipeline: %v", err))
+		return
+	}
+
+	events, err := pipe.ReplayLog(fr)
+	sess.mu.Lock()
+	sess.events = events
+	sess.mu.Unlock()
+	if err != nil {
+		pipe.Close() // join workers; no report by the mid-stream contract
+		sess.fail(err)
+		fw.Error(fmt.Sprintf("stream: %v", err))
+		return
+	}
+
+	sess.setState(StateDrained)
+	col, cerr := pipe.Close()
+	if cerr != nil {
+		sess.fail(cerr)
+		fw.Error(fmt.Sprintf("analysis: %v", cerr))
+		return
+	}
+	// Mark reported before the response write: the moment the client has
+	// its report in hand, a follow-up aggregate query must already account
+	// for this session (write-then-mark would race that query). A failed
+	// delivery downgrades the session to failed afterwards.
+	sess.mu.Lock()
+	sess.state = StateReported
+	sess.col = col
+	sess.sums = pipe.Summaries()
+	sess.mu.Unlock()
+	if err := fw.Report(col.Format()); err != nil {
+		sess.fail(err)
+		// Best effort: an oversized report is refused before any bytes hit
+		// the wire, so the client can still be told why.
+		fw.Error(fmt.Sprintf("report: %v", err))
+	}
+}
+
+// serveQuery answers a query connection.
+func (s *Server) serveQuery(fw *tracelog.FrameWriter, q string) {
+	switch q {
+	case "aggregate":
+		if err := fw.Report(s.Aggregate().Format()); err != nil {
+			// An oversized aggregate is refused before any bytes hit the
+			// wire, so the client can still be told why.
+			fw.Error(fmt.Sprintf("aggregate: %v", err))
+		}
+	default:
+		fw.Error(fmt.Sprintf("unknown query %q (known: aggregate)", q))
+	}
+}
+
+// Sessions returns the registry entries in open order.
+func (s *Server) Sessions() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Session, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.sessions[id])
+	}
+	return out
+}
+
+// Aggregate is the cross-session rollup: lifecycle counts, total analysed
+// events, per-tool warning-site counts, summed tool summaries, and the
+// merged deduplicated report of every reported session.
+type Aggregate struct {
+	Sessions int // all registered sessions
+	Reported int
+	Failed   int
+	Active   int // open/streaming/drained
+	Events   int64
+	// ByTool counts distinct warning sites per tool across the merged
+	// report.
+	ByTool map[string]int
+	// Summaries sums the per-tool counter rollups of every reported
+	// session (trace.Summarizer tools, e.g. memcheck's errors and leaks).
+	Summaries map[string]trace.ToolSummary
+	// Merged is the deduplicated cross-session report (report.Merge):
+	// identical sites from different sessions fold with summed counts.
+	Merged *report.Collector
+}
+
+// Aggregate computes the cross-session rollup at this instant. Sessions
+// still in flight contribute their lifecycle state only — their event
+// counts and warnings arrive when the stream ends (see Session.Events).
+func (s *Server) Aggregate() *Aggregate {
+	agg := &Aggregate{
+		ByTool:    make(map[string]int),
+		Summaries: make(map[string]trace.ToolSummary),
+	}
+	var cols []*report.Collector
+	for _, sess := range s.Sessions() {
+		sess.mu.Lock()
+		agg.Sessions++
+		agg.Events += sess.events
+		switch sess.state {
+		case StateReported:
+			agg.Reported++
+			cols = append(cols, sess.col)
+			for name, sum := range sess.sums {
+				t := agg.Summaries[name]
+				if t == nil {
+					t = make(trace.ToolSummary)
+					agg.Summaries[name] = t
+				}
+				t.Merge(sum)
+			}
+		case StateFailed:
+			agg.Failed++
+		default:
+			agg.Active++
+		}
+		sess.mu.Unlock()
+	}
+	agg.Merged = report.Merge(nil, nil, cols...)
+	for tool, n := range agg.Merged.LocationsByTool() {
+		agg.ByTool[tool] = n
+	}
+	return agg
+}
+
+// Format renders the aggregate in the report idiom: a header block with the
+// session and per-tool counts, then the merged warnings.
+func (a *Aggregate) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== ingest aggregate: %d session(s) — %d reported, %d failed, %d active; %d event(s)\n",
+		a.Sessions, a.Reported, a.Failed, a.Active, a.Events)
+	tools := make([]string, 0, len(a.ByTool))
+	for tool := range a.ByTool {
+		tools = append(tools, tool)
+	}
+	sort.Strings(tools)
+	if len(tools) > 0 {
+		b.WriteString("== tool locations:")
+		for _, tool := range tools {
+			fmt.Fprintf(&b, " %s=%d", tool, a.ByTool[tool])
+		}
+		b.WriteByte('\n')
+	}
+	sums := make([]string, 0, len(a.Summaries))
+	for name := range a.Summaries {
+		sums = append(sums, name)
+	}
+	sort.Strings(sums)
+	for _, name := range sums {
+		counts := a.Summaries[name]
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "== %s summary:", name)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, counts[k])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(a.Merged.Format())
+	return b.String()
+}
+
+// Listen opens a listener from a "network:address" spec: "tcp:127.0.0.1:0"
+// or "unix:/path/to.sock".
+func Listen(spec string) (net.Listener, error) {
+	network, addr, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return net.Listen(network, addr)
+}
+
+// DialSpec connects to a "network:address" spec (see Listen).
+func DialSpec(spec string) (net.Conn, error) {
+	network, addr, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return net.Dial(network, addr)
+}
+
+func splitSpec(spec string) (network, addr string, err error) {
+	network, addr, ok := strings.Cut(spec, ":")
+	if !ok || addr == "" {
+		return "", "", fmt.Errorf("ingest: bad address %q, want network:address (e.g. tcp:127.0.0.1:7433 or unix:/tmp/traced.sock)", spec)
+	}
+	switch network {
+	case "tcp", "tcp4", "tcp6", "unix":
+		return network, addr, nil
+	default:
+		return "", "", fmt.Errorf("ingest: unsupported network %q", network)
+	}
+}

@@ -22,6 +22,7 @@ type Detector struct {
 	cfg    Config
 	col    trace.Reporter
 	freed  map[trace.BlockID]bool
+	live   map[trace.BlockID]uint32 // allocated, not yet freed → size
 	errors int
 }
 
@@ -46,7 +47,12 @@ func New(cfg Config, col trace.Reporter) *Detector {
 	if cfg.Tool == "" {
 		cfg.Tool = "memcheck"
 	}
-	return &Detector{cfg: cfg, col: col, freed: make(map[trace.BlockID]bool)}
+	return &Detector{
+		cfg:   cfg,
+		col:   col,
+		freed: make(map[trace.BlockID]bool),
+		live:  make(map[trace.BlockID]uint32),
+	}
 }
 
 // ToolName implements trace.Sink.
@@ -54,6 +60,36 @@ func (d *Detector) ToolName() string { return d.cfg.Tool }
 
 // Errors returns the number of dynamic invalid accesses observed.
 func (d *Detector) Errors() int { return d.errors }
+
+// Leaks returns the end-of-run leak summary: blocks allocated but never
+// freed, and their total byte size. Only meaningful once the stream has
+// ended.
+func (d *Detector) Leaks() (blocks int, bytes int64) {
+	for _, size := range d.live {
+		blocks++
+		bytes += int64(size)
+	}
+	return blocks, bytes
+}
+
+// SummaryCounts implements trace.Summarizer. Every counter is per-block
+// state, so summing instances over the engine's disjoint block partitions
+// reproduces the sequential totals exactly — this is how parallel runs keep
+// the end-of-run memcheck summary that Result.MemcheckDetector (one instance
+// per shard, hence nil) cannot provide.
+func (d *Detector) SummaryCounts() trace.ToolSummary {
+	blocks, bytes := d.Leaks()
+	return trace.ToolSummary{
+		"errors":        int64(d.errors),
+		"leaked-blocks": int64(blocks),
+		"leaked-bytes":  bytes,
+	}
+}
+
+// Alloc implements trace.Sink.
+func (d *Detector) Alloc(b *trace.Block) {
+	d.live[b.ID] = b.Size
+}
 
 // Free implements trace.Sink.
 func (d *Detector) Free(b *trace.Block, t trace.ThreadID, stack trace.StackID) {
@@ -71,6 +107,7 @@ func (d *Detector) Free(b *trace.Block, t trace.ThreadID, stack trace.StackID) {
 		return
 	}
 	d.freed[b.ID] = true
+	delete(d.live, b.ID)
 }
 
 // Access implements trace.Sink.
@@ -93,4 +130,7 @@ func (d *Detector) Access(a *trace.Access) {
 	})
 }
 
-var _ trace.Sink = (*Detector)(nil)
+var (
+	_ trace.Sink       = (*Detector)(nil)
+	_ trace.Summarizer = (*Detector)(nil)
+)

@@ -76,3 +76,35 @@ func TestDtorUseAfterDeleteCaught(t *testing.T) {
 		t.Error("dangling access after delete not caught")
 	}
 }
+
+func TestLeakSummary(t *testing.T) {
+	d, _ := run(t, func(main *vm.Thread) {
+		leak1 := main.Alloc(24, "leak")
+		leak2 := main.Alloc(8, "leak")
+		leak1.Store32(main, 0, 1)
+		leak2.Store32(main, 0, 1)
+		ok := main.Alloc(16, "ok")
+		ok.Free(main)
+		dbl := main.Alloc(4, "double")
+		dbl.Free(main)
+		dbl.Free(main) // double free: must not resurrect the block as live
+	})
+	if blocks, bytes := d.Leaks(); blocks != 2 || bytes != 32 {
+		t.Errorf("Leaks = (%d, %d), want (2, 32)", blocks, bytes)
+	}
+	sum := d.SummaryCounts()
+	if sum["errors"] != 1 || sum["leaked-blocks"] != 2 || sum["leaked-bytes"] != 32 {
+		t.Errorf("SummaryCounts = %v, want errors=1 leaked-blocks=2 leaked-bytes=32", sum)
+	}
+}
+
+func TestNoLeaksCleanRun(t *testing.T) {
+	d, _ := run(t, func(main *vm.Thread) {
+		b := main.Alloc(64, "x")
+		b.Store64(main, 0, 1)
+		b.Free(main)
+	})
+	if blocks, bytes := d.Leaks(); blocks != 0 || bytes != 0 {
+		t.Errorf("Leaks = (%d, %d), want (0, 0)", blocks, bytes)
+	}
+}

@@ -83,26 +83,15 @@ func RunLive(s *Scenario, buggy bool, schedSeed int64, shards int) (*core.Result
 // RunOffline replays a recorded log through the full registry, sequentially
 // for shards <= 1, otherwise through the sharded engine.
 func RunOffline(res trace.Resolver, log []byte, shards int) (*report.Collector, error) {
-	opt := engine.Options{Tools: AllTools(), Resolver: res}
-	if shards > 1 {
-		opt.Shards = shards
-		eng, err := engine.New(opt)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := eng.ReplayLog(bytes.NewReader(log)); err != nil {
-			return nil, err
-		}
-		return eng.Close()
-	}
-	seq, err := engine.NewSequential(opt)
+	pipe, err := engine.NewPipeline(engine.Options{Tools: AllTools(), Resolver: res, Shards: shards})
 	if err != nil {
 		return nil, err
 	}
-	if _, err := seq.ReplayLog(bytes.NewReader(log)); err != nil {
+	if _, err := pipe.ReplayLog(bytes.NewReader(log)); err != nil {
+		pipe.Close()
 		return nil, err
 	}
-	return seq.Close()
+	return pipe.Close()
 }
 
 // MatrixResult is the outcome of one scenario variant run through every

@@ -73,3 +73,27 @@ type ToolSpec struct {
 type Finisher interface {
 	Finish()
 }
+
+// ToolSummary is a tool's end-of-run counter rollup, keyed by counter name
+// (e.g. "errors", "leaked-blocks", "leaked-bytes"). Summaries exist so that
+// dynamic counters survive sharding: warning sites merge through the report
+// collectors, but plain counters would otherwise be stranded on whichever
+// shard instance observed them.
+type ToolSummary map[string]int64
+
+// Merge adds every counter of other into s.
+func (s ToolSummary) Merge(other ToolSummary) {
+	for k, v := range other {
+		s[k] += v
+	}
+}
+
+// Summarizer is implemented by tools whose dynamic counters remain meaningful
+// when summed across shard instances. For a block-routed tool that is exactly
+// the per-block counters: each instance observes a disjoint block partition,
+// so the per-instance sums equal the sequential totals. The engine collects
+// SummaryCounts from every instance after the stream ends and adds them up
+// per tool name, shard-count-independently.
+type Summarizer interface {
+	SummaryCounts() ToolSummary
+}

@@ -1,0 +1,403 @@
+package tracelog
+
+// The streaming frame layer: length-framed transport for trace logs over a
+// byte stream (a socket), used by the live ingest server (internal/ingest).
+//
+// A framed stream is a 4-byte magic followed by frames of the form
+//
+//	[kind byte][uvarint payload length][payload bytes]
+//
+// The payload of an events frame is the ordinary binary log encoding — the
+// existing offline format is exactly one frame kind, chunked at arbitrary
+// boundaries (events may span frames; frames are pure transport). A clean
+// stream ends with an explicit end frame, which is what lets a reader
+// distinguish "the sender finished" from "the connection died mid-trace":
+// running out of bytes anywhere before the end frame is io.ErrUnexpectedEOF,
+// never a clean EOF and never an unbounded allocation.
+//
+// Client → server: hello (session name), events..., end.
+// Client → server (query connection): query, end of request.
+// Server → client: report (rendered analysis report) or error, as the
+// response to either a drained session or a query.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// FrameKind identifies a frame in a framed trace stream.
+type FrameKind uint8
+
+// Frame kinds.
+const (
+	// FrameHello opens a trace-ingest session; the payload is the client's
+	// session name (informational, shows up in the server registry).
+	FrameHello FrameKind = 1 + iota
+	// FrameEvents carries a chunk of binary trace log (the offline format).
+	FrameEvents
+	// FrameEnd marks the clean end of the stream.
+	FrameEnd
+	// FrameReport carries a rendered analysis report (server → client).
+	FrameReport
+	// FrameError carries a failure description (server → client).
+	FrameError
+	// FrameQuery asks the server a question instead of opening a session;
+	// the payload names the query (e.g. "aggregate").
+	FrameQuery
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case FrameHello:
+		return "hello"
+	case FrameEvents:
+		return "events"
+	case FrameEnd:
+		return "end"
+	case FrameReport:
+		return "report"
+	case FrameError:
+		return "error"
+	case FrameQuery:
+		return "query"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(k))
+	}
+}
+
+// frameMagic opens every framed stream (one per direction).
+var frameMagic = [4]byte{'T', 'L', 'F', '1'}
+
+// Framing bounds. Like the decoder's corruption bounds, these exist so a
+// corrupt or hostile length claim is rejected instead of allocated.
+const (
+	// MaxFramePayload bounds one events chunk and one report frame. The
+	// FrameWriter splits larger events writes (and refuses larger reports);
+	// the reader rejects larger claims.
+	MaxFramePayload = 1 << 24
+	// maxControlPayload bounds hello/query/error payloads.
+	maxControlPayload = 1 << 20
+)
+
+// ErrRemote wraps a failure reported by the peer through a FrameError frame.
+var ErrRemote = errors.New("tracelog: remote error")
+
+// FrameWriter writes one direction of a framed trace stream. The magic is
+// emitted before the first frame; output is buffered, and the frames that
+// end an exchange (End, Report, Error) flush implicitly.
+type FrameWriter struct {
+	w          *bufio.Writer
+	wroteMagic bool
+	err        error
+	buf        []byte
+}
+
+// NewFrameWriter creates a frame writer on w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: bufio.NewWriter(w), buf: make([]byte, 0, 16)}
+}
+
+// Err returns the first write error, if any.
+func (fw *FrameWriter) Err() error { return fw.err }
+
+// Flush drains the internal buffer to the underlying writer.
+func (fw *FrameWriter) Flush() error {
+	if fw.err != nil {
+		return fw.err
+	}
+	if err := fw.w.Flush(); err != nil {
+		fw.err = err
+	}
+	return fw.err
+}
+
+func (fw *FrameWriter) frame(kind FrameKind, payload []byte) error {
+	if fw.err != nil {
+		return fw.err
+	}
+	// Enforce the reader's bounds on the writer side too: sending an
+	// oversized frame would only make the peer reject it unread. Events
+	// frames are pre-split by Events; reports pre-checked by Report.
+	if kind != FrameEvents && kind != FrameReport && len(payload) > maxControlPayload {
+		return fmt.Errorf("tracelog: %s frame payload of %d bytes exceeds the limit %d", kind, len(payload), maxControlPayload)
+	}
+	if !fw.wroteMagic {
+		fw.wroteMagic = true
+		if _, err := fw.w.Write(frameMagic[:]); err != nil {
+			fw.err = err
+			return err
+		}
+	}
+	fw.buf = append(fw.buf[:0], byte(kind))
+	fw.buf = binary.AppendUvarint(fw.buf, uint64(len(payload)))
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		fw.err = err
+		return err
+	}
+	if _, err := fw.w.Write(payload); err != nil {
+		fw.err = err
+		return err
+	}
+	return nil
+}
+
+// Hello opens a session stream under the given session name.
+func (fw *FrameWriter) Hello(name string) error {
+	if err := fw.frame(FrameHello, []byte(name)); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+// Query opens a query exchange (no session) for the named question.
+func (fw *FrameWriter) Query(q string) error {
+	if err := fw.frame(FrameQuery, []byte(q)); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+// Events writes a chunk of binary trace log, splitting it into frames of at
+// most MaxFramePayload bytes.
+func (fw *FrameWriter) Events(p []byte) error {
+	for len(p) > MaxFramePayload {
+		if err := fw.frame(FrameEvents, p[:MaxFramePayload]); err != nil {
+			return err
+		}
+		p = p[MaxFramePayload:]
+	}
+	return fw.frame(FrameEvents, p)
+}
+
+// End marks the clean end of the stream and flushes.
+func (fw *FrameWriter) End() error {
+	if err := fw.frame(FrameEnd, nil); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+// Report sends a rendered analysis report and flushes. A report beyond
+// MaxFramePayload is refused here, where the caller can still answer with an
+// error frame — sending it would make the peer reject the frame unread.
+func (fw *FrameWriter) Report(text string) error {
+	if len(text) > MaxFramePayload {
+		return fmt.Errorf("tracelog: report of %d bytes exceeds the frame limit %d", len(text), MaxFramePayload)
+	}
+	if err := fw.frame(FrameReport, []byte(text)); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+// Error sends a failure description and flushes.
+func (fw *FrameWriter) Error(msg string) error {
+	if err := fw.frame(FrameError, []byte(msg)); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+// FrameReader reads one direction of a framed trace stream. After Handshake,
+// it doubles as the io.Reader over the concatenated events payloads — feed it
+// to NewDecoder (or Replay) to consume the embedded event stream: a clean
+// io.EOF is returned only after an end frame, while a transport EOF anywhere
+// else (mid-header, mid-payload, before the end frame) is io.ErrUnexpectedEOF.
+// Payloads are streamed through, so a hostile length claim never allocates.
+type FrameReader struct {
+	br        *bufio.Reader
+	readMagic bool
+	remaining int  // unread bytes of the current events frame
+	ended     bool // end frame seen
+	err       error
+}
+
+// NewFrameReader creates a frame reader on r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReader(r)}
+}
+
+// checkMagic consumes and validates the stream magic once.
+func (fr *FrameReader) checkMagic() error {
+	if fr.readMagic {
+		return nil
+	}
+	var got [4]byte
+	if _, err := io.ReadFull(fr.br, got[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	if got != frameMagic {
+		return fmt.Errorf("tracelog: bad stream magic %q", got[:])
+	}
+	fr.readMagic = true
+	return nil
+}
+
+// header reads the next frame header. A transport EOF before a complete
+// header is io.ErrUnexpectedEOF: a framed stream always announces its end
+// with an end frame.
+func (fr *FrameReader) header() (FrameKind, int, error) {
+	if err := fr.checkMagic(); err != nil {
+		return 0, 0, err
+	}
+	k, err := fr.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, err
+	}
+	n, err := binary.ReadUvarint(fr.br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, err
+	}
+	kind := FrameKind(k)
+	limit := uint64(maxControlPayload)
+	if kind == FrameEvents || kind == FrameReport {
+		// Reports carry a whole rendered (possibly cross-session) analysis;
+		// they share the larger events bound.
+		limit = MaxFramePayload
+	}
+	if n > limit {
+		return 0, 0, fmt.Errorf("tracelog: %s frame claims %d payload bytes (limit %d)", kind, n, limit)
+	}
+	return kind, int(n), nil
+}
+
+// control reads a bounded control payload as a string.
+func (fr *FrameReader) control(n int) (string, error) {
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(fr.br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Handshake reads the stream opening: the magic plus the first frame, which
+// must be a hello (session) or a query. It returns the kind and the payload.
+func (fr *FrameReader) Handshake() (FrameKind, string, error) {
+	kind, n, err := fr.header()
+	if err != nil {
+		return 0, "", err
+	}
+	switch kind {
+	case FrameHello, FrameQuery:
+		meta, err := fr.control(n)
+		return kind, meta, err
+	default:
+		return 0, "", fmt.Errorf("tracelog: stream opens with %s frame, want hello or query", kind)
+	}
+}
+
+// Read implements io.Reader over the events payloads, between the handshake
+// and the end frame. It returns io.EOF only after an end frame; any transport
+// truncation surfaces as io.ErrUnexpectedEOF, and a peer's error frame as
+// ErrRemote.
+func (fr *FrameReader) Read(p []byte) (int, error) {
+	if fr.err != nil {
+		return 0, fr.err
+	}
+	for fr.remaining == 0 {
+		if fr.ended {
+			return 0, io.EOF
+		}
+		kind, n, err := fr.header()
+		if err != nil {
+			fr.err = err
+			return 0, err
+		}
+		switch kind {
+		case FrameEvents:
+			fr.remaining = n
+		case FrameEnd:
+			fr.ended = true
+			if n != 0 {
+				fr.err = fmt.Errorf("tracelog: end frame with %d payload bytes", n)
+				return 0, fr.err
+			}
+		case FrameError:
+			msg, err := fr.control(n)
+			if err != nil {
+				fr.err = err
+			} else {
+				fr.err = fmt.Errorf("%w: %s", ErrRemote, msg)
+			}
+			return 0, fr.err
+		default:
+			fr.err = fmt.Errorf("tracelog: unexpected %s frame inside event stream", kind)
+			return 0, fr.err
+		}
+	}
+	if len(p) > fr.remaining {
+		p = p[:fr.remaining]
+	}
+	n, err := fr.br.Read(p)
+	fr.remaining -= n
+	if err == io.EOF {
+		if fr.remaining > 0 {
+			// Transport ended with payload still owed: truncation.
+			err = io.ErrUnexpectedEOF
+		} else {
+			// Payload complete; the next Read parses the following header
+			// (and reports the truncation if the stream ended there).
+			err = nil
+		}
+	}
+	if err != nil {
+		fr.err = err
+	}
+	return n, err
+}
+
+// Response reads a server response frame: a report (returned as text) or an
+// error frame (returned as an ErrRemote-wrapped error).
+func (fr *FrameReader) Response() (string, error) {
+	kind, n, err := fr.header()
+	if err != nil {
+		return "", err
+	}
+	payload, err := fr.control(n)
+	if err != nil {
+		return "", err
+	}
+	switch kind {
+	case FrameReport:
+		return payload, nil
+	case FrameError:
+		return "", fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		return "", fmt.Errorf("tracelog: unexpected %s frame, want report or error", kind)
+	}
+}
+
+var _ io.Reader = (*FrameReader)(nil)
+
+// EncodeFramed wraps an ordinary binary trace log into a framed session
+// stream (hello + events + end) — what a minimal ingest client sends.
+func EncodeFramed(name string, log []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.Hello(name); err != nil {
+		return nil, err
+	}
+	if err := fw.Events(log); err != nil {
+		return nil, err
+	}
+	if err := fw.End(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -43,10 +43,15 @@ func FuzzDecoder(f *testing.F) {
 		}
 	}
 	// A freshly recorded stream (ties the fuzz corpus to the live encoder
-	// even if the golden files ever lag behind an encoding change).
+	// even if the golden files ever lag behind an encoding change), plus its
+	// framed form: a framed stream is hostile garbage to the raw decoder and
+	// must be rejected, not misparsed.
 	s := scenario.Generate(scenario.GenConfig{Seed: 12345})
 	if _, live, err := scenario.Record(s, true, 1); err == nil {
 		f.Add(live)
+		if framed, err := tracelog.EncodeFramed("fuzz", live); err == nil {
+			f.Add(framed)
+		}
 	}
 	// Synthetic edge cases: empty, unknown opcode, huge claimed lengths.
 	f.Add([]byte{})
@@ -66,6 +71,69 @@ func FuzzDecoder(f *testing.F) {
 				return // any non-EOF error is a valid rejection
 			}
 			// Decoded events must still be deliverable without panicking.
+			ev.Deliver(trace.BaseSink{})
+		}
+	})
+}
+
+// FuzzFramedStream feeds arbitrary bytes through the full framed ingest
+// surface: handshake, frame layer, and the event decoder stacked on top —
+// exactly what the live server runs against an untrusted connection. The
+// contract: never panic, never hang, never allocate from a hostile length
+// claim; truncation anywhere is io.ErrUnexpectedEOF or a syntax error, and a
+// clean io.EOF can only follow an explicit end frame. Seeds are framed
+// encodings of the golden corpus plus mutations.
+func FuzzFramedStream(f *testing.F) {
+	golden, err := filepath.Glob(filepath.Join("..", "scenario", "testdata", "golden", "*.trace"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(golden) == 0 {
+		f.Fatal("no golden corpus traces found (internal/scenario/testdata/golden)")
+	}
+	for i, path := range golden {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		framed, err := tracelog.EncodeFramed("seed", data)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(framed)
+		f.Add(framed[:len(framed)/2]) // truncated mid-stream
+		if i == 0 {
+			mut := bytes.Clone(framed)
+			mut[len(mut)/3] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	// Synthetic edges: bare magic, hello-only, oversized claims, raw log
+	// without framing.
+	f.Add([]byte("TLF1"))
+	f.Add([]byte{'T', 'L', 'F', '1', 1, 0})
+	f.Add([]byte{'T', 'L', 'F', '1', 2, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{1, 1, 1, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := tracelog.NewFrameReader(bytes.NewReader(data))
+		kind, _, err := fr.Handshake()
+		if err != nil {
+			return
+		}
+		if kind != tracelog.FrameHello {
+			return // queries carry no event stream
+		}
+		d := tracelog.NewDecoder(fr)
+		var ev tracelog.Event
+		for {
+			err := d.Next(&ev)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // any non-EOF error is a valid rejection
+			}
 			ev.Deliver(trace.BaseSink{})
 		}
 	})
