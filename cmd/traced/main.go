@@ -10,6 +10,14 @@
 // client is cmd/traceload (a replay load generator), or anything speaking
 // the frame protocol.
 //
+// The daemon is built for never-ending streams: -report-interval enables
+// periodic incremental per-session reports (engine snapshots, served to
+// "session <name>" / "snapshots <name>" query connections while the stream
+// is still flowing), -retain bounds the registry by folding old terminal
+// sessions into the running aggregate, and -idle-timeout fails sessions
+// whose clients stall so they stop holding analysis slots. Sessions that
+// stream metadata frames get their reports fully stack-resolved.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting,
 // flushes in-flight sessions within the grace period, then prints the
 // cross-session aggregate report to stdout. The same aggregate is available
@@ -19,6 +27,7 @@
 //
 //	traced -listen unix:/tmp/traced.sock
 //	traced -listen tcp:127.0.0.1:7433 -tools lockset,memcheck -parallel 4
+//	traced -listen tcp:127.0.0.1:7433 -report-interval 500ms -retain 128 -idle-timeout 30s
 package main
 
 import (
@@ -36,11 +45,14 @@ import (
 
 func main() {
 	var (
-		listen      = flag.String("listen", "tcp:127.0.0.1:7433", "listen address (network:address; unix:/path or tcp:host:port)")
-		toolList    = flag.String("tools", "all", "per-session tool registry (comma-separated, 'all' for every tool)")
-		parallel    = flag.Int("parallel", 1, "per-session engine shards (<= 1 analyses each session sequentially)")
-		maxSessions = flag.Int("max-sessions", 64, "concurrently analysed session cap")
-		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight sessions")
+		listen         = flag.String("listen", "tcp:127.0.0.1:7433", "listen address (network:address; unix:/path or tcp:host:port)")
+		toolList       = flag.String("tools", "all", "per-session tool registry (comma-separated, 'all' for every tool)")
+		parallel       = flag.Int("parallel", 1, "per-session engine shards (<= 1 analyses each session sequentially)")
+		maxSessions    = flag.Int("max-sessions", 64, "concurrently analysed session cap")
+		grace          = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight sessions")
+		reportInterval = flag.Duration("report-interval", 0, "periodic incremental session reports (0 disables; served to 'session'/'snapshots' queries)")
+		retain         = flag.Int("retain", 0, "terminal sessions retained individually before being folded into the aggregate (0 keeps all)")
+		idleTimeout    = flag.Duration("idle-timeout", 0, "fail a session whose connection goes idle for this long (0 disables)")
 	)
 	flag.Parse()
 
@@ -51,9 +63,12 @@ func main() {
 	}
 
 	srv, err := ingest.NewServer(ingest.Config{
-		Tools:       tools,
-		Shards:      *parallel,
-		MaxSessions: *maxSessions,
+		Tools:          tools,
+		Shards:         *parallel,
+		MaxSessions:    *maxSessions,
+		ReportInterval: *reportInterval,
+		RetainSessions: *retain,
+		IdleTimeout:    *idleTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traced:", err)

@@ -71,6 +71,25 @@
 // replayed. This invariant is tested for all tools at once, under all three
 // paper configurations, at 1/4/8 shards.
 //
+// # The snapshot lifecycle
+//
+// Both pipelines additionally support mid-stream snapshots
+// (engine.Pipeline.Snapshot): a non-perturbing checkpoint that returns the
+// deterministic merged report of everything analysed so far while the stream
+// keeps flowing. The sharded engine quiesces with a per-shard barrier — the
+// dispatcher flushes its partial batches, sends a marker down every shard
+// channel, and waits until every worker has drained its queue up to the
+// marker and parked; each instance collector is then deep-copied through the
+// trace.Snapshotter capability (report.Collector.Clone) and the workers
+// resume. Because sites are ordered by first-seen sequence, a snapshot's
+// site manifest (report.Collector.Manifest) is always a prefix-consistent
+// subset of the final manifest (report.PrefixConsistent): same leading
+// sites, counts not yet complete. Taking snapshots at any points never
+// changes the final report — byte-identical to a snapshot-free run, pinned
+// by TestSnapshotDeterminism for all six tools at 1/4/8 shards under -race.
+// Finisher passes do not run at snapshots (they may mutate tool state), so
+// end-of-stream-only warnings appear only in the final report.
+//
 // # Conformance scenarios (internal/scenario)
 //
 // The paper's evaluation seeds a handful of known bugs into one SIP server;
@@ -120,22 +139,48 @@
 //     format is exactly the payload of events frames. An explicit end frame
 //     marks the clean end — truncation anywhere else is io.ErrUnexpectedEOF,
 //     hostile length claims are rejected before allocation, and
-//     FuzzFramedStream covers the whole untrusted surface.
+//     FuzzFramedStream covers the whole untrusted surface (metadata frames
+//     included).
+//   - Streaming resolver: metadata frames (tracelog.FrameMetadata) carry the
+//     client's interned stack/block tables, interleaved anywhere in the
+//     stream; the server accumulates them into a per-session
+//     tracelog.TableResolver, so live reports resolve call stacks and block
+//     provenance byte-identically to an offline replay holding the
+//     recording VM. Sessions without metadata render unresolved, exactly as
+//     before.
 //   - Lifecycle: sessions move open → streaming → drained → reported, or
-//     fail from any state (torn stream, tool panic, forced shutdown); the
-//     registry retains terminal sessions for the cross-session aggregate
-//     (per-tool warning counts, summed tool summaries, and a report.Merge
-//     of every reported session), served to "aggregate" query connections.
+//     fail from any state (torn stream, tool panic, idle timeout, forced
+//     shutdown); the registry retains terminal sessions for the
+//     cross-session aggregate (per-tool warning counts, summed tool
+//     summaries, and a report.Merge of every reported session), served to
+//     "aggregate" query connections.
+//   - Incremental reports: with Config.ReportInterval set, each streaming
+//     session periodically takes an engine snapshot and stores the rendered
+//     mid-stream report plus its site manifest; "session <name>" and
+//     "snapshots <name>" query connections read them while the stream is
+//     still flowing — the never-ending-stream reporting mode a production
+//     daemon needs. Every snapshot manifest is prefix-consistent with the
+//     session's final manifest, and the final report is unaffected.
+//   - Retention: Config.RetainSessions bounds the registry of a long-lived
+//     daemon. Beyond the bound, the oldest terminal sessions fold into a
+//     running aggregate collector (counts, summaries and merged warnings
+//     preserved exactly — folding is aggregate-preserving) and their
+//     per-session state is evicted.
 //   - Bounded memory: per session via the engine's bounded batch channels
 //     (backpressure propagates to the socket and flow-controls the client),
-//     across sessions via the MaxSessions slots.
+//     across sessions via the MaxSessions slots plus the retention policy.
+//     Config.IdleTimeout fails sessions whose clients stall, so they stop
+//     holding slots.
 //   - Shutdown flushes: in-flight sessions get a grace period to drain and
 //     report, then are force-closed as failed — never silently dropped.
 //
 // cmd/traceload replays scenario corpora over N concurrent live sessions
 // (with -verify pinning live == offline byte-identity against a real
-// server), and perfbench -ingest measures aggregate ingest throughput at
-// 1/8/64 concurrent sessions.
+// server, and pinning every server-side incremental snapshot as a
+// prefix-consistent subset of the final report), optionally open-loop at a
+// target events/sec with a queueing-delay summary (-rate); perfbench
+// -ingest measures aggregate ingest throughput at 1/8/64 concurrent
+// sessions.
 //
 // Dynamic counters that must survive sharding (memcheck's error and leak
 // totals) flow through trace.Summarizer: the engine sums SummaryCounts per

@@ -163,6 +163,12 @@ type Engine struct {
 	merged     *report.Collector
 	err        error
 	streamErr  error // first mid-stream failure (e.g. a ReplayLog decode error)
+
+	// Snapshot quiesce machinery (see Snapshot): a nil batch sent down a
+	// shard channel is the barrier marker; the worker checks in on snapWG and
+	// parks on snapGate until the dispatcher has cloned every collector.
+	snapWG   sync.WaitGroup
+	snapGate chan struct{}
 }
 
 // New creates an engine and starts its shard workers.
@@ -171,11 +177,13 @@ func New(opt Options) (*Engine, error) {
 	if err := validateTools(opt.Tools); err != nil {
 		return nil, err
 	}
-	e := &Engine{opt: opt}
+	e := &Engine{opt: opt, snapGate: make(chan struct{}, opt.Shards)}
 	e.pool.New = func() any { return make([]event, 0, opt.BatchSize) }
 	e.shards = make([]*shard, opt.Shards)
 	for i := range e.shards {
 		e.shards[i] = newShard(i, opt, e.newBatch())
+		e.shards[i].snapWG = &e.snapWG
+		e.shards[i].snapGate = e.snapGate
 	}
 	// Instantiate the registry: block-routed tools once per shard, pinned
 	// tools once each, spread round-robin across shards so several pinned

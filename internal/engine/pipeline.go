@@ -22,6 +22,12 @@ type Pipeline interface {
 	ReplayLog(r io.Reader) (int64, error)
 	// Events returns the number of events dispatched so far.
 	Events() int64
+	// Snapshot quiesces the pipeline between events and returns the
+	// deterministic merged report of everything analysed so far, without
+	// ending the stream or perturbing the final report (see Engine.Snapshot
+	// for the full contract). It must be called from the dispatching
+	// goroutine.
+	Snapshot() (*report.Collector, error)
 	// Close ends the stream, runs end-of-stream passes and returns the
 	// merged deterministic report (see Engine.Close for the full contract).
 	Close() (*report.Collector, error)

@@ -49,6 +49,11 @@ type shard struct {
 	cur         uint64      // global sequence of the event being processed
 	events      int64
 	done        chan struct{}
+
+	// Snapshot barrier plumbing, shared across all shards of one Engine: a
+	// nil batch on ch is the quiesce marker (see Engine.Snapshot).
+	snapWG   *sync.WaitGroup
+	snapGate <-chan struct{}
 }
 
 func newShard(id int, opt Options, batch []event) *shard {
@@ -78,6 +83,16 @@ func blockOp(op tracelog.Op) bool {
 func (s *shard) run(pool *sync.Pool) {
 	defer close(s.done)
 	for batch := range s.ch {
+		if batch == nil {
+			// Snapshot barrier: every batch enqueued before it has been fully
+			// delivered (the channel is FIFO). Check in, then park until the
+			// dispatcher has cloned the instance collectors. The WaitGroup
+			// handoff orders this worker's collector writes before the clone;
+			// the gate receive orders the clone before any further delivery.
+			s.snapWG.Done()
+			<-s.snapGate
+			continue
+		}
 		for i := range batch {
 			ev := &batch[i]
 			s.cur = ev.seq

@@ -11,6 +11,10 @@ import (
 // streamed trace, one returned report) or a query exchange. It is the
 // programmatic face of what an instrumented server process — or the
 // cmd/traceload replay client — speaks over the wire.
+//
+// A session is either the one-call StreamTrace/StreamTraceMeta, or the
+// step-wise Hello → SendMetadata/SendEvents... → Finish sequence open-loop
+// producers use to pace their stream.
 type Client struct {
 	conn net.Conn
 	fw   *tracelog.FrameWriter
@@ -38,27 +42,39 @@ func NewClient(conn net.Conn) *Client {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// StreamTrace runs one full session: hello, the trace in chunked events
-// frames, end — then blocks for the server's rendered report. chunk bounds
-// the frame payload size (<= 0 takes 64 KiB), exercising event batches that
-// span frame boundaries exactly as a live producer would.
-func (c *Client) StreamTrace(name string, log []byte, chunk int) (string, error) {
-	if chunk <= 0 {
-		chunk = 64 << 10
-	}
+// Hello opens a session under the given name.
+func (c *Client) Hello(name string) error {
 	if err := c.fw.Hello(name); err != nil {
-		return "", fmt.Errorf("ingest: hello: %w", err)
+		return fmt.Errorf("ingest: hello: %w", err)
 	}
-	for len(log) > 0 {
-		n := chunk
-		if n > len(log) {
-			n = len(log)
-		}
-		if err := c.fw.Events(log[:n]); err != nil {
-			return "", fmt.Errorf("ingest: events: %w", err)
-		}
-		log = log[n:]
+	return nil
+}
+
+// SendMetadata streams the interned stack/block tables (nil is a no-op), so
+// the server resolves this session's warning sites like an offline replay
+// would. Tables may be sent once up front or incrementally as they grow.
+func (c *Client) SendMetadata(md *tracelog.Metadata) error {
+	if err := c.fw.Metadata(md); err != nil {
+		return fmt.Errorf("ingest: metadata: %w", err)
 	}
+	return nil
+}
+
+// SendEvents streams one chunk of binary trace log and flushes it to the
+// wire — the flush is what makes open-loop pacing real, and what lets the
+// server's backpressure (a full pipeline) block this call.
+func (c *Client) SendEvents(chunk []byte) error {
+	if err := c.fw.Events(chunk); err != nil {
+		return fmt.Errorf("ingest: events: %w", err)
+	}
+	if err := c.fw.Flush(); err != nil {
+		return fmt.Errorf("ingest: events: %w", err)
+	}
+	return nil
+}
+
+// Finish ends the stream and blocks for the server's rendered report.
+func (c *Client) Finish() (string, error) {
 	if err := c.fw.End(); err != nil {
 		return "", fmt.Errorf("ingest: end: %w", err)
 	}
@@ -69,9 +85,44 @@ func (c *Client) StreamTrace(name string, log []byte, chunk int) (string, error)
 	return text, nil
 }
 
-// Aggregate asks the server for its cross-session aggregate report.
-func (c *Client) Aggregate() (string, error) {
-	if err := c.fw.Query("aggregate"); err != nil {
+// StreamTrace runs one full session: hello, the trace in chunked events
+// frames, end — then blocks for the server's rendered report. chunk bounds
+// the frame payload size (<= 0 takes 64 KiB), exercising event batches that
+// span frame boundaries exactly as a live producer would.
+func (c *Client) StreamTrace(name string, log []byte, chunk int) (string, error) {
+	return c.StreamTraceMeta(name, nil, log, chunk)
+}
+
+// StreamTraceMeta is StreamTrace with the session's stream metadata sent up
+// front (nil metadata degrades to StreamTrace): the resolving-session shape,
+// whose returned report carries stacks and block provenance.
+func (c *Client) StreamTraceMeta(name string, md *tracelog.Metadata, log []byte, chunk int) (string, error) {
+	if chunk <= 0 {
+		chunk = 64 << 10
+	}
+	if err := c.Hello(name); err != nil {
+		return "", err
+	}
+	if err := c.SendMetadata(md); err != nil {
+		return "", err
+	}
+	for len(log) > 0 {
+		n := chunk
+		if n > len(log) {
+			n = len(log)
+		}
+		if err := c.SendEvents(log[:n]); err != nil {
+			return "", err
+		}
+		log = log[n:]
+	}
+	return c.Finish()
+}
+
+// Query runs one query exchange (e.g. "aggregate", "sessions", "session
+// <name>", "snapshots <name>") and returns the server's rendered response.
+func (c *Client) Query(q string) (string, error) {
+	if err := c.fw.Query(q); err != nil {
 		return "", fmt.Errorf("ingest: query: %w", err)
 	}
 	text, err := c.fr.Response()
@@ -79,4 +130,15 @@ func (c *Client) Aggregate() (string, error) {
 		return "", fmt.Errorf("ingest: response: %w", err)
 	}
 	return text, nil
+}
+
+// Aggregate asks the server for its cross-session aggregate report.
+func (c *Client) Aggregate() (string, error) {
+	return c.Query("aggregate")
+}
+
+// Snapshots asks the server for the named session's incremental snapshot
+// manifests (see Session.FormatSnapshots).
+func (c *Client) Snapshots(name string) (string, error) {
+	return c.Query("snapshots " + name)
 }

@@ -25,7 +25,20 @@
 //   - Session lifecycle: open (accepted, handshaking) → streaming (events
 //     flowing) → drained (end frame seen, pipeline closing) → reported
 //     (report delivered) — or failed, from any state. Completed sessions
-//     stay in the registry for the aggregate report.
+//     stay in the registry for the aggregate report until the retention
+//     policy (Config.RetainSessions) folds them into the running aggregate
+//     and evicts their per-session state.
+//   - Live sessions resolve like offline ones: metadata frames
+//     (tracelog.FrameMetadata) carry the client's interned stack/block
+//     tables, accumulated into a per-session tracelog.TableResolver that the
+//     session pipeline renders reports against.
+//   - Incremental reporting: with Config.ReportInterval set, a streaming
+//     session periodically quiesces its pipeline (engine Snapshot — a
+//     non-perturbing checkpoint) and stores the rendered mid-stream report
+//     plus its site manifest; query connections fetch them ("session
+//     <name>", "snapshots <name>") while the stream is still flowing. Every
+//     snapshot manifest is a prefix-consistent subset of the session's final
+//     manifest (report.PrefixConsistent) — the final report is unaffected.
 //   - Shutdown stops accepting, then flushes: in-flight sessions are given
 //     the context's grace period to drain and report; after that their
 //     connections are force-closed, which surfaces to the session as a
@@ -36,10 +49,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/report"
@@ -65,6 +81,28 @@ type Config struct {
 	// engine.Options); zero values take the engine defaults.
 	BatchSize  int
 	QueueDepth int
+	// ReportInterval > 0 enables periodic incremental reports: roughly every
+	// interval (checked as the session's stream is read, so an idle stream —
+	// whose report cannot have changed — takes no snapshot), the session
+	// pipeline is quiesced via its Snapshot lifecycle and the rendered
+	// mid-stream report is stored on the Session, served to "session" and
+	// "snapshots" query connections. Snapshots never perturb the final
+	// report.
+	ReportInterval time.Duration
+	// RetainSessions > 0 bounds how many terminal (reported or failed)
+	// sessions the registry keeps individually: beyond the bound, the oldest
+	// terminal sessions are folded into a running aggregate collector —
+	// their warning sites, summaries and lifecycle counts stay in Aggregate
+	// forever — and their per-session state (collector, snapshots, registry
+	// entry) is evicted. 0 keeps every session forever, the pre-retention
+	// behaviour.
+	RetainSessions int
+	// IdleTimeout > 0 fails a session whose connection delivers no bytes for
+	// the duration — a client that handshakes and then stalls would
+	// otherwise hold one of the MaxSessions slots until shutdown. The
+	// deadline is rolling: it rearms on every read, so slow-but-moving
+	// streams are unaffected. It also covers the handshake itself.
+	IdleTimeout time.Duration
 }
 
 // SessionState is a session's lifecycle position.
@@ -101,18 +139,47 @@ func (s SessionState) String() string {
 	}
 }
 
+// Snapshot is one periodic incremental report of a streaming session: the
+// pipeline's mid-stream merged report, rendered, together with its site
+// manifest (report.Collector.Manifest) — the machine-checkable form clients
+// verify against the final report.
+type Snapshot struct {
+	// Events is the number of stream events analysed when the snapshot was
+	// taken.
+	Events int64
+	// Report is the rendered incremental report, resolved against the
+	// metadata tables received so far.
+	Report string
+	// Manifest is the snapshot's site manifest; it is always a
+	// prefix-consistent subset of the session's final manifest.
+	Manifest string
+}
+
 // Session is one client stream's registry entry.
 type Session struct {
 	ID   uint64
 	Name string
 
-	mu     sync.Mutex
-	state  SessionState
-	events int64
-	err    error
-	col    *report.Collector // set in StateReported
-	sums   map[string]trace.ToolSummary
+	mu      sync.Mutex
+	state   SessionState
+	events  int64
+	err     error
+	col     *report.Collector // set in StateReported
+	sums    map[string]trace.ToolSummary
+	report  string     // rendered final report (StateReported)
+	snaps   []Snapshot // retained incremental reports, oldest first
+	dropped int        // older snapshots discarded by the retention cap
+	done    bool       // handler finished: report delivered or failure final
 }
+
+// maxSessionSnapshots bounds one session's retained incremental reports: a
+// never-ending stream takes a snapshot every ReportInterval forever, so
+// without a cap the session would grow without limit and the "snapshots"
+// query response would eventually exceed the frame-payload bound. The oldest
+// snapshots are discarded first — the freshest ones are the ones a live
+// observer wants, and every retained snapshot individually keeps the
+// prefix-consistency guarantee.
+const maxSessionSnapshots = 64
 
 // State returns the current lifecycle state.
 func (s *Session) State() SessionState {
@@ -122,13 +189,69 @@ func (s *Session) State() SessionState {
 }
 
 // Events returns the number of events the session's stream carried. It is
-// set when the stream ends (drained or failed) and is 0 while the session is
-// still streaming: the decode loop runs lock-free, so there is no cheap live
-// counter to expose (see the ROADMAP's incremental-reporting item).
+// set when the stream ends (drained or failed) and, with incremental
+// reporting enabled (Config.ReportInterval), additionally refreshed at every
+// snapshot — so a long-lived streaming session shows its progress instead of
+// 0.
 func (s *Session) Events() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.events
+}
+
+// Snapshots returns the session's incremental reports so far, oldest first.
+func (s *Session) Snapshots() []Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Snapshot(nil), s.snaps...)
+}
+
+// addSnapshot records one incremental report, discarding the oldest beyond
+// maxSessionSnapshots, and refreshes the live event count.
+func (s *Session) addSnapshot(sn Snapshot) {
+	s.mu.Lock()
+	if len(s.snaps) >= maxSessionSnapshots {
+		n := copy(s.snaps, s.snaps[1:])
+		s.snaps = s.snaps[:n]
+		s.dropped++
+	}
+	s.snaps = append(s.snaps, sn)
+	s.events = sn.Events
+	s.mu.Unlock()
+}
+
+// LatestReport returns the freshest rendered report the session has: the
+// final report once reported, otherwise the newest incremental snapshot,
+// otherwise a status line. This is what a "session <name>" query receives.
+func (s *Session) LatestReport() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.state == StateReported:
+		return s.report
+	case len(s.snaps) > 0:
+		return s.snaps[len(s.snaps)-1].Report
+	default:
+		return fmt.Sprintf("== session %s: state=%s, no incremental report yet\n", s.Name, s.state)
+	}
+}
+
+// FormatSnapshots renders the session's snapshot manifests — the response to
+// a "snapshots <name>" query, and the input clients feed to
+// report.PrefixConsistent against the final report's manifest.
+func (s *Session) FormatSnapshots() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "== session %s: %d snapshot(s)", s.Name, len(s.snaps))
+	if s.dropped > 0 {
+		fmt.Fprintf(&b, " (%d older discarded)", s.dropped)
+	}
+	b.WriteByte('\n')
+	for i, sn := range s.snaps {
+		fmt.Fprintf(&b, "== snapshot %d: events=%d\n%s", s.dropped+i+1, sn.Events, sn.Manifest)
+	}
+	return b.String()
 }
 
 // Err returns the terminal failure of a failed session.
@@ -136,6 +259,24 @@ func (s *Session) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
+}
+
+// markDone records that the session's handler has finished: its state can no
+// longer change, so the retention policy may fold it.
+func (s *Session) markDone() {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+}
+
+// foldable reports whether the session has reached a state the retention
+// policy may fold: terminal AND with its handler finished — a session marked
+// reported whose report is still being written can yet downgrade to failed,
+// and folding it early would freeze the wrong lifecycle count.
+func (s *Session) foldable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done && (s.state == StateReported || s.state == StateFailed)
 }
 
 // setState advances the lifecycle under the session lock.
@@ -165,9 +306,26 @@ type Server struct {
 	nextID   uint64
 	conns    map[net.Conn]struct{}
 	closed   bool
+	folded   foldedState // retention rollup of evicted sessions
 
 	sem chan struct{} // MaxSessions slots
 	wg  sync.WaitGroup
+}
+
+// foldedState is the running aggregate of sessions the retention policy has
+// evicted from the registry: their lifecycle counts, event totals, summed
+// tool summaries and one merged collector holding every folded reported
+// session's warning sites. Folding is an aggregate-preserving operation —
+// Aggregate over (folded state + remaining registry) equals Aggregate over
+// the unretained registry, because report.Merge is associative for inputs
+// merged in session open order.
+type foldedState struct {
+	sessions int
+	reported int
+	failed   int
+	events   int64
+	col      *report.Collector // merged folded reported sessions; nil until the first fold
+	sums     map[string]trace.ToolSummary
 }
 
 // NewServer creates a server; call Serve with a listener to start it.
@@ -274,7 +432,13 @@ func (s *Server) register(name string) *Session {
 
 // serveConn runs one connection: a query exchange or a full session.
 func (s *Server) serveConn(conn net.Conn) {
-	fr := tracelog.NewFrameReader(conn)
+	// The idle deadline wraps the raw connection, underneath the frame
+	// layer, so it covers the handshake and every stream read alike.
+	var rd io.Reader = conn
+	if s.cfg.IdleTimeout > 0 {
+		rd = idleReader{conn: conn, timeout: s.cfg.IdleTimeout}
+	}
+	fr := tracelog.NewFrameReader(rd)
 	fw := tracelog.NewFrameWriter(conn)
 	kind, meta, err := fr.Handshake()
 	if err != nil {
@@ -294,12 +458,25 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	sess := s.register(meta)
 	sess.setState(StateStreaming)
+	// Whatever way the session ends, give the retention policy a chance to
+	// fold and evict the oldest terminal sessions. LIFO defers: the done
+	// mark lands first, so this handler's own session is foldable — while a
+	// session another handler is still delivering a report for (marked
+	// reported before the write, and downgraded to failed if the write
+	// fails) stays unfoldable until its state is final.
+	defer s.retire()
+	defer sess.markDone()
 
+	// The frame reader's table resolver starts empty and fills in as the
+	// stream's metadata frames arrive; every report this session renders —
+	// incremental and final — resolves against it, exactly like an offline
+	// replay resolving against the recording VM.
 	pipe, err := engine.NewPipeline(engine.Options{
 		Tools:      s.cfg.Tools(),
 		Shards:     s.cfg.Shards,
 		BatchSize:  s.cfg.BatchSize,
 		QueueDepth: s.cfg.QueueDepth,
+		Resolver:   fr.Tables(),
 	})
 	if err != nil {
 		sess.fail(err)
@@ -307,7 +484,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 
-	events, err := pipe.ReplayLog(fr)
+	// Incremental reporting: a ticker arms a flag, and the next stream read
+	// on the decode goroutine takes the snapshot — the pipeline's Snapshot
+	// contract requires the dispatching goroutine, and between reads no
+	// event delivery is in flight. An idle stream takes no snapshot, but an
+	// idle stream's report cannot have changed either.
+	var stream io.Reader = fr
+	if s.cfg.ReportInterval > 0 {
+		trig, stop := newSnapshotTrigger(fr, s.cfg.ReportInterval, func() {
+			col, err := pipe.Snapshot()
+			if err != nil {
+				return
+			}
+			sess.addSnapshot(Snapshot{
+				Events:   pipe.Events(),
+				Report:   col.Format(),
+				Manifest: col.Manifest(),
+			})
+		})
+		defer stop()
+		stream = trig
+	}
+
+	events, err := pipe.ReplayLog(stream)
 	sess.mu.Lock()
 	sess.events = events
 	sess.mu.Unlock()
@@ -329,12 +528,14 @@ func (s *Server) serveConn(conn net.Conn) {
 	// its report in hand, a follow-up aggregate query must already account
 	// for this session (write-then-mark would race that query). A failed
 	// delivery downgrades the session to failed afterwards.
+	text := col.Format()
 	sess.mu.Lock()
 	sess.state = StateReported
 	sess.col = col
 	sess.sums = pipe.Summaries()
+	sess.report = text
 	sess.mu.Unlock()
-	if err := fw.Report(col.Format()); err != nil {
+	if err := fw.Report(text); err != nil {
 		sess.fail(err)
 		// Best effort: an oversized report is refused before any bytes hit
 		// the wire, so the client can still be told why.
@@ -342,17 +543,186 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// idleReader applies a rolling read deadline to a session connection: every
+// read rearms Config.IdleTimeout, so only a genuinely stalled peer times
+// out. The resulting net timeout error fails the session through the normal
+// stream-error path, freeing its MaxSessions slot.
+type idleReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (r idleReader) Read(p []byte) (int, error) {
+	if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+		return 0, err
+	}
+	return r.conn.Read(p)
+}
+
+// snapshotTrigger interposes on a session's stream reads to take pipeline
+// snapshots at a safe point: the ticker goroutine only arms a flag, and the
+// decode goroutine — the pipeline's dispatching goroutine, with no event
+// delivery in flight while it is reading input — fires the callback before
+// its next read.
+type snapshotTrigger struct {
+	r     io.Reader
+	fired atomic.Bool
+	snap  func()
+}
+
+// newSnapshotTrigger wraps r; the returned stop function ends the ticker
+// goroutine and is safe to call more than once.
+func newSnapshotTrigger(r io.Reader, interval time.Duration, snap func()) (io.Reader, func()) {
+	t := &snapshotTrigger{r: r, snap: snap}
+	tk := time.NewTicker(interval)
+	stop := make(chan struct{})
+	go func() {
+		defer tk.Stop()
+		for {
+			select {
+			case <-tk.C:
+				t.fired.Store(true)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return t, func() { once.Do(func() { close(stop) }) }
+}
+
+func (t *snapshotTrigger) Read(p []byte) (int, error) {
+	if t.fired.CompareAndSwap(true, false) {
+		t.snap()
+	}
+	return t.r.Read(p)
+}
+
 // serveQuery answers a query connection.
 func (s *Server) serveQuery(fw *tracelog.FrameWriter, q string) {
-	switch q {
-	case "aggregate":
-		if err := fw.Report(s.Aggregate().Format()); err != nil {
-			// An oversized aggregate is refused before any bytes hit the
+	reply := func(what, text string) {
+		if err := fw.Report(text); err != nil {
+			// An oversized response is refused before any bytes hit the
 			// wire, so the client can still be told why.
-			fw.Error(fmt.Sprintf("aggregate: %v", err))
+			fw.Error(fmt.Sprintf("%s: %v", what, err))
 		}
+	}
+	name, sessionQ := strings.CutPrefix(q, "session ")
+	manifestName, snapshotsQ := strings.CutPrefix(q, "snapshots ")
+	switch {
+	case q == "aggregate":
+		reply("aggregate", s.Aggregate().Format())
+	case q == "sessions":
+		reply("sessions", s.formatSessions())
+	case sessionQ:
+		sess := s.SessionByName(strings.TrimSpace(name))
+		if sess == nil {
+			fw.Error(fmt.Sprintf("unknown session %q (never opened, or already folded into the aggregate)", strings.TrimSpace(name)))
+			return
+		}
+		reply("session", sess.LatestReport())
+	case snapshotsQ:
+		sess := s.SessionByName(strings.TrimSpace(manifestName))
+		if sess == nil {
+			fw.Error(fmt.Sprintf("unknown session %q (never opened, or already folded into the aggregate)", strings.TrimSpace(manifestName)))
+			return
+		}
+		reply("snapshots", sess.FormatSnapshots())
 	default:
-		fw.Error(fmt.Sprintf("unknown query %q (known: aggregate)", q))
+		fw.Error(fmt.Sprintf("unknown query %q (known: aggregate, sessions, session <name>, snapshots <name>)", q))
+	}
+}
+
+// SessionByName returns the most recently opened retained session with the
+// given name, or nil.
+func (s *Server) SessionByName(name string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if sess := s.sessions[s.order[i]]; sess.Name == name {
+			return sess
+		}
+	}
+	return nil
+}
+
+// formatSessions renders the registry listing a "sessions" query receives.
+func (s *Server) formatSessions() string {
+	sessions := s.Sessions()
+	s.mu.Lock()
+	folded := s.folded.sessions
+	s.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "== sessions: %d retained, %d folded\n", len(sessions), folded)
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		fmt.Fprintf(&b, "id=%d name=%s state=%s events=%d snapshots=%d\n",
+			sess.ID, sess.Name, sess.state, sess.events, len(sess.snaps))
+		sess.mu.Unlock()
+	}
+	return b.String()
+}
+
+// retire enforces Config.RetainSessions: while more terminal sessions than
+// the bound are retained, the oldest ones are folded into the running
+// aggregate and evicted from the registry. In-flight sessions are never
+// touched.
+func (s *Server) retire() {
+	if s.cfg.RetainSessions <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var terminal []uint64
+	for _, id := range s.order {
+		if s.sessions[id].foldable() {
+			terminal = append(terminal, id)
+		}
+	}
+	excess := len(terminal) - s.cfg.RetainSessions
+	if excess <= 0 {
+		return
+	}
+	evict := make(map[uint64]bool, excess)
+	for _, id := range terminal[:excess] {
+		s.fold(s.sessions[id])
+		evict[id] = true
+		delete(s.sessions, id)
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if !evict[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+}
+
+// fold merges one terminal session into the retention rollup. Called with
+// s.mu held.
+func (s *Server) fold(sess *Session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	s.folded.sessions++
+	s.folded.events += sess.events
+	if sess.state != StateReported {
+		s.folded.failed++
+		return
+	}
+	s.folded.reported++
+	// Merge produces a fresh collector every fold; the previous one is never
+	// mutated again, so an Aggregate holding it concurrently stays sound.
+	s.folded.col = report.Merge(nil, nil, s.folded.col, sess.col)
+	for name, sum := range sess.sums {
+		if s.folded.sums == nil {
+			s.folded.sums = make(map[string]trace.ToolSummary)
+		}
+		t := s.folded.sums[name]
+		if t == nil {
+			t = make(trace.ToolSummary)
+			s.folded.sums[name] = t
+		}
+		t.Merge(sum)
 	}
 }
 
@@ -369,12 +739,15 @@ func (s *Server) Sessions() []*Session {
 
 // Aggregate is the cross-session rollup: lifecycle counts, total analysed
 // events, per-tool warning-site counts, summed tool summaries, and the
-// merged deduplicated report of every reported session.
+// merged deduplicated report of every reported session. Sessions the
+// retention policy has folded stay fully accounted for — only their
+// per-session state is gone.
 type Aggregate struct {
-	Sessions int // all registered sessions
+	Sessions int // all registered sessions, including folded ones
 	Reported int
 	Failed   int
 	Active   int // open/streaming/drained
+	Folded   int // sessions no longer individually retained (RetainSessions)
 	Events   int64
 	// ByTool counts distinct warning sites per tool across the merged
 	// report.
@@ -389,13 +762,33 @@ type Aggregate struct {
 
 // Aggregate computes the cross-session rollup at this instant. Sessions
 // still in flight contribute their lifecycle state only — their event
-// counts and warnings arrive when the stream ends (see Session.Events).
+// counts and warnings arrive when the stream ends (or, with incremental
+// reporting on, advance at every snapshot; see Session.Events). Folding
+// (RetainSessions) is invisible here: the rollup over folded state plus the
+// remaining registry equals the rollup an unretained registry would give.
 func (s *Server) Aggregate() *Aggregate {
 	agg := &Aggregate{
 		ByTool:    make(map[string]int),
 		Summaries: make(map[string]trace.ToolSummary),
 	}
 	var cols []*report.Collector
+	// Start from the retention rollup, copied under the lock (later folds
+	// mutate the summary maps in place; the collector is never mutated).
+	s.mu.Lock()
+	agg.Sessions = s.folded.sessions
+	agg.Reported = s.folded.reported
+	agg.Failed = s.folded.failed
+	agg.Folded = s.folded.sessions
+	agg.Events = s.folded.events
+	for name, sum := range s.folded.sums {
+		t := make(trace.ToolSummary)
+		t.Merge(sum)
+		agg.Summaries[name] = t
+	}
+	if s.folded.col != nil {
+		cols = append(cols, s.folded.col)
+	}
+	s.mu.Unlock()
 	for _, sess := range s.Sessions() {
 		sess.mu.Lock()
 		agg.Sessions++
@@ -432,6 +825,9 @@ func (a *Aggregate) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== ingest aggregate: %d session(s) — %d reported, %d failed, %d active; %d event(s)\n",
 		a.Sessions, a.Reported, a.Failed, a.Active, a.Events)
+	if a.Folded > 0 {
+		fmt.Fprintf(&b, "== retention: %d session(s) folded into the aggregate\n", a.Folded)
+	}
 	tools := make([]string, 0, len(a.ByTool))
 	for tool := range a.ByTool {
 		tools = append(tools, tool)

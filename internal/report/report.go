@@ -102,6 +102,33 @@ func (c *Collector) Add(w Warning) bool {
 
 var _ trace.Reporter = (*Collector)(nil)
 
+// Clone returns a deep, independent point-in-time copy of the collector:
+// same sites, order, counts and totals, sharing no mutable state with the
+// original. Warnings added to either side afterwards are invisible to the
+// other. The clone carries no sequencer — it is a frozen checkpoint meant for
+// formatting and merging, not for further collection on a live stream.
+func (c *Collector) Clone() *Collector {
+	out := &Collector{
+		res:        c.res,
+		sup:        c.sup,
+		sites:      make(map[siteKey]*Warning, len(c.sites)),
+		order:      append([]siteKey(nil), c.order...),
+		suppressed: c.suppressed,
+		total:      c.total,
+	}
+	for k, w := range c.sites {
+		cp := *w
+		out.sites[k] = &cp
+	}
+	return out
+}
+
+// SnapshotReport implements trace.Snapshotter: the capability the analysis
+// engine's snapshot lifecycle requires of every instance collector.
+func (c *Collector) SnapshotReport() trace.Reporter { return c.Clone() }
+
+var _ trace.Snapshotter = (*Collector)(nil)
+
 // Sites returns the distinct warning sites in first-seen order.
 func (c *Collector) Sites() []*Warning {
 	out := make([]*Warning, 0, len(c.order))

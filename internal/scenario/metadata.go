@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"repro/internal/trace"
+	"repro/internal/tracelog"
+	"repro/internal/vm"
+)
+
+// CaptureMetadata dumps the recording VM's interned stack table and block
+// descriptors into the wire metadata a resolving ingest client sends
+// alongside its trace (tracelog.FrameMetadata). Streaming this with the
+// recorded log lets a live server render the session report with exactly the
+// stack/block resolution an offline replay gets by holding the VM itself.
+func CaptureMetadata(v *vm.VM) *tracelog.Metadata {
+	md := &tracelog.Metadata{
+		Stacks: make(map[trace.StackID][]trace.Frame),
+		Blocks: make(map[trace.BlockID]trace.Block),
+	}
+	st := v.Stacks()
+	for id := trace.StackID(1); int(id) < st.Len(); id++ {
+		md.Stacks[id] = st.Frames(id)
+	}
+	for id := trace.BlockID(1); ; id++ {
+		blk := v.BlockInfo(id)
+		if blk == nil {
+			break
+		}
+		md.Blocks[id] = *blk
+	}
+	return md
+}
+
+// Resolver builds a trace.Resolver over captured metadata — the offline
+// counterpart of the table resolver a server accumulates from metadata
+// frames, for computing reference reports that must render byte-identically
+// to live session reports. A nil metadata yields a nil resolver.
+func Resolver(md *tracelog.Metadata) trace.Resolver {
+	if md.Empty() {
+		return nil
+	}
+	r := tracelog.NewTableResolver()
+	r.AddMetadata(md)
+	return r
+}

@@ -88,6 +88,23 @@ func (s ToolSummary) Merge(other ToolSummary) {
 	}
 }
 
+// Snapshotter is the point-in-time checkpoint capability of the engine's
+// snapshot lifecycle: a reporter (report.Collector is the canonical
+// implementation) that can produce a deep, independent copy of everything it
+// has accumulated so far. The engine quiesces its shard workers to a safe
+// point — every dispatched event fully delivered, no delivery in flight —
+// snapshots every instance collector through this interface, and resumes; the
+// copies are then merged into an incremental mid-stream report while the
+// originals keep accumulating, so taking a snapshot can never perturb the
+// final end-of-stream report.
+type Snapshotter interface {
+	// SnapshotReport returns an independent deep copy of the accumulated
+	// report state. The copy shares no mutable state with the original:
+	// subsequent warnings added to the original must not be visible through
+	// the copy, and vice versa.
+	SnapshotReport() Reporter
+}
+
 // Summarizer is implemented by tools whose dynamic counters remain meaningful
 // when summed across shard instances. For a block-routed tool that is exactly
 // the per-block counters: each instance observes a disjoint block partition,

@@ -15,7 +15,8 @@ package tracelog
 // running out of bytes anywhere before the end frame is io.ErrUnexpectedEOF,
 // never a clean EOF and never an unbounded allocation.
 //
-// Client → server: hello (session name), events..., end.
+// Client → server: hello (session name), then any interleaving of metadata
+// (interned stack/block tables) and events frames, then end.
 // Client → server (query connection): query, end of request.
 // Server → client: report (rendered analysis report) or error, as the
 // response to either a drained session or a query.
@@ -48,6 +49,11 @@ const (
 	// FrameQuery asks the server a question instead of opening a session;
 	// the payload names the query (e.g. "aggregate").
 	FrameQuery
+	// FrameMetadata carries interned stack/block tables (see Metadata) so
+	// the receiver resolves warning sites like an offline replay does. Any
+	// number may appear between the hello and the end frame, interleaved
+	// with events frames; each is standalone and they accumulate.
+	FrameMetadata
 )
 
 func (k FrameKind) String() string {
@@ -64,6 +70,8 @@ func (k FrameKind) String() string {
 		return "error"
 	case FrameQuery:
 		return "query"
+	case FrameMetadata:
+		return "metadata"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(k))
 	}
@@ -173,6 +181,22 @@ func (fw *FrameWriter) Events(p []byte) error {
 	return fw.frame(FrameEvents, p)
 }
 
+// Metadata writes the interned stack/block tables and flushes, splitting
+// large tables across several metadata frames (each standalone; the receiver
+// accumulates them). A nil or empty Metadata writes nothing, so callers
+// without tables need no special case.
+func (fw *FrameWriter) Metadata(md *Metadata) error {
+	if md.Empty() {
+		return nil
+	}
+	for _, chunk := range encodeMetadataChunks(md) {
+		if err := fw.frame(FrameMetadata, chunk); err != nil {
+			return err
+		}
+	}
+	return fw.Flush()
+}
+
 // End marks the clean end of the stream and flushes.
 func (fw *FrameWriter) End() error {
 	if err := fw.frame(FrameEnd, nil); err != nil {
@@ -214,11 +238,23 @@ type FrameReader struct {
 	remaining int  // unread bytes of the current events frame
 	ended     bool // end frame seen
 	err       error
+	tables    *TableResolver // accumulated metadata-frame tables
 }
 
 // NewFrameReader creates a frame reader on r.
 func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{br: bufio.NewReader(r)}
+}
+
+// Tables returns the resolver accumulating the stream's metadata frames. It
+// starts empty (resolving nothing — indistinguishable from a stream without
+// metadata) and fills in as Read passes metadata frames; it is safe to hand
+// to a report pipeline before any frame has arrived.
+func (fr *FrameReader) Tables() *TableResolver {
+	if fr.tables == nil {
+		fr.tables = NewTableResolver()
+	}
+	return fr.tables
 }
 
 // checkMagic consumes and validates the stream magic once.
@@ -322,6 +358,21 @@ func (fr *FrameReader) Read(p []byte) (int, error) {
 		switch kind {
 		case FrameEvents:
 			fr.remaining = n
+		case FrameMetadata:
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(fr.br, buf); err != nil {
+				if err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				fr.err = err
+				return 0, err
+			}
+			md, err := decodeMetadata(buf)
+			if err != nil {
+				fr.err = err
+				return 0, err
+			}
+			fr.Tables().AddMetadata(md)
 		case FrameEnd:
 			fr.ended = true
 			if n != 0 {
@@ -388,9 +439,19 @@ var _ io.Reader = (*FrameReader)(nil)
 // EncodeFramed wraps an ordinary binary trace log into a framed session
 // stream (hello + events + end) — what a minimal ingest client sends.
 func EncodeFramed(name string, log []byte) ([]byte, error) {
+	return EncodeFramedMeta(name, nil, log)
+}
+
+// EncodeFramedMeta wraps a binary trace log and its stream metadata into a
+// framed session stream: hello, the metadata frames (when md carries any
+// tables), the events, end — what a resolving ingest client sends.
+func EncodeFramedMeta(name string, md *Metadata, log []byte) ([]byte, error) {
 	var buf bytes.Buffer
 	fw := NewFrameWriter(&buf)
 	if err := fw.Hello(name); err != nil {
+		return nil, err
+	}
+	if err := fw.Metadata(md); err != nil {
 		return nil, err
 	}
 	if err := fw.Events(log); err != nil {

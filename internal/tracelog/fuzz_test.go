@@ -44,12 +44,15 @@ func FuzzDecoder(f *testing.F) {
 	}
 	// A freshly recorded stream (ties the fuzz corpus to the live encoder
 	// even if the golden files ever lag behind an encoding change), plus its
-	// framed form: a framed stream is hostile garbage to the raw decoder and
-	// must be rejected, not misparsed.
+	// framed forms: a framed stream — with or without metadata frames — is
+	// hostile garbage to the raw decoder and must be rejected, not misparsed.
 	s := scenario.Generate(scenario.GenConfig{Seed: 12345})
-	if _, live, err := scenario.Record(s, true, 1); err == nil {
+	if v, live, err := scenario.Record(s, true, 1); err == nil {
 		f.Add(live)
 		if framed, err := tracelog.EncodeFramed("fuzz", live); err == nil {
+			f.Add(framed)
+		}
+		if framed, err := tracelog.EncodeFramedMeta("fuzz", scenario.CaptureMetadata(v), live); err == nil {
 			f.Add(framed)
 		}
 	}
@@ -108,6 +111,26 @@ func FuzzFramedStream(f *testing.F) {
 			f.Add(mut)
 		}
 	}
+	// Metadata-frame seeds: a well-formed metadata-carrying session stream
+	// plus hostile metadata payloads (absurd counts, truncated strings,
+	// trailing bytes) behind a valid hello.
+	sm := scenario.Generate(scenario.GenConfig{Seed: 54321})
+	if v, live, err := scenario.Record(sm, true, 2); err == nil {
+		if framed, err := tracelog.EncodeFramedMeta("meta-seed", scenario.CaptureMetadata(v), live); err == nil {
+			f.Add(framed)
+			f.Add(framed[:len(framed)*2/3]) // truncated inside/after the metadata frames
+			mut := bytes.Clone(framed)
+			mut[len(mut)/4] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	helloMeta := []byte{'T', 'L', 'F', '1', 1, 1, 'x', byte(tracelog.FrameMetadata)}
+	f.Add(append(bytes.Clone(helloMeta), 5, 0xff, 0xff, 0xff, 0xff, 0x0f)) // absurd stack count
+	f.Add(append(bytes.Clone(helloMeta), 7, 1, 1, 0xff, 0xff, 0xff, 0x0f)) // absurd frame count
+	f.Add(append(bytes.Clone(helloMeta), 5, 1, 1, 1, 10, 'x'))             // truncated string
+	f.Add(append(bytes.Clone(helloMeta), 0xff, 0xff, 0xff, 0xff, 0x7f))    // oversized metadata claim
+	f.Add(append(bytes.Clone(helloMeta), 5, 0, 0, 1, 2, 3))                // trailing bytes after tables
+
 	// Synthetic edges: bare magic, hello-only, oversized claims, raw log
 	// without framing.
 	f.Add([]byte("TLF1"))

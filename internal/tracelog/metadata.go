@@ -1,0 +1,319 @@
+package tracelog
+
+// Stream metadata: the interned stack and block tables that let a receiver
+// resolve warning sites the way an in-process run resolves them against the
+// VM. The binary event log deliberately carries only interned IDs (that is
+// what keeps recording cheap), which meant live ingest sessions rendered
+// reports without call stacks. A metadata frame closes that gap: the client
+// dumps its tables into the stream — once up front, or incrementally as its
+// tables grow — and the server accumulates them into a TableResolver, so
+// live reports resolve stacks and blocks exactly like an offline replay with
+// the recording VM in hand.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Metadata decoding bounds, in the spirit of the decoder's corruption bounds:
+// no allocation from a hostile claimed count or length.
+const (
+	// maxStackFrames bounds one interned stack's frame count. Guest stacks
+	// are a handful of frames deep; the VM caps them far below this.
+	maxStackFrames = 1 << 12
+	// metadataChunk is the soft payload target the writer packs entries into
+	// before starting the next metadata frame; it stays well under the
+	// reader's control-payload bound.
+	metadataChunk = 256 << 10
+	// maxMetadataEntry is the hard bound on one encoded table entry: an
+	// entry must fit a single metadata frame (control-payload limit, minus
+	// room for the chunk's two table counts). The encoder drops larger
+	// entries — the receiver simply cannot resolve that one ID, which beats
+	// failing the whole session over a pathological tag or frame string.
+	maxMetadataEntry = maxControlPayload - 16
+)
+
+// Metadata carries interned stack and block tables for one trace stream.
+// Every table entry is self-contained, so a stream may carry any number of
+// metadata frames, each holding any subset of the tables; the receiver
+// accumulates them (later entries for the same ID overwrite earlier ones).
+type Metadata struct {
+	// Stacks maps an interned stack ID to its frames, innermost last — the
+	// same shape trace.Resolver.Stack returns.
+	Stacks map[trace.StackID][]trace.Frame
+	// Blocks maps a block ID to its allocation descriptor (tag, size,
+	// allocating thread and stack), the data trace.Resolver.BlockInfo serves.
+	Blocks map[trace.BlockID]trace.Block
+}
+
+// Empty reports whether the metadata carries no entries at all.
+func (md *Metadata) Empty() bool {
+	return md == nil || (len(md.Stacks) == 0 && len(md.Blocks) == 0)
+}
+
+// appendMetaString appends a length-prefixed string.
+func appendMetaString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encodeStackEntry and encodeBlockEntry are the per-entry encodings. They
+// are shared between the chunk writer and TableResolver.AddMetadata so that
+// "which entries are sendable" (maxMetadataEntry) is decided identically on
+// both sides: an entry the wire would drop is also dropped from a resolver
+// built directly from the same Metadata, keeping offline reference reports
+// byte-identical to live ones.
+func encodeStackEntry(id trace.StackID, frames []trace.Frame) []byte {
+	e := binary.AppendUvarint(nil, uint64(id))
+	e = binary.AppendUvarint(e, uint64(len(frames)))
+	for _, f := range frames {
+		e = appendMetaString(e, f.Fn)
+		e = appendMetaString(e, f.File)
+		e = binary.AppendUvarint(e, uint64(f.Line))
+	}
+	return e
+}
+
+func encodeBlockEntry(id trace.BlockID, blk trace.Block) []byte {
+	e := binary.AppendUvarint(nil, uint64(id))
+	e = binary.AppendUvarint(e, uint64(blk.Base))
+	e = binary.AppendUvarint(e, uint64(blk.Size))
+	e = binary.AppendUvarint(e, uint64(blk.Thread))
+	e = binary.AppendUvarint(e, uint64(blk.Stack))
+	e = binary.AppendUvarint(e, b2u(blk.Freed))
+	return appendMetaString(e, blk.Tag)
+}
+
+// encodeMetadataChunks serialises the tables into one or more standalone
+// frame payloads of roughly metadataChunk bytes each. Entries are emitted in
+// sorted ID order, so the encoding is deterministic.
+func encodeMetadataChunks(md *Metadata) [][]byte {
+	stackIDs := make([]trace.StackID, 0, len(md.Stacks))
+	for id := range md.Stacks {
+		stackIDs = append(stackIDs, id)
+	}
+	sort.Slice(stackIDs, func(i, j int) bool { return stackIDs[i] < stackIDs[j] })
+	blockIDs := make([]trace.BlockID, 0, len(md.Blocks))
+	for id := range md.Blocks {
+		blockIDs = append(blockIDs, id)
+	}
+	sort.Slice(blockIDs, func(i, j int) bool { return blockIDs[i] < blockIDs[j] })
+
+	var chunks [][]byte
+	var stacks, blocks [][]byte // encoded entries for the current chunk
+	size := 0
+	flush := func() {
+		if len(stacks) == 0 && len(blocks) == 0 {
+			return
+		}
+		payload := binary.AppendUvarint(nil, uint64(len(stacks)))
+		for _, e := range stacks {
+			payload = append(payload, e...)
+		}
+		payload = binary.AppendUvarint(payload, uint64(len(blocks)))
+		for _, e := range blocks {
+			payload = append(payload, e...)
+		}
+		chunks = append(chunks, payload)
+		stacks, blocks, size = nil, nil, 0
+	}
+	add := func(entry []byte, block bool) {
+		if len(entry) > maxMetadataEntry {
+			return // unsendable entry; see maxMetadataEntry
+		}
+		// Flush before appending, so a chunk never grows past the soft
+		// target by more than one entry and a single large (but legal)
+		// entry travels in its own frame, under the frame layer's bound.
+		if size > 0 && size+len(entry) > metadataChunk {
+			flush()
+		}
+		if block {
+			blocks = append(blocks, entry)
+		} else {
+			stacks = append(stacks, entry)
+		}
+		size += len(entry)
+	}
+
+	for _, id := range stackIDs {
+		add(encodeStackEntry(id, md.Stacks[id]), false)
+	}
+	for _, id := range blockIDs {
+		add(encodeBlockEntry(id, md.Blocks[id]), true)
+	}
+	flush()
+	return chunks
+}
+
+// decodeMetadata parses one metadata frame payload. It never allocates from
+// a claimed count: counts are sanity-checked against the bytes actually
+// remaining (every entry consumes at least one byte).
+func decodeMetadata(payload []byte) (*Metadata, error) {
+	r := bytes.NewReader(payload)
+	readU := func() (uint64, error) {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("tracelog: corrupt metadata frame: %w", io.ErrUnexpectedEOF)
+		}
+		return v, nil
+	}
+	readS := func() (string, error) {
+		n, err := readU()
+		if err != nil {
+			return "", err
+		}
+		if n > maxTagLen || n > uint64(r.Len()) {
+			return "", fmt.Errorf("tracelog: corrupt metadata string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", fmt.Errorf("tracelog: corrupt metadata frame: %w", io.ErrUnexpectedEOF)
+		}
+		return string(buf), nil
+	}
+
+	md := &Metadata{
+		Stacks: make(map[trace.StackID][]trace.Frame),
+		Blocks: make(map[trace.BlockID]trace.Block),
+	}
+	nstacks, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	if nstacks > uint64(r.Len()) {
+		return nil, fmt.Errorf("tracelog: metadata claims %d stacks in %d bytes", nstacks, r.Len())
+	}
+	for i := uint64(0); i < nstacks; i++ {
+		id, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		nframes, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		if nframes > maxStackFrames {
+			return nil, fmt.Errorf("tracelog: metadata stack with %d frames", nframes)
+		}
+		frames := make([]trace.Frame, 0, min(int(nframes), 64))
+		for j := uint64(0); j < nframes; j++ {
+			fn, err := readS()
+			if err != nil {
+				return nil, err
+			}
+			file, err := readS()
+			if err != nil {
+				return nil, err
+			}
+			line, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			frames = append(frames, trace.Frame{Fn: fn, File: file, Line: int(line)})
+		}
+		md.Stacks[trace.StackID(id)] = frames
+	}
+	nblocks, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	if nblocks > uint64(r.Len()) {
+		return nil, fmt.Errorf("tracelog: metadata claims %d blocks in %d bytes", nblocks, r.Len())
+	}
+	for i := uint64(0); i < nblocks; i++ {
+		f, err := readN(readU, 6)
+		if err != nil {
+			return nil, err
+		}
+		tag, err := readS()
+		if err != nil {
+			return nil, err
+		}
+		id := trace.BlockID(f[0])
+		md.Blocks[id] = trace.Block{
+			ID: id, Base: trace.Addr(f[1]), Size: uint32(f[2]),
+			Thread: trace.ThreadID(f[3]), Stack: trace.StackID(f[4]),
+			Freed: f[5] != 0, Tag: tag,
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("tracelog: %d trailing byte(s) after metadata tables", r.Len())
+	}
+	return md, nil
+}
+
+// TableResolver is a trace.Resolver backed by tables received in metadata
+// frames — the receiving side's stand-in for the VM a live client has in
+// hand. It starts empty (resolving nothing, exactly like a nil resolver)
+// and accumulates every metadata frame the stream carries.
+//
+// It is safe for concurrent use: the connection goroutine merges tables
+// while report formatting resolves against them.
+type TableResolver struct {
+	mu     sync.RWMutex
+	stacks map[trace.StackID][]trace.Frame
+	blocks map[trace.BlockID]*trace.Block
+}
+
+// NewTableResolver creates an empty resolver.
+func NewTableResolver() *TableResolver {
+	return &TableResolver{
+		stacks: make(map[trace.StackID][]trace.Frame),
+		blocks: make(map[trace.BlockID]*trace.Block),
+	}
+}
+
+// AddMetadata merges the tables of one metadata payload; later entries for
+// the same ID overwrite earlier ones. Entries too large for any metadata
+// frame are skipped, mirroring the wire encoder exactly — a resolver built
+// directly from captured Metadata holds the same tables a peer receives
+// through frames.
+func (r *TableResolver) AddMetadata(md *Metadata) {
+	if md.Empty() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, frames := range md.Stacks {
+		if len(encodeStackEntry(id, frames)) > maxMetadataEntry {
+			continue
+		}
+		r.stacks[id] = frames
+	}
+	for id, blk := range md.Blocks {
+		if len(encodeBlockEntry(id, blk)) > maxMetadataEntry {
+			continue
+		}
+		cp := blk
+		r.blocks[id] = &cp
+	}
+}
+
+// Stack implements trace.Resolver.
+func (r *TableResolver) Stack(id trace.StackID) []trace.Frame {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stacks[id]
+}
+
+// BlockInfo implements trace.Resolver.
+func (r *TableResolver) BlockInfo(id trace.BlockID) *trace.Block {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.blocks[id]
+}
+
+// Counts returns the number of resolvable stacks and blocks.
+func (r *TableResolver) Counts() (stacks, blocks int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.stacks), len(r.blocks)
+}
+
+var _ trace.Resolver = (*TableResolver)(nil)
