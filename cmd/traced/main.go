@@ -18,22 +18,35 @@
 // whose clients stall so they stop holding analysis slots. Sessions that
 // stream metadata frames get their reports fully stack-resolved.
 //
+// The daemon observes itself through an internal/obs metrics registry,
+// always on (instrumentation is allocation-free and never perturbs
+// analysis). The series are served three ways: a "stats" query connection
+// (traceload -query stats), an optional -http endpoint exposing GET /metrics
+// (Prometheus text format), GET /healthz (503 while draining) and
+// net/http/pprof under /debug/pprof/, and an optional -stats-interval
+// one-line stderr dump for log scraping.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting,
-// flushes in-flight sessions within the grace period, then prints the
-// cross-session aggregate report to stdout. The same aggregate is available
-// at any time to an "aggregate" query connection (traceload -aggregate).
+// flushes in-flight sessions within the grace period, then prints a drain
+// summary (sessions flushed vs force-failed) and a final metrics snapshot to
+// stderr and the cross-session aggregate report to stdout. The same
+// aggregate is available at any time to an "aggregate" query connection
+// (traceload -aggregate).
 //
 // Usage:
 //
 //	traced -listen unix:/tmp/traced.sock
 //	traced -listen tcp:127.0.0.1:7433 -tools lockset,memcheck -parallel 4
 //	traced -listen tcp:127.0.0.1:7433 -report-interval 500ms -retain 128 -idle-timeout 30s
+//	traced -listen tcp:127.0.0.1:7433 -http 127.0.0.1:9090 -stats-interval 10s
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +54,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -53,6 +67,8 @@ func main() {
 		reportInterval = flag.Duration("report-interval", 0, "periodic incremental session reports (0 disables; served to 'session'/'snapshots' queries)")
 		retain         = flag.Int("retain", 0, "terminal sessions retained individually before being folded into the aggregate (0 keeps all)")
 		idleTimeout    = flag.Duration("idle-timeout", 0, "fail a session whose connection goes idle for this long (0 disables)")
+		httpAddr       = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this host:port (empty disables)")
+		statsInterval  = flag.Duration("stats-interval", 0, "print a one-line metrics dump to stderr this often (0 disables)")
 	)
 	flag.Parse()
 
@@ -62,6 +78,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := obs.NewRegistry()
 	srv, err := ingest.NewServer(ingest.Config{
 		Tools:          tools,
 		Shards:         *parallel,
@@ -69,6 +86,7 @@ func main() {
 		ReportInterval: *reportInterval,
 		RetainSessions: *retain,
 		IdleTimeout:    *idleTimeout,
+		Metrics:        reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traced:", err)
@@ -81,6 +99,26 @@ func main() {
 	}
 	fmt.Printf("traced: listening on %s (tools %s, %d shard(s)/session, %d session slot(s))\n",
 		*listen, *toolList, *parallel, *maxSessions)
+
+	if *httpAddr != "" {
+		hsrv, err := serveHTTP(*httpAddr, reg, srv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traced:", err)
+			os.Exit(1)
+		}
+		defer hsrv.Close()
+		fmt.Printf("traced: metrics on http://%s/metrics (healthz, pprof alongside)\n", *httpAddr)
+	}
+
+	if *statsInterval > 0 {
+		tick := time.NewTicker(*statsInterval)
+		defer tick.Stop()
+		go func() {
+			for range tick.C {
+				fmt.Fprintf(os.Stderr, "traced: stats %s\n", reg.OneLine())
+			}
+		}()
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
@@ -96,6 +134,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "traced: forced shutdown:", err)
 		}
 		<-done
+		drain := srv.LastDrain()
+		fmt.Fprintf(os.Stderr, "traced: drain: %d in-flight session(s) — %d flushed, %d force-failed\n",
+			drain.InFlight, drain.Flushed, drain.Forced)
+		fmt.Fprintf(os.Stderr, "traced: final stats\n%s", reg.Snapshot())
 	case err := <-done:
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "traced: serve:", err)
@@ -103,4 +145,34 @@ func main() {
 		}
 	}
 	fmt.Print(srv.Aggregate().Format())
+}
+
+// serveHTTP starts the observability endpoint: Prometheus metrics, a
+// drain-aware health check, and the stdlib pprof profiles. It is a private
+// mux (not http.DefaultServeMux) so nothing else can leak handlers onto the
+// daemon's diagnostic port.
+func serveHTTP(addr string, reg *obs.Registry, srv *ingest.Server) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if srv.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hln, err := ingest.Listen("tcp:" + addr)
+	if err != nil {
+		return nil, fmt.Errorf("http: %w", err)
+	}
+	hsrv := &http.Server{Handler: mux}
+	go hsrv.Serve(hln)
+	return hsrv, nil
 }

@@ -28,6 +28,12 @@
 //	traceload -addr unix:/tmp/traced.sock -corpus internal/scenario/testdata/golden -sessions 16 -verify
 //	traceload -inproc -generate 7 -sessions 64 -verify -aggregate
 //	traceload -inproc -generate 4 -sessions 8 -rate 50000 -verify
+//	traceload -addr tcp:127.0.0.1:7433 -query stats
+//
+// -query runs one standalone query exchange against a live daemon ("stats"
+// fetches the server's metrics snapshot, "aggregate"/"sessions"/"session
+// <name>"/"snapshots <name>" as documented on the ingest client), prints the
+// response and exits without streaming any load.
 //
 // -inproc starts a private in-process server instead of dialing one, which
 // makes a self-contained smoke test (the CI ingest smoke drives a real
@@ -85,8 +91,23 @@ func main() {
 		aggregate = flag.Bool("aggregate", false, "finish by querying and printing the server's aggregate report")
 		parallel  = flag.Int("parallel", 1, "per-session engine shards for -inproc")
 		interval  = flag.Duration("report-interval", 0, "incremental-report interval for -inproc (0 disables)")
+		query     = flag.String("query", "", "run one query against -addr, print the response, and exit (e.g. stats, aggregate, sessions)")
 	)
 	flag.Parse()
+
+	if *query != "" {
+		c, err := ingest.Dial(*addr)
+		if err != nil {
+			fail("query: %v", err)
+		}
+		text, err := c.Query(*query)
+		c.Close()
+		if err != nil {
+			fail("query: %v", err)
+		}
+		fmt.Print(text)
+		return
+	}
 
 	tools, err := (core.Options{}).ToolFactory(*toolList)
 	if err != nil {

@@ -187,6 +187,19 @@
 // tool across shard instances, so core.Result.Summaries — and the ingest
 // aggregate — report the same totals at every shard count.
 //
+// # Self-observability (internal/obs)
+//
+// internal/obs is a zero-dependency metrics registry (atomic counters,
+// gauges, fixed-bucket histograms, labelled vectors) rendering a
+// deterministic Prometheus text snapshot. engine.NewMetrics and
+// ingest.Config.Metrics thread it through the hot paths allocation-free
+// (batched event counting, pre-resolved labelled series); instrumentation
+// never touches collectors or tool state, so reports are byte-identical
+// with metrics on or off (TestEngineMetricsConformance, TestObsConformance).
+// traced exposes the registry via the "stats" query, -http (/metrics,
+// /healthz, net/http/pprof) and -stats-interval; see the README's
+// "Observability" section for the metric catalog.
+//
 // See README.md for the architecture overview. The public entry point is
 // internal/core; the benchmarks in bench_test.go regenerate every table and
 // figure of the paper's evaluation, and internal/engine's benchmarks track

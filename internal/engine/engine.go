@@ -41,6 +41,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/tracelog"
@@ -76,6 +77,12 @@ type Options struct {
 	Resolver trace.Resolver
 	// Suppressor applies suppression rules in every instance collector.
 	Suppressor report.Suppressor
+	// Metrics, when non-nil, receives hot-path instrumentation (events
+	// dispatched, batches flushed, queue watermarks, snapshot quiesce
+	// latency, absorbed tool panics). Several pipelines may share one
+	// Metrics. Instrumentation never influences analysis: reports are
+	// byte-identical with or without it.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -164,6 +171,13 @@ type Engine struct {
 	err        error
 	streamErr  error // first mid-stream failure (e.g. a ReplayLog decode error)
 
+	// Instrumentation (nil-gated). metPending counts events dispatched since
+	// the last fold into met.EventsDecoded, so the per-event cost is a plain
+	// increment; hwm holds the per-shard queue gauges resolved at New.
+	met        *Metrics
+	metPending int64
+	hwm        []*obs.Gauge
+
 	// Snapshot quiesce machinery (see Snapshot): a nil batch sent down a
 	// shard channel is the barrier marker; the worker checks in on snapWG and
 	// parks on snapGate until the dispatcher has cloned every collector.
@@ -178,6 +192,8 @@ func New(opt Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{opt: opt, snapGate: make(chan struct{}, opt.Shards)}
+	e.met = opt.Metrics
+	e.hwm = shardQueueGauges(opt.Metrics, opt.Shards)
 	e.pool.New = func() any { return make([]event, 0, opt.BatchSize) }
 	e.shards = make([]*shard, opt.Shards)
 	for i := range e.shards {
@@ -253,6 +269,13 @@ func (e *Engine) dispatch(ev *tracelog.Event) {
 		return
 	}
 	e.seq++
+	if e.met != nil {
+		e.metPending++
+		if e.metPending >= metricsFlushEvery {
+			e.met.EventsDecoded.Add(e.metPending)
+			e.metPending = 0
+		}
+	}
 	n := len(e.shards)
 	var owner int
 	switch ev.Op {
@@ -292,6 +315,20 @@ func (e *Engine) enqueue(i int, ev *tracelog.Event, dst uint8) {
 	if len(s.pending) >= e.opt.BatchSize {
 		s.ch <- s.pending
 		s.pending = e.newBatch()
+		if e.met != nil {
+			e.met.BatchesFlushed.Inc()
+			e.hwm[i].SetMax(int64(len(s.ch)))
+		}
+	}
+}
+
+// flushMetrics folds the locally-batched event count into the shared
+// counter. Called at every snapshot and close boundary so the exported
+// series are exact whenever anyone can observe them.
+func (e *Engine) flushMetrics() {
+	if e.met != nil && e.metPending > 0 {
+		e.met.EventsDecoded.Add(e.metPending)
+		e.metPending = 0
 	}
 }
 

@@ -31,9 +31,13 @@ func (e *Engine) Close() (*report.Collector, error) {
 		return e.merged, e.err
 	}
 	e.closed = true
+	e.flushMetrics()
 	for _, s := range e.shards {
 		if len(s.pending) > 0 && e.streamErr == nil {
 			s.ch <- s.pending
+			if e.met != nil {
+				e.met.BatchesFlushed.Inc()
+			}
 		}
 		s.pending = nil
 		close(s.ch)

@@ -29,6 +29,10 @@ type Sequential struct {
 	merged    *report.Collector
 	err       error
 	streamErr error // first mid-stream failure (e.g. a ReplayLog decode error)
+
+	// Instrumentation (nil-gated); see the Engine fields of the same names.
+	met        *Metrics
+	metPending int64
 }
 
 // NewSequential creates the single-pass multi-tool pipeline. Shards,
@@ -39,7 +43,7 @@ func NewSequential(opt Options) (*Sequential, error) {
 	if err := validateTools(opt.Tools); err != nil {
 		return nil, err
 	}
-	s := &Sequential{opt: opt}
+	s := &Sequential{opt: opt, met: opt.Metrics}
 	for _, spec := range opt.Tools {
 		s.insts = append(s.insts, newToolInst(spec, opt, &s.cur))
 	}
@@ -84,6 +88,7 @@ func (s *Sequential) Close() (*report.Collector, error) {
 		return s.merged, s.err
 	}
 	s.closed = true
+	s.flushMetrics()
 	if s.streamErr != nil {
 		s.err = fmt.Errorf("engine: stream failed after %d events: %w", s.seq, s.streamErr)
 		return nil, s.err
@@ -132,9 +137,25 @@ func (s *Sequential) deliver(fn func(trace.Sink)) {
 		return
 	}
 	s.seq++
+	if s.met != nil {
+		s.metPending++
+		if s.metPending >= metricsFlushEvery {
+			s.met.EventsDecoded.Add(s.metPending)
+			s.metPending = 0
+		}
+	}
 	s.cur = s.seq
 	for _, ti := range s.insts {
 		fn(ti.sink)
+	}
+}
+
+// flushMetrics folds the locally-batched event count into the shared
+// counter, mirroring Engine.flushMetrics.
+func (s *Sequential) flushMetrics() {
+	if s.met != nil && s.metPending > 0 {
+		s.met.EventsDecoded.Add(s.metPending)
+		s.metPending = 0
 	}
 }
 

@@ -25,13 +25,17 @@ type toolInst struct {
 func newToolInst(spec trace.ToolSpec, opt Options, cur *uint64) *toolInst {
 	col := report.NewCollector(opt.Resolver, opt.Suppressor)
 	col.SetSequencer(func() uint64 { return *cur })
+	// The SafeSink isolates a panicking tool to this one instance: the
+	// worker keeps draining its channel and sibling tools on the same
+	// shard keep analysing; the panic surfaces as an error from Close.
+	ss := trace.NewSafeSink(spec.Factory(col))
+	if opt.Metrics != nil {
+		ss.OnPanic = opt.Metrics.ToolPanics.Inc
+	}
 	return &toolInst{
 		name: spec.Name,
 		col:  col,
-		// The SafeSink isolates a panicking tool to this one instance: the
-		// worker keeps draining its channel and sibling tools on the same
-		// shard keep analysing; the panic surfaces as an error from Close.
-		sink: trace.NewSafeSink(spec.Factory(col)),
+		sink: ss,
 		cur:  cur,
 	}
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -44,15 +45,26 @@ func (e *Engine) Snapshot() (*report.Collector, error) {
 	}
 	// Quiesce: marker after the flushed partial batches, then wait for every
 	// worker to drain up to it and park.
+	e.flushMetrics()
+	var quiesceStart time.Time
+	if e.met != nil {
+		quiesceStart = time.Now()
+	}
 	e.snapWG.Add(len(e.shards))
 	for _, s := range e.shards {
 		if len(s.pending) > 0 {
 			s.ch <- s.pending
 			s.pending = e.newBatch()
+			if e.met != nil {
+				e.met.BatchesFlushed.Inc()
+			}
 		}
 		s.ch <- nil
 	}
 	e.snapWG.Wait()
+	if e.met != nil {
+		e.met.SnapshotQuiesceNs.Observe(int64(time.Since(quiesceStart)))
+	}
 	// All workers parked: instance state is safe to read from here.
 	cols := make([]*report.Collector, len(e.insts))
 	for i, ti := range e.insts {
@@ -77,9 +89,17 @@ func (s *Sequential) Snapshot() (*report.Collector, error) {
 	if s.streamErr != nil {
 		return nil, fmt.Errorf("engine: stream failed after %d events: %w", s.seq, s.streamErr)
 	}
+	s.flushMetrics()
+	var cloneStart time.Time
+	if s.met != nil {
+		cloneStart = time.Now()
+	}
 	cols := make([]*report.Collector, len(s.insts))
 	for i, ti := range s.insts {
 		cols[i] = snapshotCollector(ti.col)
+	}
+	if s.met != nil {
+		s.met.SnapshotQuiesceNs.Observe(int64(time.Since(cloneStart)))
 	}
 	return report.Merge(s.opt.Resolver, s.opt.Suppressor, cols...), nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -26,6 +27,11 @@ type IngestResult struct {
 	Events       int64   `json:"events"` // total across sessions
 	NsTotal      int64   `json:"ns_total"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Obs is the server's flattened metrics snapshot at the end of the level
+	// (obs.Registry.Series): the internal counters — events decoded, batches
+	// flushed, slot-wait distribution, frame traffic — behind the throughput
+	// headline.
+	Obs map[string]int64 `json:"obs,omitempty"`
 }
 
 // IngestBenchLog measures live-ingest throughput of one recorded trace at
@@ -46,7 +52,8 @@ func IngestBenchLog(log []byte, tools func() []trace.ToolSpec, shards int, sessi
 }
 
 func ingestOnce(log []byte, tools func() []trace.ToolSpec, shards, sessions int) (IngestResult, error) {
-	srv, err := ingest.NewServer(ingest.Config{Tools: tools, Shards: shards, MaxSessions: sessions})
+	reg := obs.NewRegistry()
+	srv, err := ingest.NewServer(ingest.Config{Tools: tools, Shards: shards, MaxSessions: sessions, Metrics: reg})
 	if err != nil {
 		return IngestResult{}, err
 	}
@@ -103,5 +110,6 @@ func ingestOnce(log []byte, tools func() []trace.ToolSpec, shards, sessions int)
 		Events:       events,
 		NsTotal:      dur.Nanoseconds(),
 		EventsPerSec: float64(events) / dur.Seconds(),
+		Obs:          reg.Series(),
 	}, nil
 }

@@ -119,8 +119,9 @@ func (c *Client) StreamTraceMeta(name string, md *tracelog.Metadata, log []byte,
 	return c.Finish()
 }
 
-// Query runs one query exchange (e.g. "aggregate", "sessions", "session
-// <name>", "snapshots <name>") and returns the server's rendered response.
+// Query runs one query exchange (e.g. "aggregate", "sessions", "stats",
+// "session <name>", "snapshots <name>") and returns the server's rendered
+// response.
 func (c *Client) Query(q string) (string, error) {
 	if err := c.fw.Query(q); err != nil {
 		return "", fmt.Errorf("ingest: query: %w", err)
@@ -141,4 +142,10 @@ func (c *Client) Aggregate() (string, error) {
 // manifests (see Session.FormatSnapshots).
 func (c *Client) Snapshots(name string) (string, error) {
 	return c.Query("snapshots " + name)
+}
+
+// Stats asks the server for its metrics snapshot (Prometheus text format).
+// It fails if the server has no metrics registry attached.
+func (c *Client) Stats() (string, error) {
+	return c.Query("stats")
 }

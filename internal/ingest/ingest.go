@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/tracelog"
@@ -103,6 +104,13 @@ type Config struct {
 	// deadline is rolling: it rearms on every read, so slow-but-moving
 	// streams are unaffected. It also covers the handshake itself.
 	IdleTimeout time.Duration
+	// Metrics, when non-nil, receives the daemon's self-observability
+	// series (ingest_* families plus the shared engine_* families of every
+	// session pipeline) and enables the "stats" query. Instrumentation never
+	// influences analysis: session and aggregate reports are byte-identical
+	// with or without a registry attached — the obs conformance test pins
+	// this.
+	Metrics *obs.Registry
 }
 
 // SessionState is a session's lifecycle position.
@@ -159,6 +167,11 @@ type Snapshot struct {
 type Session struct {
 	ID   uint64
 	Name string
+	// Opened is when the session was registered; the "sessions" query
+	// renders each entry's age from it.
+	Opened time.Time
+
+	met *serverMetrics // lifecycle gauge census; nil when no registry is attached
 
 	mu      sync.Mutex
 	state   SessionState
@@ -279,16 +292,26 @@ func (s *Session) foldable() bool {
 	return s.done && (s.state == StateReported || s.state == StateFailed)
 }
 
+// transitionLocked advances the lifecycle and moves the state-gauge census
+// with it. Callers hold s.mu.
+func (s *Session) transitionLocked(st SessionState) {
+	if s.met != nil && st != s.state {
+		s.met.states[s.state].Add(-1)
+		s.met.states[st].Add(1)
+	}
+	s.state = st
+}
+
 // setState advances the lifecycle under the session lock.
 func (s *Session) setState(st SessionState) {
 	s.mu.Lock()
-	s.state = st
+	s.transitionLocked(st)
 	s.mu.Unlock()
 }
 
 func (s *Session) fail(err error) {
 	s.mu.Lock()
-	s.state = StateFailed
+	s.transitionLocked(StateFailed)
 	if s.err == nil {
 		s.err = err
 	}
@@ -298,6 +321,9 @@ func (s *Session) fail(err error) {
 // Server is the multiplexed trace-ingest daemon.
 type Server struct {
 	cfg Config
+	met *serverMetrics // nil when Config.Metrics is nil
+
+	draining atomic.Bool // set at Shutdown entry; health endpoints read it
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -307,9 +333,32 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	folded   foldedState // retention rollup of evicted sessions
+	drain    DrainSummary
 
 	sem chan struct{} // MaxSessions slots
 	wg  sync.WaitGroup
+}
+
+// DrainSummary is the outcome of a Shutdown flush: how many sessions were
+// still in flight when the drain began, and how they ended — flushed to a
+// clean report within the grace period, or force-failed by the connection
+// close after it.
+type DrainSummary struct {
+	InFlight int // sessions not yet terminal when Shutdown began
+	Flushed  int // of those, ended reported
+	Forced   int // of those, ended failed (grace expired) or still not terminal
+}
+
+// Draining reports whether Shutdown has begun — the state a health endpoint
+// distinguishes from live serving.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// LastDrain returns the drain outcome of the completed Shutdown; the zero
+// summary before Shutdown has run.
+func (s *Server) LastDrain() DrainSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drain
 }
 
 // foldedState is the running aggregate of sessions the retention policy has
@@ -338,6 +387,7 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		cfg:      cfg,
+		met:      newServerMetrics(cfg.Metrics),
 		sessions: make(map[uint64]*Session),
 		conns:    make(map[net.Conn]struct{}),
 		sem:      make(chan struct{}, cfg.MaxSessions),
@@ -393,9 +443,19 @@ func (s *Server) Serve(ln net.Listener) error {
 // connections (their sessions fail with a truncated stream) and waits for
 // the handlers to finish.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
+	// In-flight census before any flushing: these are the sessions the drain
+	// summary tracks to their terminal state.
+	var inflight []*Session
+	for _, id := range s.order {
+		sess := s.sessions[id]
+		if st := sess.State(); st != StateReported && st != StateFailed {
+			inflight = append(inflight, sess)
+		}
+	}
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
@@ -405,18 +465,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		err = ctx.Err()
+	}
+	sum := DrainSummary{InFlight: len(inflight)}
+	for _, sess := range inflight {
+		if sess.State() == StateReported {
+			sum.Flushed++
+		} else {
+			sum.Forced++
+		}
 	}
 	s.mu.Lock()
-	for conn := range s.conns {
-		conn.Close()
-	}
+	s.drain = sum
 	s.mu.Unlock()
-	<-done
-	return ctx.Err()
+	return err
 }
 
 // register creates a new session registry entry.
@@ -424,9 +496,13 @@ func (s *Server) register(name string) *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	sess := &Session{ID: s.nextID, Name: name, state: StateOpen}
+	sess := &Session{ID: s.nextID, Name: name, Opened: time.Now(), met: s.met, state: StateOpen}
 	s.sessions[sess.ID] = sess
 	s.order = append(s.order, sess.ID)
+	if s.met != nil {
+		s.met.sessionsOpened.Inc()
+		s.met.states[StateOpen].Add(1)
+	}
 	return sess
 }
 
@@ -439,6 +515,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		rd = idleReader{conn: conn, timeout: s.cfg.IdleTimeout}
 	}
 	fr := tracelog.NewFrameReader(rd)
+	if s.met != nil {
+		fr.SetObserver(s.met.observeFrame)
+	}
 	fw := tracelog.NewFrameWriter(conn)
 	kind, meta, err := fr.Handshake()
 	if err != nil {
@@ -453,7 +532,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	// A session occupies an analysis slot for its whole pipeline lifetime;
 	// waiting here (before any stream is read) is the cross-session
 	// backpressure described in the package comment.
-	s.sem <- struct{}{}
+	if s.met != nil {
+		waitStart := time.Now()
+		s.sem <- struct{}{}
+		s.met.slotWaitNs.Observe(int64(time.Since(waitStart)))
+	} else {
+		s.sem <- struct{}{}
+	}
 	defer func() { <-s.sem }()
 
 	sess := s.register(meta)
@@ -471,12 +556,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	// stream's metadata frames arrive; every report this session renders —
 	// incremental and final — resolves against it, exactly like an offline
 	// replay resolving against the recording VM.
+	var em *engine.Metrics
+	if s.met != nil {
+		em = s.met.engine
+	}
 	pipe, err := engine.NewPipeline(engine.Options{
 		Tools:      s.cfg.Tools(),
 		Shards:     s.cfg.Shards,
 		BatchSize:  s.cfg.BatchSize,
 		QueueDepth: s.cfg.QueueDepth,
 		Resolver:   fr.Tables(),
+		Metrics:    em,
 	})
 	if err != nil {
 		sess.fail(err)
@@ -501,6 +591,9 @@ func (s *Server) serveConn(conn net.Conn) {
 				Report:   col.Format(),
 				Manifest: col.Manifest(),
 			})
+			if s.met != nil {
+				s.met.snapshotsTaken.Inc()
+			}
 		})
 		defer stop()
 		stream = trig
@@ -510,8 +603,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	sess.mu.Lock()
 	sess.events = events
 	sess.mu.Unlock()
+	if s.met != nil {
+		s.met.eventsTotal.Add(events)
+	}
 	if err != nil {
 		pipe.Close() // join workers; no report by the mid-stream contract
+		if s.met != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.met.idleKills.Inc()
+			}
+		}
 		sess.fail(err)
 		fw.Error(fmt.Sprintf("stream: %v", err))
 		return
@@ -530,11 +632,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	// delivery downgrades the session to failed afterwards.
 	text := col.Format()
 	sess.mu.Lock()
-	sess.state = StateReported
+	sess.transitionLocked(StateReported)
 	sess.col = col
 	sess.sums = pipe.Summaries()
 	sess.report = text
 	sess.mu.Unlock()
+	if s.met != nil {
+		for tool, n := range col.LocationsByTool() {
+			s.met.warnings.With(tool).Add(int64(n))
+		}
+	}
 	if err := fw.Report(text); err != nil {
 		sess.fail(err)
 		// Best effort: an oversized report is refused before any bytes hit
@@ -614,6 +721,12 @@ func (s *Server) serveQuery(fw *tracelog.FrameWriter, q string) {
 		reply("aggregate", s.Aggregate().Format())
 	case q == "sessions":
 		reply("sessions", s.formatSessions())
+	case q == "stats":
+		if s.cfg.Metrics == nil {
+			fw.Error("stats: no metrics registry attached (Config.Metrics)")
+			return
+		}
+		reply("stats", s.cfg.Metrics.Snapshot())
 	case sessionQ:
 		sess := s.SessionByName(strings.TrimSpace(name))
 		if sess == nil {
@@ -629,7 +742,7 @@ func (s *Server) serveQuery(fw *tracelog.FrameWriter, q string) {
 		}
 		reply("snapshots", sess.FormatSnapshots())
 	default:
-		fw.Error(fmt.Sprintf("unknown query %q (known: aggregate, sessions, session <name>, snapshots <name>)", q))
+		fw.Error(fmt.Sprintf("unknown query %q (known: aggregate, sessions, stats, session <name>, snapshots <name>)", q))
 	}
 }
 
@@ -652,12 +765,20 @@ func (s *Server) formatSessions() string {
 	s.mu.Lock()
 	folded := s.folded.sessions
 	s.mu.Unlock()
+	return formatSessionsAt(sessions, folded, time.Now())
+}
+
+// formatSessionsAt is the clock-injected rendering behind formatSessions:
+// one line per retained session with its lifecycle state, progress counters
+// and age at the given instant.
+func formatSessionsAt(sessions []*Session, folded int, now time.Time) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== sessions: %d retained, %d folded\n", len(sessions), folded)
 	for _, sess := range sessions {
 		sess.mu.Lock()
-		fmt.Fprintf(&b, "id=%d name=%s state=%s events=%d snapshots=%d\n",
-			sess.ID, sess.Name, sess.state, sess.events, len(sess.snaps))
+		fmt.Fprintf(&b, "id=%d name=%s state=%s events=%d snaps=%d age=%s\n",
+			sess.ID, sess.Name, sess.state, sess.events, len(sess.snaps),
+			now.Sub(sess.Opened).Round(time.Second))
 		sess.mu.Unlock()
 	}
 	return b.String()
@@ -703,6 +824,12 @@ func (s *Server) retire() {
 func (s *Server) fold(sess *Session) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if s.met != nil {
+		// Eviction removes the session from the census the state gauges
+		// cover; the folds counter keeps the running total observable.
+		s.met.folds.Inc()
+		s.met.states[sess.state].Add(-1)
+	}
 	s.folded.sessions++
 	s.folded.events += sess.events
 	if sess.state != StateReported {

@@ -15,6 +15,12 @@ type SafeSink struct {
 	inner    Sink
 	err      error
 	disabled bool
+
+	// OnPanic, when set, is called once — at the moment the first panic is
+	// absorbed and the sink disabled. The engine points it at its
+	// tool-panics counter so absorbed panics are observable instead of
+	// silent until Close. It must not itself panic.
+	OnPanic func()
 }
 
 // NewSafeSink wraps s. A nil s yields a permanently inert sink.
@@ -41,6 +47,9 @@ func (s *SafeSink) safely(callback string, call func()) {
 		if r := recover(); r != nil {
 			s.disabled = true
 			s.err = fmt.Errorf("trace: sink %q panicked in %s: %v", s.inner.ToolName(), callback, r)
+			if s.OnPanic != nil {
+				s.OnPanic()
+			}
 		}
 	}()
 	call()

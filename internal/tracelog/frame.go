@@ -239,6 +239,16 @@ type FrameReader struct {
 	ended     bool // end frame seen
 	err       error
 	tables    *TableResolver // accumulated metadata-frame tables
+	observe   func(kind FrameKind, payloadBytes int)
+}
+
+// SetObserver installs a callback invoked once per frame header read (after
+// its length claim passed the bounds check), with the frame kind and its
+// payload size. The ingest server points it at its per-kind frame and byte
+// counters. Install before Handshake to observe the hello/query frame too;
+// the callback must be cheap and must not retain references.
+func (fr *FrameReader) SetObserver(fn func(kind FrameKind, payloadBytes int)) {
+	fr.observe = fn
 }
 
 // NewFrameReader creates a frame reader on r.
@@ -306,6 +316,9 @@ func (fr *FrameReader) header() (FrameKind, int, error) {
 	}
 	if n > limit {
 		return 0, 0, fmt.Errorf("tracelog: %s frame claims %d payload bytes (limit %d)", kind, n, limit)
+	}
+	if fr.observe != nil {
+		fr.observe(kind, int(n))
 	}
 	return kind, int(n), nil
 }
