@@ -13,16 +13,20 @@
 // events/sec per level.
 //
 // With -json the results are emitted as a machine-readable document
-// (ns/event per detector config, sequential vs -parallel N), so successive
-// PRs can track the performance trajectory in BENCH_*.json files. The
-// document records GOMAXPROCS, NumCPU and the shard count, so a trajectory
-// measured on a 1-CPU container is distinguishable from a multi-core run.
+// (harness.BenchDoc: ns/event per detector config, sequential vs -parallel
+// N), so successive PRs can track the performance trajectory in
+// BENCH_*.json files. The document records GOMAXPROCS, NumCPU and the shard
+// count, so a trajectory measured on a 1-CPU container is distinguishable
+// from a multi-core run. -alloc adds allocs/event and bytes/event to every
+// replay row. -check FILE validates an existing document against the
+// current schema and exits — the CI smoke for committed BENCH files.
 //
 // Usage:
 //
 //	perfbench
 //	perfbench -threads 8 -iters 5000
-//	perfbench -json -parallel 4 > BENCH_replay.json
+//	perfbench -json -alloc -parallel 4 -ingest > BENCH_$(date +%F).json
+//	perfbench -check BENCH_2026-08-07.json
 //	perfbench -tools lockset,djit,deadlock,memcheck,highlevel
 //	perfbench -ingest -ingest-sessions 1,8,64
 package main
@@ -42,31 +46,6 @@ import (
 	"repro/internal/harness"
 )
 
-// benchDoc is the -json output schema.
-type benchDoc struct {
-	Threads   int                     `json:"threads"`
-	Iters     int                     `json:"iters"`
-	Slots     int                     `json:"slots"`
-	Blocks    int                     `json:"blocks"`
-	Seed      int64                   `json:"seed"`
-	GoMaxProc int                     `json:"gomaxprocs"`
-	NumCPU    int                     `json:"num_cpu"`
-	Shards    int                     `json:"shards"`
-	Overhead  []overheadJSON          `json:"overhead"`
-	Replay    []harness.ReplayResult  `json:"replay"`
-	OnePass   []harness.OnePassResult `json:"one_pass"`
-	Ingest    []harness.IngestResult  `json:"ingest,omitempty"`
-}
-
-// overheadJSON is one §4.5 matrix row in machine-readable form.
-type overheadJSON struct {
-	Mode    string  `json:"mode"`
-	NsTotal int64   `json:"ns_total"`
-	Steps   int64   `json:"steps"`
-	Ops     int64   `json:"ops"`
-	NsPerOp float64 `json:"ns_per_op"`
-}
-
 func main() {
 	var (
 		threads        = flag.Int("threads", 4, "guest worker threads")
@@ -77,6 +56,8 @@ func main() {
 		parallel       = flag.Int("parallel", 4, "engine shards for the replay measurements")
 		tools          = flag.String("tools", "", "extra tools to add to the one-pass comparative replay (comma-separated, e.g. djit,deadlock,memcheck; 'all' for every tool)")
 		asJSON         = flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
+		alloc          = flag.Bool("alloc", false, "also measure allocs/event and bytes/event per replay measurement")
+		check          = flag.String("check", "", "validate an existing BENCH JSON file against the current schema and exit")
 		ingest         = flag.Bool("ingest", false, "also measure live-ingest throughput through the trace-ingest server")
 		ingestSessions = flag.String("ingest-sessions", "1,8,64", "comma-separated concurrent session counts for -ingest")
 		ingestShards   = flag.Int("ingest-shards", 1, "per-session engine shards for -ingest (1 = sequential per session)")
@@ -86,6 +67,22 @@ func main() {
 		*repeat = 1
 	}
 
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		doc, err := harness.ParseBenchDoc(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (schema %d, %d replay rows, %d one-pass rows, %d ingest levels)\n",
+			*check, doc.Schema, len(doc.Replay), len(doc.OnePass), len(doc.Ingest))
+		return
+	}
+
 	// The §4.5 overhead matrix keeps the classic single-block table so its
 	// ratios stay comparable with earlier measurements; only the replay
 	// benchmark spreads the table across blocks to give the engine's shard
@@ -93,6 +90,7 @@ func main() {
 	w := harness.PerfWorkload{Threads: *threads, Iters: *iters, Slots: *slots, Seed: *seed}
 	wr := w
 	wr.Blocks = *slots
+	wr.MeasureAllocs = *alloc
 	best := map[harness.PerfMode]harness.PerfResult{}
 	for r := 0; r < *repeat; r++ {
 		results, err := w.Overhead()
@@ -197,18 +195,23 @@ func main() {
 	}
 
 	if *asJSON {
-		doc := benchDoc{
+		doc := harness.BenchDoc{
+			Schema: harness.BenchSchemaVersion, Date: time.Now().UTC().Format("2006-01-02"),
 			Threads: *threads, Iters: *iters, Slots: *slots, Blocks: wr.Blocks,
 			Seed: *seed, GoMaxProc: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 			Shards: *parallel,
 			Replay: replay, OnePass: onePass, Ingest: ingestRows,
 		}
 		for _, r := range out {
-			row := overheadJSON{Mode: string(r.Mode), NsTotal: r.Duration.Nanoseconds(), Steps: r.Steps, Ops: r.Ops}
+			row := harness.OverheadRow{Mode: string(r.Mode), NsTotal: r.Duration.Nanoseconds(), Steps: r.Steps, Ops: r.Ops}
 			if r.Ops > 0 {
 				row.NsPerOp = float64(r.Duration.Nanoseconds()) / float64(r.Ops)
 			}
 			doc.Overhead = append(doc.Overhead, row)
+		}
+		if err := doc.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -222,10 +225,19 @@ func main() {
 	fmt.Printf("§4.5 overhead, %d threads x %d iterations (best of %d):\n\n", *threads, *iters, *repeat)
 	fmt.Print(harness.FormatOverhead(out))
 	fmt.Printf("\noffline replay, ns/event (best of %d, %d events):\n\n", *repeat, replay[0].Events)
-	fmt.Printf("%-10s %14s %14s\n", "config", "sequential", replay[1].Mode)
+	if *alloc {
+		fmt.Printf("%-10s %14s %14s %16s %16s\n", "config", "sequential", replay[1].Mode, "seq allocs/ev", "par allocs/ev")
+	} else {
+		fmt.Printf("%-10s %14s %14s\n", "config", "sequential", replay[1].Mode)
+	}
 	var seqTotal int64
 	for i := 0; i < len(replay); i += 2 {
-		fmt.Printf("%-10s %14.1f %14.1f\n", replay[i].Config, replay[i].NsPerEvt, replay[i+1].NsPerEvt)
+		if *alloc {
+			fmt.Printf("%-10s %14.1f %14.1f %16.3f %16.3f\n", replay[i].Config,
+				replay[i].NsPerEvt, replay[i+1].NsPerEvt, replay[i].AllocsPerEvt, replay[i+1].AllocsPerEvt)
+		} else {
+			fmt.Printf("%-10s %14.1f %14.1f\n", replay[i].Config, replay[i].NsPerEvt, replay[i+1].NsPerEvt)
+		}
 		seqTotal += replay[i].NsTotal
 	}
 	fmt.Printf("\none-decode comparative mode: %d tool(s) in one pass (%d events):\n\n", len(specs), onePass[0].Events)

@@ -200,6 +200,22 @@
 // /healthz, net/http/pprof) and -stats-interval; see the README's
 // "Observability" section for the metric catalog.
 //
+// # The zero-allocation hot path
+//
+// Steady-state decode and dispatch allocate nothing per event: the decoder
+// reuses fixed field scratch, a reused tag buffer and a chunked block slab
+// (freed descriptors are evicted and recycled, bounding the block table by
+// the live set); the engine pools dispatch batches with per-batch
+// segment-edge arenas; and allocation tags plus metadata strings are
+// canonicalised in internal/intern's process-wide table, with identical
+// metadata frame payloads content-hash deduped so concurrent sessions from
+// one binary share one table copy. The price is a copy-on-retain contract:
+// a decoded Event.Segment.In is valid only until the next Decoder.Next.
+// TestZeroAlloc* budget tests pin all of this; BENCH_<date>.json files at
+// the repo root record the ns/event and allocs/event trajectory
+// (harness.BenchDoc, regenerated by perfbench -json -alloc). See the
+// README's "Performance" section for the full architecture.
+//
 // See README.md for the architecture overview. The public entry point is
 // internal/core; the benchmarks in bench_test.go regenerate every table and
 // figure of the paper's evaluation, and internal/engine's benchmarks track

@@ -1,0 +1,67 @@
+package engine_test
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// nopTool ignores every event — dispatch overhead with zero analysis cost,
+// isolating the engine's own allocation behaviour.
+type nopTool struct{ trace.BaseSink }
+
+func nopSpecs() []trace.ToolSpec {
+	return []trace.ToolSpec{
+		{Name: "nop-block", Routing: trace.RouteBlock, Factory: func(trace.Reporter) trace.Sink { return nopTool{} }},
+		{Name: "nop-bcast", Routing: trace.RouteBroadcast, Factory: func(trace.Reporter) trace.Sink { return nopTool{} }},
+	}
+}
+
+// TestZeroAllocDispatch pins the tentpole claim for the dispatch side: once
+// the batch pool and edge arenas are warmed, pushing a full event stream
+// through the pipeline — batching, routing, channel handoff, worker delivery
+// — allocates nothing, sequential and sharded alike. GC is disabled during
+// the measurement so it cannot drain the sync.Pool mid-run (AllocsPerRun
+// already pins GOMAXPROCS to 1, putting workers and dispatcher on one P).
+func TestZeroAllocDispatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items at random; budget enforced by the non-race CI step")
+	}
+	s := scenario.Generate(scenario.GenConfig{Seed: 3})
+	_, log, err := scenario.Record(s, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := decodeEvents(t, log)
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, shards := range []int{1, 4} {
+		// Small batches and a shallow queue so the pool reaches steady state
+		// (every circulating batch allocated, arenas at full size) within the
+		// warm-up passes; the default 512×8 shape needs hundreds of passes of
+		// this stream before its last batch is pooled.
+		pipe, err := engine.NewPipeline(engine.Options{Tools: nopSpecs(), Shards: shards, BatchSize: 32, QueueDepth: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		push := func() {
+			for i := range events {
+				events[i].Deliver(pipe)
+			}
+		}
+		for i := 0; i < 30; i++ { // warm: grow batch pool and per-batch edge arenas
+			push()
+		}
+		allocs := testing.AllocsPerRun(10, push)
+		if perEvent := allocs / float64(len(events)); perEvent != 0 {
+			t.Errorf("shards=%d: %.4f allocs/event (%.1f allocs per %d-event pass), want 0",
+				shards, perEvent, allocs, len(events))
+		}
+		if _, err := pipe.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

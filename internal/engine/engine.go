@@ -151,6 +151,34 @@ type event struct {
 	tracelog.Event
 }
 
+// batch is one pooled unit of dispatch: a slice of events plus the edge
+// arena backing their Segment.In slices. The decoder reuses its own edge
+// buffer between events (copy-on-retain), so enqueue copies segment edges
+// into the batch's arena; the arena travels with the batch, is read by
+// exactly one worker, and is recycled with it. Pooling *batch (rather than
+// a bare []event) also keeps the pool itself allocation-free: a pointer in
+// an interface does not escape the way a slice header does.
+type batch struct {
+	ev    []event
+	edges []trace.SegmentEdge
+}
+
+// addEdges copies a segment event's edges into the batch arena and returns
+// the batch-owned slice. Arena growth may move the backing array; slices
+// handed out earlier keep pointing at the old array, whose contents are
+// already written and never mutated, so they stay valid.
+func (b *batch) addEdges(in []trace.SegmentEdge) []trace.SegmentEdge {
+	start := len(b.edges)
+	b.edges = append(b.edges, in...)
+	return b.edges[start:len(b.edges):len(b.edges)]
+}
+
+func (b *batch) reset() *batch {
+	b.ev = b.ev[:0]
+	b.edges = b.edges[:0]
+	return b
+}
+
 // Engine fans an event stream out to shard workers. It implements
 // trace.Sink, so it can be attached to a live VM with AddTool; recorded
 // logs go through ReplayLog. After the stream ends, Close joins the workers
@@ -194,7 +222,7 @@ func New(opt Options) (*Engine, error) {
 	e := &Engine{opt: opt, snapGate: make(chan struct{}, opt.Shards)}
 	e.met = opt.Metrics
 	e.hwm = shardQueueGauges(opt.Metrics, opt.Shards)
-	e.pool.New = func() any { return make([]event, 0, opt.BatchSize) }
+	e.pool.New = func() any { return &batch{ev: make([]event, 0, opt.BatchSize)} }
 	e.shards = make([]*shard, opt.Shards)
 	for i := range e.shards {
 		e.shards[i] = newShard(i, opt, e.newBatch())
@@ -255,15 +283,16 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // Events returns the number of events dispatched so far.
 func (e *Engine) Events() int64 { return int64(e.seq) }
 
-func (e *Engine) newBatch() []event {
-	return e.pool.Get().([]event)[:0]
+func (e *Engine) newBatch() *batch {
+	return e.pool.Get().(*batch).reset()
 }
 
 // dispatch routes one event. Block-carrying events go to the owning shard's
 // block-routed instances and to the home shards of single-shard tools;
 // everything else is broadcast to all shards for every instance.
-// ev.Segment.In must not be reused by the caller afterwards (the decoder
-// allocates it fresh; the live Sink methods copy it).
+// ev.Segment.In is only read during the call (enqueue copies it into each
+// destination batch's arena), so the caller — decoder or VM — may reuse the
+// slice immediately after dispatch returns.
 func (e *Engine) dispatch(ev *tracelog.Event) {
 	if e.closed {
 		return
@@ -311,9 +340,17 @@ func (e *Engine) dispatch(ev *tracelog.Event) {
 
 func (e *Engine) enqueue(i int, ev *tracelog.Event, dst uint8) {
 	s := e.shards[i]
-	s.pending = append(s.pending, event{seq: e.seq, dst: dst, Event: *ev})
-	if len(s.pending) >= e.opt.BatchSize {
-		s.ch <- s.pending
+	b := s.pending
+	b.ev = append(b.ev, event{seq: e.seq, dst: dst, Event: *ev})
+	if ev.Op == tracelog.OpSegment {
+		// The copied slice header still points at the caller's edge buffer
+		// (the decoder's reused scratch, or the VM's event struct); re-point
+		// it at a copy in the batch-owned arena before the event crosses the
+		// channel.
+		b.ev[len(b.ev)-1].Segment.In = b.addEdges(ev.Segment.In)
+	}
+	if len(b.ev) >= e.opt.BatchSize {
+		s.ch <- b
 		s.pending = e.newBatch()
 		if e.met != nil {
 			e.met.BatchesFlushed.Inc()
@@ -397,12 +434,11 @@ func (e *Engine) Free(b *trace.Block, t trace.ThreadID, st trace.StackID) {
 	e.dispatch(&tracelog.Event{Op: tracelog.OpFree, Block: *b, Thread: t, Stack: st})
 }
 
-// Segment implements trace.Sink. The edge slice is copied: the VM may reuse
-// it, and the broadcast copies share the new backing array read-only.
+// Segment implements trace.Sink. No up-front copy: enqueue copies the edge
+// slice into each destination batch's arena, so the VM may reuse its slice
+// as soon as this returns and the live path stays allocation-free.
 func (e *Engine) Segment(ss *trace.SegmentStart) {
-	cp := *ss
-	cp.In = append([]trace.SegmentEdge(nil), ss.In...)
-	e.dispatch(&tracelog.Event{Op: tracelog.OpSegment, Segment: cp})
+	e.dispatch(&tracelog.Event{Op: tracelog.OpSegment, Segment: *ss})
 }
 
 // Sync implements trace.Sink.

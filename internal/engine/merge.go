@@ -33,7 +33,7 @@ func (e *Engine) Close() (*report.Collector, error) {
 	e.closed = true
 	e.flushMetrics()
 	for _, s := range e.shards {
-		if len(s.pending) > 0 && e.streamErr == nil {
+		if s.pending != nil && len(s.pending.ev) > 0 && e.streamErr == nil {
 			s.ch <- s.pending
 			if e.met != nil {
 				e.met.BatchesFlushed.Inc()

@@ -45,8 +45,8 @@ func newToolInst(spec trace.ToolSpec, opt Options, cur *uint64) *toolInst {
 // goroutine until Close has joined it.
 type shard struct {
 	id          int
-	ch          chan []event
-	pending     []event // dispatcher-side partial batch
+	ch          chan *batch
+	pending     *batch // dispatcher-side partial batch
 	sharded     []*toolInst
 	pinnedBcast []*toolInst // RouteBroadcast instances homed here
 	pinnedFull  []*toolInst // RouteSingle instances homed here
@@ -60,11 +60,11 @@ type shard struct {
 	snapGate <-chan struct{}
 }
 
-func newShard(id int, opt Options, batch []event) *shard {
+func newShard(id int, opt Options, b *batch) *shard {
 	return &shard{
 		id:      id,
-		ch:      make(chan []event, opt.QueueDepth),
-		pending: batch,
+		ch:      make(chan *batch, opt.QueueDepth),
+		pending: b,
 		done:    make(chan struct{}),
 	}
 }
@@ -86,8 +86,8 @@ func blockOp(op tracelog.Op) bool {
 // the pool after processing.
 func (s *shard) run(pool *sync.Pool) {
 	defer close(s.done)
-	for batch := range s.ch {
-		if batch == nil {
+	for b := range s.ch {
+		if b == nil {
 			// Snapshot barrier: every batch enqueued before it has been fully
 			// delivered (the channel is FIFO). Check in, then park until the
 			// dispatcher has cloned the instance collectors. The WaitGroup
@@ -97,8 +97,8 @@ func (s *shard) run(pool *sync.Pool) {
 			<-s.snapGate
 			continue
 		}
-		for i := range batch {
-			ev := &batch[i]
+		for i := range b.ev {
+			ev := &b.ev[i]
 			s.cur = ev.seq
 			if ev.dst&dstSharded != 0 {
 				for _, ti := range s.sharded {
@@ -116,7 +116,7 @@ func (s *shard) run(pool *sync.Pool) {
 				}
 			}
 		}
-		s.events += int64(len(batch))
-		pool.Put(batch[:0]) //nolint:staticcheck // slice reuse is the point
+		s.events += int64(len(b.ev))
+		pool.Put(b.reset())
 	}
 }

@@ -52,7 +52,7 @@ func (e *Engine) Snapshot() (*report.Collector, error) {
 	}
 	e.snapWG.Add(len(e.shards))
 	for _, s := range e.shards {
-		if len(s.pending) > 0 {
+		if len(s.pending.ev) > 0 {
 			s.ch <- s.pending
 			s.pending = e.newBatch()
 			if e.met != nil {

@@ -9,11 +9,13 @@ import (
 	"repro/internal/engine"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 	"repro/internal/tracelog"
 )
 
-// decodeEvents decodes a whole log into retained events (each Segment.In is
-// freshly allocated per event, so retention is safe) for stepwise delivery.
+// decodeEvents decodes a whole log into retained events for stepwise
+// delivery. Segment.In points into a buffer the decoder reuses between
+// events (copy-on-retain contract), so retained events get their own copy.
 func decodeEvents(t *testing.T, log []byte) []tracelog.Event {
 	t.Helper()
 	dec := tracelog.NewDecoder(bytes.NewReader(log))
@@ -26,6 +28,9 @@ func decodeEvents(t *testing.T, log []byte) []tracelog.Event {
 		}
 		if err != nil {
 			t.Fatal(err)
+		}
+		if ev.Op == tracelog.OpSegment {
+			ev.Segment.In = append([]trace.SegmentEdge(nil), ev.Segment.In...)
 		}
 		out = append(out, ev)
 	}

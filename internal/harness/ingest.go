@@ -27,6 +27,12 @@ type IngestResult struct {
 	Events       int64   `json:"events"` // total across sessions
 	NsTotal      int64   `json:"ns_total"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocsPerEvt/BytesPerEvt are process-wide heap allocation rates over
+	// the level (server + clients + frame traffic on loopback) — the
+	// end-to-end daemon figure, always recorded since the level boundary
+	// already quiesces the process.
+	AllocsPerEvt float64 `json:"allocs_per_event,omitempty"`
+	BytesPerEvt  float64 `json:"bytes_per_event,omitempty"`
 	// Obs is the server's flattened metrics snapshot at the end of the level
 	// (obs.Registry.Series): the internal counters — events decoded, batches
 	// flushed, slot-wait distribution, frame traffic — behind the throughput
@@ -71,6 +77,7 @@ func ingestOnce(log []byte, tools func() []trace.ToolSpec, shards, sessions int)
 	}()
 	addr := "tcp:" + ln.Addr().String()
 
+	meter := startAllocMeter()
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make([]error, sessions)
@@ -104,12 +111,14 @@ func ingestOnce(log []byte, tools func() []trace.ToolSpec, shards, sessions int)
 	if shards < 1 {
 		shards = 1
 	}
-	return IngestResult{
+	res := IngestResult{
 		Sessions:     sessions,
 		Shards:       shards,
 		Events:       events,
 		NsTotal:      dur.Nanoseconds(),
 		EventsPerSec: float64(events) / dur.Seconds(),
 		Obs:          reg.Series(),
-	}, nil
+	}
+	res.AllocsPerEvt, res.BytesPerEvt = meter.perEvent(events)
+	return res, nil
 }

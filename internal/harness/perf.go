@@ -59,6 +59,11 @@ type PerfWorkload struct {
 	// something to report. Off for the §4.5 benchmarks (whose trajectories
 	// must stay comparable across PRs); used by determinism cross-checks.
 	Racy bool
+	// MeasureAllocs additionally records allocs/event and bytes/event for
+	// each replay measurement (perfbench -alloc). It forces a GC before
+	// every measured run, which perturbs wall-clock numbers slightly — off
+	// by default so pure-latency trajectories stay comparable.
+	MeasureAllocs bool
 }
 
 // DefaultPerfWorkload returns a workload sized for a quick benchmark run.
@@ -193,6 +198,11 @@ type ReplayResult struct {
 	NsTotal   int64   `json:"ns_total"`
 	NsPerEvt  float64 `json:"ns_per_event"`
 	Locations int     `json:"locations"`
+	// AllocsPerEvt/BytesPerEvt are heap allocation rates across the whole
+	// measured run (decode + dispatch + analysis), present only with
+	// PerfWorkload.MeasureAllocs.
+	AllocsPerEvt float64 `json:"allocs_per_event,omitempty"`
+	BytesPerEvt  float64 `json:"bytes_per_event,omitempty"`
 }
 
 // RecordTrace executes the workload once on the VM with only the trace
@@ -232,6 +242,10 @@ func (w PerfWorkload) ReplayBench(shards int) ([]ReplayResult, error) {
 func (w PerfWorkload) ReplayBenchLog(v *vm.VM, log []byte, shards int) ([]ReplayResult, error) {
 	var out []ReplayResult
 	for _, det := range PaperConfigs() {
+		var meter *allocMeter
+		if w.MeasureAllocs {
+			meter = startAllocMeter()
+		}
 		start := time.Now()
 		col := report.NewCollector(v, nil)
 		events, err := tracelog.Replay(bytes.NewReader(log), lockset.New(det.Cfg, col))
@@ -239,11 +253,19 @@ func (w PerfWorkload) ReplayBenchLog(v *vm.VM, log []byte, shards int) ([]Replay
 			return nil, err
 		}
 		dur := time.Since(start)
-		out = append(out, ReplayResult{
+		res := ReplayResult{
 			Config: det.Name, Mode: "sequential", Shards: 1, Events: events,
 			NsTotal: dur.Nanoseconds(), NsPerEvt: float64(dur.Nanoseconds()) / float64(events),
 			Locations: col.Locations(),
-		})
+		}
+		if meter != nil {
+			res.AllocsPerEvt, res.BytesPerEvt = meter.perEvent(events)
+		}
+		out = append(out, res)
+
+		if w.MeasureAllocs {
+			meter = startAllocMeter()
+		}
 		start = time.Now()
 		eng, err := engine.New(engine.Options{Shards: shards, Tools: []trace.ToolSpec{lockset.Spec(det.Cfg)}, Resolver: v})
 		if err != nil {
@@ -257,11 +279,15 @@ func (w PerfWorkload) ReplayBenchLog(v *vm.VM, log []byte, shards int) ([]Replay
 			return nil, err
 		}
 		dur = time.Since(start)
-		out = append(out, ReplayResult{
+		res = ReplayResult{
 			Config: det.Name, Mode: fmt.Sprintf("parallel-%d", shards), Shards: shards, Events: events,
 			NsTotal: dur.Nanoseconds(), NsPerEvt: float64(dur.Nanoseconds()) / float64(events),
 			Locations: merged.Locations(),
-		})
+		}
+		if meter != nil {
+			res.AllocsPerEvt, res.BytesPerEvt = meter.perEvent(events)
+		}
+		out = append(out, res)
 	}
 	return out, nil
 }
@@ -291,6 +317,10 @@ type OnePassResult struct {
 	NsTotal   int64          `json:"ns_total"`
 	NsPerEvt  float64        `json:"ns_per_event"`
 	Locations map[string]int `json:"locations_by_tool"`
+	// AllocsPerEvt/BytesPerEvt are heap allocation rates across the whole
+	// measured run, present only with PerfWorkload.MeasureAllocs.
+	AllocsPerEvt float64 `json:"allocs_per_event,omitempty"`
+	BytesPerEvt  float64 `json:"bytes_per_event,omitempty"`
 }
 
 // OnePassReplay records the workload's trace once, then measures the
@@ -314,6 +344,10 @@ func (w PerfWorkload) OnePassReplayLog(v *vm.VM, log []byte, shards int, specs [
 		names[i] = s.Name
 	}
 
+	var meter *allocMeter
+	if w.MeasureAllocs {
+		meter = startAllocMeter()
+	}
 	start := time.Now()
 	seq, err := engine.NewSequential(engine.Options{Tools: specs, Resolver: v})
 	if err != nil {
@@ -333,7 +367,13 @@ func (w PerfWorkload) OnePassReplayLog(v *vm.VM, log []byte, shards int, specs [
 		NsTotal: dur.Nanoseconds(), NsPerEvt: float64(dur.Nanoseconds()) / float64(events),
 		Locations: col.LocationsByTool(),
 	}}
+	if meter != nil {
+		out[0].AllocsPerEvt, out[0].BytesPerEvt = meter.perEvent(events)
+	}
 
+	if w.MeasureAllocs {
+		meter = startAllocMeter()
+	}
 	start = time.Now()
 	eng, err := engine.New(engine.Options{Shards: shards, Tools: specs, Resolver: v})
 	if err != nil {
@@ -347,11 +387,15 @@ func (w PerfWorkload) OnePassReplayLog(v *vm.VM, log []byte, shards int, specs [
 		return nil, err
 	}
 	dur = time.Since(start)
-	out = append(out, OnePassResult{
+	par := OnePassResult{
 		Mode: fmt.Sprintf("parallel-%d", shards), Shards: shards, Tools: names, Events: events,
 		NsTotal: dur.Nanoseconds(), NsPerEvt: float64(dur.Nanoseconds()) / float64(events),
 		Locations: merged.LocationsByTool(),
-	})
+	}
+	if meter != nil {
+		par.AllocsPerEvt, par.BytesPerEvt = meter.perEvent(events)
+	}
+	out = append(out, par)
 	return out, nil
 }
 

@@ -1,0 +1,135 @@
+// Package intern is the process-wide string intern layer behind the
+// zero-allocation hot paths: a sharded, append-only table that canonicalises
+// the small vocabulary of strings a trace stream carries — allocation tags,
+// stack-frame function and file names — so that every ingest session, every
+// decoder and every metadata fragment in the process resolves against one
+// copy of each distinct string instead of re-allocating it per session.
+//
+// The table is deliberately leaky, in the tradition of instrumentation
+// string caches (cf. the appoptics CStringCache the ROADMAP cites): entries
+// are never evicted, because the vocabulary is bounded by the instrumented
+// binary (its tags and source locations), not by the event volume. A
+// month-long stream of billions of events from the same binary interns a few
+// thousand strings once and then never allocates again.
+//
+// Lookups take a shard read-lock only; the Bytes fast path performs zero
+// allocations on a hit (the map index expression with a string-converted
+// byte slice does not escape).
+package intern
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// shardCount is the number of independent lock domains. Power of two so the
+// hash folds with a mask. 64 keeps cross-session contention negligible at
+// any plausible connection count while wasting little memory when idle.
+const shardCount = 64
+
+var seed = maphash.MakeSeed()
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// Table is a sharded append-only string intern table. The zero value is not
+// usable; use NewTable. Most callers want the package-level process-wide
+// table via String and Bytes.
+type Table struct {
+	shards [shardCount]shard
+}
+
+// NewTable creates an empty intern table.
+func NewTable() *Table {
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]string)
+	}
+	return t
+}
+
+func (t *Table) shardOf(b []byte) *shard {
+	return &t.shards[maphash.Bytes(seed, b)&(shardCount-1)]
+}
+
+func (t *Table) shardOfString(s string) *shard {
+	return &t.shards[maphash.String(seed, s)&(shardCount-1)]
+}
+
+// Bytes returns the canonical string for the byte slice, interning it on
+// first sight. On a hit it allocates nothing: the compiler recognises the
+// map index with a converted byte slice and skips the string copy. The
+// caller may reuse b afterwards.
+func (t *Table) Bytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	sh := t.shardOf(b)
+	sh.mu.RLock()
+	s, ok := sh.m[string(b)]
+	sh.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b) // the one allocation, first sight only
+	sh.mu.Lock()
+	if prev, ok := sh.m[s]; ok {
+		s = prev // lost the race; keep the established canonical copy
+	} else {
+		sh.m[s] = s
+	}
+	sh.mu.Unlock()
+	return s
+}
+
+// String returns the canonical copy of s, interning it on first sight.
+// Unlike Bytes it never copies the string data: s itself becomes the
+// canonical entry when it is new, so interning an already-allocated string
+// costs no allocation at all.
+func (t *Table) String(s string) string {
+	if s == "" {
+		return ""
+	}
+	sh := t.shardOfString(s)
+	sh.mu.RLock()
+	got, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return got
+	}
+	sh.mu.Lock()
+	if prev, ok := sh.m[s]; ok {
+		s = prev
+	} else {
+		sh.m[s] = s
+	}
+	sh.mu.Unlock()
+	return s
+}
+
+// Len returns the number of interned strings.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// global is the process-wide table shared by every decoder and every ingest
+// session in the process.
+var global = NewTable()
+
+// Bytes interns b in the process-wide table; see Table.Bytes.
+func Bytes(b []byte) string { return global.Bytes(b) }
+
+// String interns s in the process-wide table; see Table.String.
+func String(s string) string { return global.String(s) }
+
+// Len returns the number of strings in the process-wide table.
+func Len() int { return global.Len() }

@@ -1,0 +1,110 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBytesCanonicalises(t *testing.T) {
+	tab := NewTable()
+	a := tab.Bytes([]byte("obj:InviteRequest"))
+	b := tab.Bytes([]byte("obj:InviteRequest"))
+	if a != b {
+		t.Fatalf("Bytes returned different values: %q vs %q", a, b)
+	}
+	// Same backing storage, not merely equal content.
+	if &a == &b {
+		t.Fatal("test bug: comparing variable addresses")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+	if got := tab.Bytes(nil); got != "" {
+		t.Fatalf("Bytes(nil) = %q, want empty", got)
+	}
+}
+
+func TestStringKeepsCanonicalCopy(t *testing.T) {
+	tab := NewTable()
+	first := "string-rep" + fmt.Sprint(1)[:0] // force a distinct allocation
+	got := tab.String(first)
+	if got != "string-rep" {
+		t.Fatalf("String = %q", got)
+	}
+	second := tab.String("string" + "-rep")
+	if second != first {
+		t.Fatalf("second intern = %q, want the canonical copy", second)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestByteReuseSafe(t *testing.T) {
+	tab := NewTable()
+	buf := []byte("alpha")
+	s := tab.Bytes(buf)
+	copy(buf, "OMEGA") // caller reuses its buffer; the interned copy must not change
+	if s != "alpha" {
+		t.Fatalf("interned string mutated to %q", s)
+	}
+	if got := tab.Bytes([]byte("alpha")); got != "alpha" {
+		t.Fatalf("lookup after buffer reuse = %q", got)
+	}
+}
+
+// TestConcurrent hammers the table from many goroutines; run under -race.
+func TestConcurrent(t *testing.T) {
+	tab := NewTable()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	results := make([][]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]string, 0, 100)
+			buf := make([]byte, 0, 16)
+			for i := 0; i < 100; i++ {
+				buf = append(buf[:0], fmt.Sprintf("tag-%d", i)...)
+				out = append(out, tab.Bytes(buf))
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tab.Len())
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := range results[g] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d interned %q, goroutine 0 interned %q", g, results[g][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestZeroAllocHitPath pins the hot-path claim: a Bytes hit allocates
+// nothing, so interning a repeated allocation tag is free.
+func TestZeroAllocHitPath(t *testing.T) {
+	tab := NewTable()
+	buf := []byte("obj:InviteRequest")
+	tab.Bytes(buf) // warm: first sight allocates the canonical copy
+	var sink string
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = tab.Bytes(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("Bytes hit path allocates %.2f/op, want 0", allocs)
+	}
+	s := "obj:InviteRequest"
+	allocs = testing.AllocsPerRun(1000, func() {
+		sink = tab.String(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("String hit path allocates %.2f/op, want 0", allocs)
+	}
+	_ = sink
+}

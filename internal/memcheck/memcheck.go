@@ -19,9 +19,14 @@ type Config struct {
 // Detector is the memcheck tool.
 type Detector struct {
 	trace.BaseSink
-	cfg    Config
-	col    trace.Reporter
-	freed  map[trace.BlockID]bool
+	cfg Config
+	col trace.Reporter
+	// freed maps a freed block to the base address it had when freed. The
+	// base is recorded here, not re-read from the double free's descriptor:
+	// the log decoder evicts a block from its table at the first free (the
+	// table must stay bounded by the live set), so a second free of the same
+	// ID arrives carrying only the bare ID.
+	freed  map[trace.BlockID]trace.Addr
 	live   map[trace.BlockID]uint32 // allocated, not yet freed → size
 	errors int
 }
@@ -50,7 +55,7 @@ func New(cfg Config, col trace.Reporter) *Detector {
 	return &Detector{
 		cfg:   cfg,
 		col:   col,
-		freed: make(map[trace.BlockID]bool),
+		freed: make(map[trace.BlockID]trace.Addr),
 		live:  make(map[trace.BlockID]uint32),
 	}
 }
@@ -93,26 +98,26 @@ func (d *Detector) Alloc(b *trace.Block) {
 
 // Free implements trace.Sink.
 func (d *Detector) Free(b *trace.Block, t trace.ThreadID, stack trace.StackID) {
-	if d.freed[b.ID] {
+	if base, dup := d.freed[b.ID]; dup {
 		d.errors++
 		d.col.Add(report.Warning{
 			Tool:   d.cfg.Tool,
 			Kind:   report.KindInvalidFree,
 			Thread: t,
-			Addr:   b.Base,
+			Addr:   base, // recorded at first free; see the freed field
 			Block:  b.ID,
 			Stack:  stack,
 			State:  "block already freed",
 		})
 		return
 	}
-	d.freed[b.ID] = true
+	d.freed[b.ID] = b.Base
 	delete(d.live, b.ID)
 }
 
 // Access implements trace.Sink.
 func (d *Detector) Access(a *trace.Access) {
-	if !d.freed[a.Block] {
+	if _, freed := d.freed[a.Block]; !freed {
 		return
 	}
 	d.errors++

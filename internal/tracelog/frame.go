@@ -380,7 +380,10 @@ func (fr *FrameReader) Read(p []byte) (int, error) {
 				fr.err = err
 				return 0, err
 			}
-			md, err := decodeMetadata(buf)
+			// Decoded through the process-wide payload cache: identical table
+			// dumps from concurrent sessions of one instrumented binary share
+			// a single decoded fragment (see payloadCache).
+			md, err := decodeMetadataShared(buf)
 			if err != nil {
 				fr.err = err
 				return 0, err

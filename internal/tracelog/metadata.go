@@ -12,12 +12,14 @@ package tracelog
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 
+	"repro/internal/intern"
 	"repro/internal/trace"
 )
 
@@ -50,6 +52,12 @@ type Metadata struct {
 	// Blocks maps a block ID to its allocation descriptor (tag, size,
 	// allocating thread and stack), the data trace.Resolver.BlockInfo serves.
 	Blocks map[trace.BlockID]trace.Block
+
+	// sendable records that every entry is known to fit a metadata frame
+	// (≤ maxMetadataEntry). The decoder sets it from measured wire sizes;
+	// for hand-built Metadata it stays false and TableResolver.AddMetadata
+	// verifies by encoding.
+	sendable bool
 }
 
 // Empty reports whether the metadata carries no entries at all.
@@ -153,7 +161,9 @@ func encodeMetadataChunks(md *Metadata) [][]byte {
 
 // decodeMetadata parses one metadata frame payload. It never allocates from
 // a claimed count: counts are sanity-checked against the bytes actually
-// remaining (every entry consumes at least one byte).
+// remaining (every entry consumes at least one byte). Strings are interned
+// through the process-wide table, so the symbol vocabulary shared by
+// concurrent sessions from the same instrumented binary is stored once.
 func decodeMetadata(payload []byte) (*Metadata, error) {
 	r := bytes.NewReader(payload)
 	readU := func() (uint64, error) {
@@ -163,6 +173,7 @@ func decodeMetadata(payload []byte) (*Metadata, error) {
 		}
 		return v, nil
 	}
+	var sbuf []byte
 	readS := func() (string, error) {
 		n, err := readU()
 		if err != nil {
@@ -171,16 +182,30 @@ func decodeMetadata(payload []byte) (*Metadata, error) {
 		if n > maxTagLen || n > uint64(r.Len()) {
 			return "", fmt.Errorf("tracelog: corrupt metadata string length %d", n)
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r, buf); err != nil {
+		if uint64(cap(sbuf)) < n {
+			sbuf = make([]byte, n)
+		}
+		sbuf = sbuf[:n]
+		if _, err := io.ReadFull(r, sbuf); err != nil {
 			return "", fmt.Errorf("tracelog: corrupt metadata frame: %w", io.ErrUnexpectedEOF)
 		}
-		return string(buf), nil
+		return intern.Bytes(sbuf), nil
 	}
 
 	md := &Metadata{
-		Stacks: make(map[trace.StackID][]trace.Frame),
-		Blocks: make(map[trace.BlockID]trace.Block),
+		Stacks:   make(map[trace.StackID][]trace.Frame),
+		Blocks:   make(map[trace.BlockID]trace.Block),
+		sendable: true,
+	}
+	// An entry's wire size is the bytes the reader consumed for it; if any
+	// entry exceeds maxMetadataEntry (possible only from a foreign encoder —
+	// ours never emits one), the fragment loses its sendable mark and
+	// AddMetadata re-filters it.
+	entryStart := 0
+	entryDone := func() {
+		if entryStart-r.Len() > maxMetadataEntry {
+			md.sendable = false
+		}
 	}
 	nstacks, err := readU()
 	if err != nil {
@@ -190,6 +215,7 @@ func decodeMetadata(payload []byte) (*Metadata, error) {
 		return nil, fmt.Errorf("tracelog: metadata claims %d stacks in %d bytes", nstacks, r.Len())
 	}
 	for i := uint64(0); i < nstacks; i++ {
+		entryStart = r.Len()
 		id, err := readU()
 		if err != nil {
 			return nil, err
@@ -218,6 +244,7 @@ func decodeMetadata(payload []byte) (*Metadata, error) {
 			frames = append(frames, trace.Frame{Fn: fn, File: file, Line: int(line)})
 		}
 		md.Stacks[trace.StackID(id)] = frames
+		entryDone()
 	}
 	nblocks, err := readU()
 	if err != nil {
@@ -227,6 +254,7 @@ func decodeMetadata(payload []byte) (*Metadata, error) {
 		return nil, fmt.Errorf("tracelog: metadata claims %d blocks in %d bytes", nblocks, r.Len())
 	}
 	for i := uint64(0); i < nblocks; i++ {
+		entryStart = r.Len()
 		f, err := readN(readU, 6)
 		if err != nil {
 			return nil, err
@@ -241,10 +269,50 @@ func decodeMetadata(payload []byte) (*Metadata, error) {
 			Thread: trace.ThreadID(f[3]), Stack: trace.StackID(f[4]),
 			Freed: f[5] != 0, Tag: tag,
 		}
+		entryDone()
 	}
 	if r.Len() != 0 {
 		return nil, fmt.Errorf("tracelog: %d trailing byte(s) after metadata tables", r.Len())
 	}
+	return md, nil
+}
+
+// payloadCache dedupes decoded metadata payloads process-wide, keyed by
+// content hash. N sessions streaming from the same instrumented binary send
+// byte-identical table dumps; each payload is decoded once and every
+// session's TableResolver shares the one immutable fragment instead of
+// holding its own copy of the tables. Like the intern table it is
+// deliberately append-only: distinct payloads are bounded by the distinct
+// binaries (and table-growth increments) seen, not by session count or
+// event volume. Failed decodes are never cached — a corrupt payload is
+// re-reported per stream.
+var payloadCache = struct {
+	mu sync.Mutex
+	m  map[[sha256.Size]byte]*Metadata
+}{m: make(map[[sha256.Size]byte]*Metadata)}
+
+// decodeMetadataShared is decodeMetadata behind the process-wide payload
+// cache. The returned Metadata is shared across sessions and must be treated
+// as immutable.
+func decodeMetadataShared(payload []byte) (*Metadata, error) {
+	key := sha256.Sum256(payload)
+	payloadCache.mu.Lock()
+	md, ok := payloadCache.m[key]
+	payloadCache.mu.Unlock()
+	if ok {
+		return md, nil
+	}
+	md, err := decodeMetadata(payload)
+	if err != nil {
+		return nil, err
+	}
+	payloadCache.mu.Lock()
+	if prev, ok := payloadCache.m[key]; ok {
+		md = prev // lost a decode race; share the winner
+	} else {
+		payloadCache.m[key] = md
+	}
+	payloadCache.mu.Unlock()
 	return md, nil
 }
 
@@ -253,24 +321,29 @@ func decodeMetadata(payload []byte) (*Metadata, error) {
 // hand. It starts empty (resolving nothing, exactly like a nil resolver)
 // and accumulates every metadata frame the stream carries.
 //
+// It does not copy tables: each AddMetadata retains the Metadata fragment
+// itself, and lookups walk the fragments newest-first so a later fragment's
+// entry overrides an earlier one's. Combined with the process-wide payload
+// cache, N concurrent sessions from one instrumented binary resolve against
+// a single shared table copy instead of each re-building its own under its
+// own lock. The flip side is a contract: a Metadata passed to AddMetadata
+// must not be mutated afterwards.
+//
 // It is safe for concurrent use: the connection goroutine merges tables
 // while report formatting resolves against them.
 type TableResolver struct {
-	mu     sync.RWMutex
-	stacks map[trace.StackID][]trace.Frame
-	blocks map[trace.BlockID]*trace.Block
+	mu    sync.RWMutex
+	frags []*Metadata // shared, immutable; only sendable entries
 }
 
 // NewTableResolver creates an empty resolver.
 func NewTableResolver() *TableResolver {
-	return &TableResolver{
-		stacks: make(map[trace.StackID][]trace.Frame),
-		blocks: make(map[trace.BlockID]*trace.Block),
-	}
+	return &TableResolver{}
 }
 
 // AddMetadata merges the tables of one metadata payload; later entries for
-// the same ID overwrite earlier ones. Entries too large for any metadata
+// the same ID overwrite earlier ones. The fragment is retained, not copied:
+// md must not be mutated after the call. Entries too large for any metadata
 // frame are skipped, mirroring the wire encoder exactly — a resolver built
 // directly from captured Metadata holds the same tables a peer receives
 // through frames.
@@ -278,42 +351,103 @@ func (r *TableResolver) AddMetadata(md *Metadata) {
 	if md.Empty() {
 		return
 	}
+	frag := sendableFragment(md)
+	if frag.Empty() {
+		return
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.frags = append(r.frags, frag)
+	r.mu.Unlock()
+}
+
+// sendableFragment returns md itself when every entry fits a metadata frame
+// (always true for wire-decoded fragments, which carry the decoder's
+// sendable mark), else a filtered copy without the unsendable entries. Only
+// the copy path allocates, and only for hand-built tables holding an entry
+// the wire could not deliver anyway.
+func sendableFragment(md *Metadata) *Metadata {
+	if md.sendable {
+		return md
+	}
+	oversized := false
 	for id, frames := range md.Stacks {
 		if len(encodeStackEntry(id, frames)) > maxMetadataEntry {
-			continue
+			oversized = true
+			break
 		}
-		r.stacks[id] = frames
+	}
+	if !oversized {
+		for id, blk := range md.Blocks {
+			if len(encodeBlockEntry(id, blk)) > maxMetadataEntry {
+				oversized = true
+				break
+			}
+		}
+	}
+	if !oversized {
+		return md
+	}
+	cp := &Metadata{
+		Stacks:   make(map[trace.StackID][]trace.Frame, len(md.Stacks)),
+		Blocks:   make(map[trace.BlockID]trace.Block, len(md.Blocks)),
+		sendable: true,
+	}
+	for id, frames := range md.Stacks {
+		if len(encodeStackEntry(id, frames)) <= maxMetadataEntry {
+			cp.Stacks[id] = frames
+		}
 	}
 	for id, blk := range md.Blocks {
-		if len(encodeBlockEntry(id, blk)) > maxMetadataEntry {
-			continue
+		if len(encodeBlockEntry(id, blk)) <= maxMetadataEntry {
+			cp.Blocks[id] = blk
 		}
-		cp := blk
-		r.blocks[id] = &cp
 	}
+	return cp
 }
 
 // Stack implements trace.Resolver.
 func (r *TableResolver) Stack(id trace.StackID) []trace.Frame {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.stacks[id]
+	for i := len(r.frags) - 1; i >= 0; i-- {
+		if frames, ok := r.frags[i].Stacks[id]; ok {
+			return frames
+		}
+	}
+	return nil
 }
 
-// BlockInfo implements trace.Resolver.
+// BlockInfo implements trace.Resolver. The returned descriptor is the
+// caller's to keep: it is copied out of the shared fragment.
 func (r *TableResolver) BlockInfo(id trace.BlockID) *trace.Block {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.blocks[id]
+	for i := len(r.frags) - 1; i >= 0; i-- {
+		if blk, ok := r.frags[i].Blocks[id]; ok {
+			cp := blk
+			return &cp
+		}
+	}
+	return nil
 }
 
-// Counts returns the number of resolvable stacks and blocks.
+// Counts returns the number of resolvable stacks and blocks — the size of
+// the ID union across fragments, so repeated deliveries of one table do not
+// inflate it.
 func (r *TableResolver) Counts() (stacks, blocks int) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.stacks), len(r.blocks)
+	ss := make(map[trace.StackID]struct{})
+	bs := make(map[trace.BlockID]struct{})
+	for _, f := range r.frags {
+		for id := range f.Stacks {
+			ss[id] = struct{}{}
+		}
+		for id := range f.Blocks {
+			bs[id] = struct{}{}
+		}
+	}
+	return len(ss), len(bs)
 }
 
 var _ trace.Resolver = (*TableResolver)(nil)

@@ -1,0 +1,101 @@
+package tracelog
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/trace"
+)
+
+// TestPayloadCacheShares pins the cross-session dedupe: byte-identical
+// metadata payloads decode to the very same shared fragment, so N sessions
+// from one instrumented binary hold one table copy, not N.
+func TestPayloadCacheShares(t *testing.T) {
+	md := &Metadata{
+		Stacks: map[trace.StackID][]trace.Frame{
+			1: {{Fn: "proxy_loop", File: "proxy.cpp", Line: 88}},
+		},
+		Blocks: map[trace.BlockID]trace.Block{
+			2: {ID: 2, Base: 0x2000, Size: 32, Thread: 1, Stack: 1, Tag: "obj:Dialog"},
+		},
+	}
+	chunks := encodeMetadataChunks(md)
+	if len(chunks) != 1 {
+		t.Fatalf("sample encodes to %d chunks, want 1", len(chunks))
+	}
+	a, err := decodeMetadataShared(chunks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh byte copy of the payload (a second session's read buffer).
+	b, err := decodeMetadataShared(append([]byte(nil), chunks[0]...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical payloads decoded to distinct fragments; cache missed")
+	}
+	if !a.sendable {
+		t.Error("wire-decoded fragment not marked sendable")
+	}
+
+	// Two resolvers over the shared fragment must not copy it either.
+	ra, rb := NewTableResolver(), NewTableResolver()
+	ra.AddMetadata(a)
+	rb.AddMetadata(b)
+	if ra.frags[0] != rb.frags[0] {
+		t.Error("resolvers copied the shared fragment")
+	}
+	if got := ra.BlockInfo(2); got == nil || got.Tag != "obj:Dialog" {
+		t.Errorf("BlockInfo(2) = %+v", got)
+	}
+}
+
+// TestDecodeInternsStrings pins that decoding routes tag and frame strings
+// through the process-wide intern table: two decodes of payloads carrying
+// the same vocabulary yield strings with one backing array.
+func TestDecodeInternsStrings(t *testing.T) {
+	mk := func(line int) []byte {
+		md := &Metadata{Stacks: map[trace.StackID][]trace.Frame{
+			1: {{Fn: "shared_symbol_name", File: "shared_file.cpp", Line: line}},
+		}}
+		chunks := encodeMetadataChunks(md)
+		return chunks[0]
+	}
+	// Different lines → different payloads → both really decoded, no
+	// payload-cache shortcut.
+	a, err := decodeMetadataShared(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := decodeMetadataShared(mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := a.Stacks[1][0], b.Stacks[1][0]
+	if unsafe.StringData(fa.Fn) != unsafe.StringData(fb.Fn) {
+		t.Error("Fn strings not interned across payloads")
+	}
+	if unsafe.StringData(fa.File) != unsafe.StringData(fb.File) {
+		t.Error("File strings not interned across payloads")
+	}
+}
+
+// TestResolverNewestFirst pins override semantics under the fragment walk: a
+// later fragment's entry for an ID shadows an earlier one's.
+func TestResolverNewestFirst(t *testing.T) {
+	r := NewTableResolver()
+	r.AddMetadata(&Metadata{Blocks: map[trace.BlockID]trace.Block{
+		5: {ID: 5, Size: 8, Tag: "old"},
+	}})
+	r.AddMetadata(&Metadata{Blocks: map[trace.BlockID]trace.Block{
+		5: {ID: 5, Size: 16, Tag: "new"},
+	}})
+	got := r.BlockInfo(5)
+	if got == nil || got.Tag != "new" || got.Size != 16 {
+		t.Errorf("BlockInfo(5) = %+v, want the later fragment's entry", got)
+	}
+	if s, b := r.Counts(); s != 0 || b != 1 {
+		t.Errorf("Counts = %d stacks / %d blocks, want 0 / 1 (union, not sum)", s, b)
+	}
+}

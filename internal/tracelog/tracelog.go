@@ -16,7 +16,6 @@ package tracelog
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
 	"io"
 
 	"repro/internal/trace"
@@ -200,6 +199,9 @@ func Replay(rd io.Reader, sinks ...trace.Sink) (int64, error) {
 	}
 }
 
+// readN collects n uvarint fields through the given read callback. The
+// event decode hot path uses Decoder.readFields (fixed scratch, no per-call
+// slice) instead; this remains for the cold metadata decode.
 func readN(read func() (uint64, error), n int) ([]uint64, error) {
 	out := make([]uint64, n)
 	for i := range out {
@@ -210,19 +212,4 @@ func readN(read func() (uint64, error), n int) ([]uint64, error) {
 		out[i] = v
 	}
 	return out, nil
-}
-
-func readString(br *bufio.Reader) (string, error) {
-	n, err := binary.ReadUvarint(br)
-	if err != nil {
-		return "", err
-	}
-	if n > maxTagLen {
-		return "", fmt.Errorf("tracelog: corrupt string length %d", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return "", err
-	}
-	return string(buf), nil
 }
