@@ -61,6 +61,9 @@ func main() {
 		ingest         = flag.Bool("ingest", false, "also measure live-ingest throughput through the trace-ingest server")
 		ingestSessions = flag.String("ingest-sessions", "1,8,64", "comma-separated concurrent session counts for -ingest")
 		ingestShards   = flag.Int("ingest-shards", 1, "per-session engine shards for -ingest (1 = sequential per session)")
+		overload       = flag.Bool("overload", false, "also measure the overload workload: a flood of sessions against a small server with bounded admission and adaptive degradation")
+		overloadN      = flag.Int("overload-sessions", 64, "concurrent sessions in the -overload flood")
+		overloadSlots  = flag.Int("overload-max", 4, "server MaxSessions for the -overload flood")
 	)
 	flag.Parse()
 	if *repeat < 1 {
@@ -194,6 +197,24 @@ func main() {
 		}
 	}
 
+	// Overload workload: flood a deliberately small server and measure the
+	// degradation — completions vs busy rejections, rejection latency, shed
+	// coverage. Admission is bounded tightly so the flood actually rejects.
+	var overloadRows []harness.OverloadResult
+	if *overload {
+		overloadTools, err := (core.Options{}).ToolFactory("all")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(2)
+		}
+		row, err := harness.OverloadBenchLog(rlog, overloadTools, *overloadN, *overloadSlots, 250*time.Millisecond)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench: overload:", err)
+			os.Exit(1)
+		}
+		overloadRows = append(overloadRows, row)
+	}
+
 	if *asJSON {
 		doc := harness.BenchDoc{
 			Schema: harness.BenchSchemaVersion, Date: time.Now().UTC().Format("2006-01-02"),
@@ -201,6 +222,7 @@ func main() {
 			Seed: *seed, GoMaxProc: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 			Shards: *parallel,
 			Replay: replay, OnePass: onePass, Ingest: ingestRows,
+			Overload: overloadRows,
 		}
 		for _, r := range out {
 			row := harness.OverheadRow{Mode: string(r.Mode), NsTotal: r.Duration.Nanoseconds(), Steps: r.Steps, Ops: r.Ops}
@@ -271,6 +293,13 @@ func main() {
 			fmt.Printf("%-10d %14d %14s %14.0f\n", r.Sessions, r.Events,
 				time.Duration(r.NsTotal).Round(time.Millisecond).String(), r.EventsPerSec)
 		}
+	}
+	for _, r := range overloadRows {
+		fmt.Printf("\noverload flood (%d sessions vs %d slots, sampling + ladder on):\n\n", r.Sessions, r.MaxSessions)
+		fmt.Printf("  completed=%d rejected=%d degraded=%d sampled-out=%d wall=%s worst-rejection=%s\n",
+			r.Completed, r.Rejected, r.DegradedSessions, r.SampledOut,
+			time.Duration(r.NsTotal).Round(time.Millisecond),
+			time.Duration(r.MaxRejectNs).Round(time.Millisecond))
 	}
 	if runtime.GOMAXPROCS(0) < *parallel {
 		fmt.Printf("\nnote: GOMAXPROCS=%d < %d shards — the parallel columns measure engine\n",

@@ -23,11 +23,20 @@
 // server's backpressure held the socket — is summarised as a queueing-delay
 // distribution, making overload behaviour measurable.
 //
+// -flood is the overload counterpart: run far more sessions than the
+// server's -max-sessions against a daemon with bounded admission. A session
+// the server rejects with a typed busy error counts as shed load rather than
+// failure (optionally redialed after the server's retry-after hint, up to
+// -flood-retries attempts); the run summarises completed vs rejected
+// sessions and exits zero when every session either completed or was cleanly
+// rejected.
+//
 // Usage:
 //
 //	traceload -addr unix:/tmp/traced.sock -corpus internal/scenario/testdata/golden -sessions 16 -verify
 //	traceload -inproc -generate 7 -sessions 64 -verify -aggregate
 //	traceload -inproc -generate 4 -sessions 8 -rate 50000 -verify
+//	traceload -addr unix:/tmp/traced.sock -sessions 64 -flood -flood-retries 2
 //	traceload -addr tcp:127.0.0.1:7433 -query stats
 //
 // -query runs one standalone query exchange against a live daemon ("stats"
@@ -92,6 +101,8 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "per-session engine shards for -inproc")
 		interval  = flag.Duration("report-interval", 0, "incremental-report interval for -inproc (0 disables)")
 		query     = flag.String("query", "", "run one query against -addr, print the response, and exit (e.g. stats, aggregate, sessions)")
+		flood     = flag.Bool("flood", false, "overload mode: a session the server rejects with a typed busy error counts as shed load, not failure (disables -verify comparison; degraded reports differ from offline replays by design)")
+		retries   = flag.Int("flood-retries", 0, "redial attempts after a busy rejection, honouring the server's retry-after hint")
 	)
 	flag.Parse()
 
@@ -199,11 +210,26 @@ func main() {
 	var failures []string
 	var delays []time.Duration
 	var snapsChecked, snapsSkipped int
+	var rejected int
 	for i := 0; i < *sessions; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			tr := traces[i%len(traces)]
+			if *flood {
+				wasRejected, err := streamFlood(target, fmt.Sprintf("load-%d-%s", i, tr.name), tr, *chunk, *retries)
+				mu.Lock()
+				switch {
+				case err != nil:
+					failures = append(failures, fmt.Sprintf("session %d (%s): %v", i, tr.name, err))
+				case wasRejected:
+					rejected++
+				default:
+					events += counts[tr.name]
+				}
+				mu.Unlock()
+				return
+			}
 			c, err := ingest.Dial(target)
 			if err != nil {
 				mu.Lock()
@@ -258,7 +284,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "traceload:", f)
 	}
 	fmt.Printf("traceload: %d/%d session(s) ok, %d event(s) in %v (%.0f events/sec)\n",
-		*sessions-len(failures), *sessions, events, dur.Round(time.Millisecond), float64(events)/dur.Seconds())
+		*sessions-len(failures)-rejected, *sessions, events, dur.Round(time.Millisecond), float64(events)/dur.Seconds())
+	if *flood {
+		fmt.Printf("traceload: flood: %d session(s) rejected busy by admission\n", rejected)
+	}
 	if *rate > 0 {
 		fmt.Println("traceload:", delaySummary(delays))
 	}
@@ -288,7 +317,7 @@ func main() {
 		if err != nil {
 			fail("aggregate: %v", err)
 		}
-		if ok := *sessions - len(failures); reported < ok {
+		if ok := *sessions - len(failures) - rejected; reported < ok {
 			fail("aggregate reports %d session(s), but this run alone completed %d", reported, ok)
 		}
 	}
@@ -340,6 +369,35 @@ func streamOpenLoop(c *ingest.Client, name string, tr traceEntry, offs []int64, 
 	}
 	rep, err := c.Finish()
 	return rep, delays, err
+}
+
+// streamFlood runs one closed-loop session expecting admission pressure: a
+// typed busy rejection is shed load, not failure. After each rejection it
+// sleeps the server's retry-after hint (bounded to a second) and redials, up
+// to retries extra attempts; a session still rejected then reports rejected.
+func streamFlood(target, name string, tr traceEntry, chunk, retries int) (rejected bool, err error) {
+	for attempt := 0; ; attempt++ {
+		c, err := ingest.Dial(target)
+		if err != nil {
+			return false, fmt.Errorf("dial: %w", err)
+		}
+		_, err = c.StreamTraceMeta(name, tr.md, tr.log, chunk)
+		c.Close()
+		if err == nil {
+			return false, nil
+		}
+		if !errors.Is(err, tracelog.ErrBusy) {
+			return false, err
+		}
+		if attempt >= retries {
+			return true, nil
+		}
+		backoff := 50 * time.Millisecond
+		if hint, ok := tracelog.RetryAfterHint(err); ok && hint < time.Second {
+			backoff = hint
+		}
+		time.Sleep(backoff)
+	}
 }
 
 // eventOffsets computes the cumulative byte offset after every event of a

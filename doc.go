@@ -173,6 +173,17 @@
 //     holding slots.
 //   - Shutdown flushes: in-flight sessions get a grace period to drain and
 //     report, then are force-closed as failed — never silently dropped.
+//   - Overload survival: admission is bounded — an optional token bucket
+//     paces arrivals, the MaxSessions slot wait is queue-with-deadline and
+//     always interruptible by shutdown, and refused connections get a typed
+//     busy error (tracelog.ErrBusy) with a retry-after hint. Under pressure
+//     a degradation ladder sheds auxiliary tools (never the paper's core
+//     block-routed detectors) and an adaptive sampler drops a deterministic
+//     per-block fraction of access events, with exact sampled-out counts
+//     stamped into session reports and the aggregate; the retention fold
+//     can cap per-site detail (Config.FoldSiteCap). At zero pressure every
+//     mechanism is inert and reports stay byte-identical — see the README's
+//     "Overload survival" section.
 //
 // cmd/traceload replays scenario corpora over N concurrent live sessions
 // (with -verify pinning live == offline byte-identity against a real

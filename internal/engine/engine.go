@@ -283,6 +283,23 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // Events returns the number of events dispatched so far.
 func (e *Engine) Events() int64 { return int64(e.seq) }
 
+// QueueLoad reports the fullest shard queue as a fraction of its capacity —
+// the live backpressure signal behind the ratcheting engine_queue_hwm
+// gauges. Reading len() of the batch channels from the dispatching goroutine
+// is racy only in the benign direction: a worker draining concurrently makes
+// the estimate conservative, never stale-high forever.
+func (e *Engine) QueueLoad() float64 {
+	var max float64
+	for _, s := range e.shards {
+		if c := cap(s.ch); c > 0 {
+			if l := float64(len(s.ch)) / float64(c); l > max {
+				max = l
+			}
+		}
+	}
+	return max
+}
+
 func (e *Engine) newBatch() *batch {
 	return e.pool.Get().(*batch).reset()
 }

@@ -22,6 +22,14 @@ type Pipeline interface {
 	ReplayLog(r io.Reader) (int64, error)
 	// Events returns the number of events dispatched so far.
 	Events() int64
+	// QueueLoad reports the pipeline's current dispatch backlog as a
+	// fraction of capacity in [0, 1]: the fullest shard queue for the
+	// sharded engine, always 0 for the inline sequential pipeline (delivery
+	// is synchronous, there is no queue). Unlike the engine_queue_hwm
+	// gauges, which only ratchet up, this is a live signal — the ingest
+	// server's adaptive sampler keys off it. Call from the dispatching
+	// goroutine.
+	QueueLoad() float64
 	// Snapshot quiesces the pipeline between events and returns the
 	// deterministic merged report of everything analysed so far, without
 	// ending the stream or perturbing the final report (see Engine.Snapshot

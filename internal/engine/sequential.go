@@ -53,6 +53,9 @@ func NewSequential(opt Options) (*Sequential, error) {
 // Events returns the number of events delivered so far.
 func (s *Sequential) Events() int64 { return int64(s.seq) }
 
+// QueueLoad is always 0: inline delivery has no dispatch queue to back up.
+func (s *Sequential) QueueLoad() float64 { return 0 }
+
 // ReplayLog decodes a recorded binary log once and delivers every event to
 // every tool. Call Close afterwards to obtain the merged report.
 //

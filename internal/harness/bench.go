@@ -36,6 +36,11 @@ type BenchDoc struct {
 	Replay   []ReplayResult  `json:"replay"`
 	OnePass  []OnePassResult `json:"one_pass"`
 	Ingest   []IngestResult  `json:"ingest,omitempty"`
+	// Overload holds the overload-workload measurements (flooded server,
+	// bounded admission, adaptive degradation); absent in documents from
+	// before the overload subsystem — adding the field is backwards
+	// compatible and needs no schema bump.
+	Overload []OverloadResult `json:"overload,omitempty"`
 }
 
 // OverheadRow is one §4.5 matrix row in machine-readable form.
@@ -96,6 +101,12 @@ func (d *BenchDoc) Validate() error {
 	for i, r := range d.Ingest {
 		if r.Sessions < 1 || r.Events <= 0 || r.EventsPerSec <= 0 {
 			return fmt.Errorf("harness: bench doc ingest[%d] implausible: %+v", i, r)
+		}
+	}
+	for i, r := range d.Overload {
+		if r.Sessions < 1 || r.MaxSessions < 1 || r.NsTotal <= 0 ||
+			r.Completed < 1 || r.Completed+r.Rejected > r.Sessions {
+			return fmt.Errorf("harness: bench doc overload[%d] implausible: %+v", i, r)
 		}
 	}
 	return nil

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/tracelog"
+)
+
+// The overload benchmark: the adversarial counterpart of the ingest
+// benchmark. Where IngestBenchLog sizes MaxSessions to the client count and
+// measures clean-path throughput, this floods a deliberately small server —
+// many more concurrent sessions than slots, bounded admission, adaptive
+// sampling and the degradation ladder on — and measures how the daemon
+// degrades: how many sessions completed vs were rejected with a typed busy
+// error, how long the slowest rejection took (the admission-latency bound the
+// flood test asserts), and exactly how much analysis coverage was shed.
+
+// OverloadResult is one flood measurement.
+type OverloadResult struct {
+	Sessions    int `json:"sessions"`     // concurrent clients in the flood
+	MaxSessions int `json:"max_sessions"` // server analysis slots
+	Completed   int `json:"completed"`    // sessions that got a report
+	Rejected    int `json:"rejected"`     // sessions refused with a busy error
+	// SampledOut and DegradedSessions are the server's exact shed
+	// accounting across completed sessions.
+	SampledOut       int64 `json:"sampled_out"`
+	DegradedSessions int   `json:"degraded_sessions"`
+	NsTotal          int64 `json:"ns_total"`
+	// MaxRejectNs is the slowest busy rejection observed client-side: the
+	// admission path's latency bound under flood.
+	MaxRejectNs int64 `json:"max_reject_ns,omitempty"`
+	// Obs is the server's flattened metrics snapshot after the flood
+	// (admission rejects by reason, sampled events, shed tools, ...).
+	Obs map[string]int64 `json:"obs,omitempty"`
+}
+
+// OverloadBenchLog floods a small in-process server: sessions concurrent
+// clients stream log at a server with maxSessions slots, admission bounded
+// by admitTimeout, adaptive sampling and the degradation ladder enabled. A
+// busy rejection counts as shed load; any other client failure fails the
+// run.
+func OverloadBenchLog(log []byte, tools func() []trace.ToolSpec, sessions, maxSessions int, admitTimeout time.Duration) (OverloadResult, error) {
+	reg := obs.NewRegistry()
+	srv, err := ingest.NewServer(ingest.Config{
+		Tools:             tools,
+		MaxSessions:       maxSessions,
+		AdmitTimeout:      admitTimeout,
+		AdaptiveSampling:  true,
+		DegradationLadder: true,
+		Metrics:           reg,
+	})
+	if err != nil {
+		return OverloadResult{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return OverloadResult{}, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	}()
+	addr := "tcp:" + ln.Addr().String()
+
+	start := time.Now()
+	var (
+		mu          sync.Mutex
+		completed   int
+		rejected    int
+		maxRejectNs int64
+		firstErr    error
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			c, err := ingest.Dial(addr)
+			if err == nil {
+				defer c.Close()
+				_, err = c.StreamTrace(fmt.Sprintf("flood-%d", i), log, 0)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				completed++
+			case errors.Is(err, tracelog.ErrBusy):
+				rejected++
+				if ns := time.Since(t0).Nanoseconds(); ns > maxRejectNs {
+					maxRejectNs = ns
+				}
+			default:
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	if firstErr != nil {
+		return OverloadResult{}, fmt.Errorf("harness: overload flood: %w", firstErr)
+	}
+
+	res := OverloadResult{
+		Sessions:    sessions,
+		MaxSessions: maxSessions,
+		Completed:   completed,
+		Rejected:    rejected,
+		NsTotal:     dur.Nanoseconds(),
+		MaxRejectNs: maxRejectNs,
+		Obs:         reg.Series(),
+	}
+	for _, sess := range srv.Sessions() {
+		res.SampledOut += sess.SampledOut()
+		if sess.Degraded() {
+			res.DegradedSessions++
+		}
+	}
+	return res, nil
+}

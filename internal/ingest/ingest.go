@@ -78,6 +78,45 @@ type Config struct {
 	// Further connections are accepted but wait their turn before any of
 	// their stream is read.
 	MaxSessions int
+	// AdmitTimeout bounds how long an accepted connection may wait for a
+	// MaxSessions slot before the server rejects it with a typed busy error
+	// frame (tracelog.ErrBusy) carrying a retry-after hint. 0 keeps the
+	// delay-not-drop default: the connection waits until a slot frees or the
+	// server shuts down (the wait is always bounded by Shutdown, and by
+	// IdleTimeout when set — a parked waiter is an idle connection).
+	AdmitTimeout time.Duration
+	// AdmitRate > 0 enables token-bucket admission pacing: sessions are
+	// admitted at this sustained rate (sessions/second) with bursts up to
+	// AdmitBurst (default MaxSessions). A connection arriving on an empty
+	// bucket is rejected immediately with a typed busy error and a
+	// retry-after hint sized to the bucket's refill. 0 disables the gate.
+	AdmitRate  float64
+	AdmitBurst int
+	// RetryAfter is the backoff hint attached to slot-timeout rejections
+	// (default 1s). Rate rejections compute their own hint from the bucket.
+	RetryAfter time.Duration
+	// AdaptiveSampling lets sessions admitted under overload pressure shed a
+	// deterministic per-block fraction of memory-access events before
+	// analysis (see the sampler in admission.go). Exact sampled-out counts
+	// are carried on the session, stamped into its report header, and summed
+	// into the aggregate, so degraded output is honest. At zero pressure the
+	// sampler keeps everything and reports are byte-identical to a server
+	// with sampling off — the overload conformance test pins this.
+	AdaptiveSampling bool
+	// DegradationLadder sheds auxiliary tools from sessions admitted under
+	// pressure — single-shard tools (highlevel) first, broadcast tools (the
+	// lock-order detector) above that; block-routed tools (lockset, djit,
+	// hybrid, memcheck) are never shed. Shed tool names are recorded on the
+	// session and stamped into its report header. Off, every session runs
+	// the full registry regardless of pressure.
+	DegradationLadder bool
+	// FoldSiteCap > 0 bounds the distinct warning sites the retention fold
+	// retains: after each fold the merged collector keeps only the first cap
+	// sites (in cross-session first-seen order) and the aggregate discloses
+	// exactly how many sites and occurrences were compacted away. This is
+	// what keeps a month-long daemon's aggregate memory bounded. 0 keeps
+	// every folded site forever.
+	FoldSiteCap int
 	// BatchSize and QueueDepth tune the per-session engine (see
 	// engine.Options); zero values take the engine defaults.
 	BatchSize  int
@@ -183,6 +222,14 @@ type Session struct {
 	snaps   []Snapshot // retained incremental reports, oldest first
 	dropped int        // older snapshots discarded by the retention cap
 	done    bool       // handler finished: report delivered or failure final
+
+	// Overload bookkeeping: what this session's analysis gave up under
+	// pressure (exact counts — degraded reports are honest), and snapshot
+	// failures that would otherwise vanish.
+	sampledOut int64    // access events shed by the adaptive sampler
+	shed       []string // tools shed by the degradation ladder at admission
+	snapErrs   int      // failed incremental snapshot attempts
+	snapErr    error    // the most recent of them
 }
 
 // maxSessionSnapshots bounds one session's retained incremental reports: a
@@ -210,6 +257,68 @@ func (s *Session) Events() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.events
+}
+
+// SampledOut returns the exact number of access events the adaptive sampler
+// shed from this session: Events() + SampledOut() is what the stream carried.
+func (s *Session) SampledOut() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sampledOut
+}
+
+// ShedTools returns the tools the degradation ladder removed from this
+// session's registry at admission; nil for a full-coverage session.
+func (s *Session) ShedTools() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.shed...)
+}
+
+// Degraded reports whether the session's analysis gave anything up under
+// overload pressure (sampled events or shed tools).
+func (s *Session) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sampledOut > 0 || len(s.shed) > 0
+}
+
+// SnapshotErrs returns how many incremental snapshot attempts failed, and
+// the most recent failure.
+func (s *Session) SnapshotErrs() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapErrs, s.snapErr
+}
+
+// noteSnapshotError records one failed incremental snapshot attempt. The
+// stream goes on — a failed snapshot loses one checkpoint, not the session —
+// but the failure is counted and kept instead of dropped on the floor.
+func (s *Session) noteSnapshotError(err error) {
+	s.mu.Lock()
+	s.snapErrs++
+	s.snapErr = err
+	s.mu.Unlock()
+}
+
+// degradedHeader renders the honesty annotation prepended to the reports of
+// a session that analysed less than its stream carried. Empty for a
+// full-coverage session, so undegraded reports are byte-identical to a
+// server without overload handling.
+func degradedHeader(sampledOut int64, shed []string) string {
+	if sampledOut == 0 && len(shed) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("== degraded:")
+	if sampledOut > 0 {
+		fmt.Fprintf(&b, " sampled-out=%d event(s)", sampledOut)
+	}
+	if len(shed) > 0 {
+		fmt.Fprintf(&b, " tools-shed=%s", strings.Join(shed, ","))
+	}
+	b.WriteByte('\n')
+	return b.String()
 }
 
 // Snapshots returns the session's incremental reports so far, oldest first.
@@ -259,6 +368,9 @@ func (s *Session) FormatSnapshots() string {
 	fmt.Fprintf(&b, "== session %s: %d snapshot(s)", s.Name, len(s.snaps))
 	if s.dropped > 0 {
 		fmt.Fprintf(&b, " (%d older discarded)", s.dropped)
+	}
+	if s.snapErrs > 0 {
+		fmt.Fprintf(&b, " (%d failed, last: %v)", s.snapErrs, s.snapErr)
 	}
 	b.WriteByte('\n')
 	for i, sn := range s.snaps {
@@ -335,8 +447,11 @@ type Server struct {
 	folded   foldedState // retention rollup of evicted sessions
 	drain    DrainSummary
 
-	sem chan struct{} // MaxSessions slots
-	wg  sync.WaitGroup
+	sem         chan struct{}   // MaxSessions slots
+	slotWaiters atomic.Int64    // connections parked waiting for a slot
+	bucket      *tokenBucket    // admission pacing; nil when AdmitRate is 0
+	shutdown    chan struct{}   // closed at Shutdown entry; unparks slot waiters
+	wg          sync.WaitGroup
 }
 
 // DrainSummary is the outcome of a Shutdown flush: how many sessions were
@@ -375,6 +490,15 @@ type foldedState struct {
 	events   int64
 	col      *report.Collector // merged folded reported sessions; nil until the first fold
 	sums     map[string]trace.ToolSummary
+
+	sampledOut int64 // summed exact sampler drops of folded sessions
+	degraded   int   // folded sessions that analysed less than their stream
+
+	// Compaction tallies (Config.FoldSiteCap): what the bounded fold has
+	// discarded, disclosed by the aggregate so the cap never silently
+	// shrinks the numbers.
+	compactedSites int
+	compactedOccs  int
 }
 
 // NewServer creates a server; call Serve with a listener to start it.
@@ -385,13 +509,22 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 64
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		met:      newServerMetrics(cfg.Metrics),
 		sessions: make(map[uint64]*Session),
 		conns:    make(map[net.Conn]struct{}),
 		sem:      make(chan struct{}, cfg.MaxSessions),
-	}, nil
+		shutdown: make(chan struct{}),
+	}
+	if cfg.AdmitRate > 0 {
+		burst := cfg.AdmitBurst
+		if burst <= 0 {
+			burst = cfg.MaxSessions
+		}
+		s.bucket = newTokenBucket(cfg.AdmitRate, burst)
+	}
+	return s, nil
 }
 
 // Serve accepts connections on ln until Shutdown (or a listener error) and
@@ -445,7 +578,13 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		// Unpark every connection still waiting for a MaxSessions slot:
+		// they are rejected through the normal error path instead of
+		// outliving the server on the semaphore.
+		close(s.shutdown)
+	}
 	ln := s.ln
 	// In-flight census before any flushing: these are the sessions the drain
 	// summary tracks to their terminal state.
@@ -531,17 +670,51 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	// A session occupies an analysis slot for its whole pipeline lifetime;
 	// waiting here (before any stream is read) is the cross-session
-	// backpressure described in the package comment.
-	if s.met != nil {
-		waitStart := time.Now()
-		s.sem <- struct{}{}
-		s.met.slotWaitNs.Observe(int64(time.Since(waitStart)))
-	} else {
-		s.sem <- struct{}{}
+	// backpressure described in the package comment. The wait is bounded
+	// (admission.go): past the rate gate or the slot deadline the client is
+	// answered with a typed busy frame instead of parking forever.
+	waited, err := s.admit()
+	if err != nil {
+		var rej *rejectError
+		if errors.As(err, &rej) {
+			s.reject(conn, fw, rej)
+		} else {
+			fw.Error(fmt.Sprintf("admission: %v", err))
+		}
+		return
 	}
 	defer func() { <-s.sem }()
 
+	// The degradation ladder and the sampler both key off the pressure
+	// level observed now, at admission — the moment the slot was contended.
+	// A session that had to park for its slot saw demand exceed capacity
+	// first-hand: that is full pressure regardless of what the occupancy
+	// probe says a moment later. At zero pressure both mechanisms are inert
+	// and the session is analysed exactly as it would be with the features
+	// off.
+	level := pressureNone
+	if s.cfg.DegradationLadder || s.cfg.AdaptiveSampling {
+		if level = s.pressureLevel(); waited {
+			level = pressureFull
+		}
+	}
+	specs := s.cfg.Tools()
+	var shed []string
+	if s.cfg.DegradationLadder {
+		specs, shed = shedSpecs(specs, level)
+	}
+
 	sess := s.register(meta)
+	if len(shed) > 0 {
+		sess.mu.Lock()
+		sess.shed = shed
+		sess.mu.Unlock()
+		if s.met != nil {
+			for _, tool := range shed {
+				s.met.shedTools.With(tool).Inc()
+			}
+		}
+	}
 	sess.setState(StateStreaming)
 	// Whatever way the session ends, give the retention policy a chance to
 	// fold and evict the oldest terminal sessions. LIFO defers: the done
@@ -561,7 +734,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		em = s.met.engine
 	}
 	pipe, err := engine.NewPipeline(engine.Options{
-		Tools:      s.cfg.Tools(),
+		Tools:      specs,
 		Shards:     s.cfg.Shards,
 		BatchSize:  s.cfg.BatchSize,
 		QueueDepth: s.cfg.QueueDepth,
@@ -579,16 +752,34 @@ func (s *Server) serveConn(conn net.Conn) {
 	// contract requires the dispatching goroutine, and between reads no
 	// event delivery is in flight. An idle stream takes no snapshot, but an
 	// idle stream's report cannot have changed either.
+	// The sampler exists before the snapshot trigger wraps the stream so
+	// incremental reports can carry the dropped-so-far count; both the
+	// trigger callback and the sampler run on the decode goroutine, so the
+	// counter needs no synchronisation.
+	var sam *sampler
+	if s.cfg.AdaptiveSampling {
+		sam = newSampler(level, s.pressureLevel, pipe.QueueLoad)
+	}
 	var stream io.Reader = fr
 	if s.cfg.ReportInterval > 0 {
 		trig, stop := newSnapshotTrigger(fr, s.cfg.ReportInterval, func() {
 			col, err := pipe.Snapshot()
 			if err != nil {
+				// A failed snapshot loses one checkpoint, not the session —
+				// but it is recorded and counted, not swallowed.
+				sess.noteSnapshotError(err)
+				if s.met != nil {
+					s.met.snapshotErrors.Inc()
+				}
 				return
+			}
+			var droppedSoFar int64
+			if sam != nil {
+				droppedSoFar = sam.dropped
 			}
 			sess.addSnapshot(Snapshot{
 				Events:   pipe.Events(),
-				Report:   col.Format(),
+				Report:   degradedHeader(droppedSoFar, shed) + col.Format(),
 				Manifest: col.Manifest(),
 			})
 			if s.met != nil {
@@ -599,12 +790,32 @@ func (s *Server) serveConn(conn net.Conn) {
 		stream = trig
 	}
 
-	events, err := pipe.ReplayLog(stream)
+	var events int64
+	if sam != nil {
+		// Sampled replay: ingest owns the decode loop, dropping events
+		// before dispatch; events counts what was analysed, the remainder is
+		// the exact sampled-out tally.
+		var sent int64
+		sent, err = replaySampled(pipe, stream, sam)
+		events = sent - sam.dropped
+	} else {
+		events, err = pipe.ReplayLog(stream)
+	}
 	sess.mu.Lock()
 	sess.events = events
+	if sam != nil {
+		sess.sampledOut = sam.dropped
+	}
+	degraded := sess.sampledOut > 0 || len(sess.shed) > 0
 	sess.mu.Unlock()
 	if s.met != nil {
 		s.met.eventsTotal.Add(events)
+		if sam != nil && sam.dropped > 0 {
+			s.met.sampledOut.Add(sam.dropped)
+		}
+		if degraded {
+			s.met.degradedSessions.Inc()
+		}
 	}
 	if err != nil {
 		pipe.Close() // join workers; no report by the mid-stream contract
@@ -629,8 +840,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Mark reported before the response write: the moment the client has
 	// its report in hand, a follow-up aggregate query must already account
 	// for this session (write-then-mark would race that query). A failed
-	// delivery downgrades the session to failed afterwards.
-	text := col.Format()
+	// delivery downgrades the session to failed afterwards. A degraded
+	// session's report says so up front — exact counts, never silently.
+	var sampledOut int64
+	if sam != nil {
+		sampledOut = sam.dropped
+	}
+	text := degradedHeader(sampledOut, shed) + col.Format()
 	sess.mu.Lock()
 	sess.transitionLocked(StateReported)
 	sess.col = col
@@ -832,6 +1048,10 @@ func (s *Server) fold(sess *Session) {
 	}
 	s.folded.sessions++
 	s.folded.events += sess.events
+	s.folded.sampledOut += sess.sampledOut
+	if sess.sampledOut > 0 || len(sess.shed) > 0 {
+		s.folded.degraded++
+	}
 	if sess.state != StateReported {
 		s.folded.failed++
 		return
@@ -839,7 +1059,21 @@ func (s *Server) fold(sess *Session) {
 	s.folded.reported++
 	// Merge produces a fresh collector every fold; the previous one is never
 	// mutated again, so an Aggregate holding it concurrently stays sound.
-	s.folded.col = report.Merge(nil, nil, s.folded.col, sess.col)
+	// With FoldSiteCap set, the fresh collector is compacted before it is
+	// published: the retained sites are a prefix of the merged first-seen
+	// order, and the discarded tail is tallied for the aggregate to
+	// disclose. Compacting pre-publication keeps a concurrent Aggregate
+	// sound — it only ever holds collectors that will never mutate again.
+	merged := report.Merge(nil, nil, s.folded.col, sess.col)
+	if s.cfg.FoldSiteCap > 0 {
+		sites, occs := merged.CompactTail(s.cfg.FoldSiteCap)
+		s.folded.compactedSites += sites
+		s.folded.compactedOccs += occs
+		if s.met != nil && sites > 0 {
+			s.met.foldCompactedSites.Add(int64(sites))
+		}
+	}
+	s.folded.col = merged
 	for name, sum := range sess.sums {
 		if s.folded.sums == nil {
 			s.folded.sums = make(map[string]trace.ToolSummary)
@@ -876,6 +1110,15 @@ type Aggregate struct {
 	Active   int // open/streaming/drained
 	Folded   int // sessions no longer individually retained (RetainSessions)
 	Events   int64
+	// SampledOut sums the exact per-session sampler drops: Events +
+	// SampledOut is what the streams carried; Degraded counts the sessions
+	// that analysed under overload (sampled events or shed tools).
+	SampledOut int64
+	Degraded   int
+	// CompactedSites/CompactedOccurrences disclose what the bounded
+	// retention fold (Config.FoldSiteCap) has discarded from Merged.
+	CompactedSites       int
+	CompactedOccurrences int
 	// ByTool counts distinct warning sites per tool across the merged
 	// report.
 	ByTool map[string]int
@@ -907,6 +1150,10 @@ func (s *Server) Aggregate() *Aggregate {
 	agg.Failed = s.folded.failed
 	agg.Folded = s.folded.sessions
 	agg.Events = s.folded.events
+	agg.SampledOut = s.folded.sampledOut
+	agg.Degraded = s.folded.degraded
+	agg.CompactedSites = s.folded.compactedSites
+	agg.CompactedOccurrences = s.folded.compactedOccs
 	for name, sum := range s.folded.sums {
 		t := make(trace.ToolSummary)
 		t.Merge(sum)
@@ -920,6 +1167,10 @@ func (s *Server) Aggregate() *Aggregate {
 		sess.mu.Lock()
 		agg.Sessions++
 		agg.Events += sess.events
+		agg.SampledOut += sess.sampledOut
+		if sess.sampledOut > 0 || len(sess.shed) > 0 {
+			agg.Degraded++
+		}
 		switch sess.state {
 		case StateReported:
 			agg.Reported++
@@ -954,6 +1205,14 @@ func (a *Aggregate) Format() string {
 		a.Sessions, a.Reported, a.Failed, a.Active, a.Events)
 	if a.Folded > 0 {
 		fmt.Fprintf(&b, "== retention: %d session(s) folded into the aggregate\n", a.Folded)
+	}
+	if a.Degraded > 0 {
+		fmt.Fprintf(&b, "== degraded: %d session(s) analysed under overload — %d event(s) sampled out\n",
+			a.Degraded, a.SampledOut)
+	}
+	if a.CompactedSites > 0 {
+		fmt.Fprintf(&b, "== compaction: %d warning site(s) (%d occurrence(s)) discarded beyond the fold site cap\n",
+			a.CompactedSites, a.CompactedOccurrences)
 	}
 	tools := make([]string, 0, len(a.ByTool))
 	for tool := range a.ByTool {

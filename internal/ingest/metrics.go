@@ -37,6 +37,19 @@ type serverMetrics struct {
 	folds          *obs.Counter
 	snapshotsTaken *obs.Counter
 
+	// Overload-survival surface: admission refusals by reason, the live
+	// slot-waiter census and pressure level, what the sampler and the
+	// degradation ladder shed, failed incremental snapshots, and what the
+	// bounded retention fold compacted away.
+	admissionRejects   *obs.CounterVec
+	slotWaiters        *obs.Gauge
+	pressure           *obs.Gauge
+	sampledOut         *obs.Counter
+	shedTools          *obs.CounterVec
+	degradedSessions   *obs.Counter
+	snapshotErrors     *obs.Counter
+	foldCompactedSites *obs.Counter
+
 	// warnings counts distinct warning sites per tool, accumulated from each
 	// session's final report as it lands.
 	warnings *obs.CounterVec
@@ -58,6 +71,16 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		folds:          reg.Counter("ingest_retention_folds_total", "Terminal sessions folded into the aggregate and evicted by RetainSessions."),
 		snapshotsTaken: reg.Counter("ingest_snapshots_taken_total", "Incremental session snapshots taken (ReportInterval)."),
 		warnings:       reg.CounterVec("ingest_tool_warning_sites_total", "Distinct warning sites in final session reports, per tool.", "tool"),
+		admissionRejects: reg.CounterVec("ingest_admission_rejected_total",
+			"Session connections refused with a busy error, by reason (rate, slots, shutdown).", "reason"),
+		slotWaiters:      reg.Gauge("ingest_slot_waiters", "Connections currently parked waiting for a MaxSessions slot."),
+		pressure:         reg.Gauge("ingest_pressure_level", "Overload pressure level at the last probe (0 none .. 3 full)."),
+		sampledOut:       reg.Counter("ingest_sampled_events_total", "Access events shed by adaptive sampling under overload pressure."),
+		shedTools:        reg.CounterVec("ingest_shed_tools_total", "Tools shed from sessions by the degradation ladder, per tool.", "tool"),
+		degradedSessions: reg.Counter("ingest_degraded_sessions_total", "Sessions that analysed less than their stream carried (sampling or shed tools)."),
+		snapshotErrors:   reg.Counter("ingest_snapshot_errors_total", "Failed incremental snapshot attempts (recorded on the session, stream continues)."),
+		foldCompactedSites: reg.Counter("ingest_fold_compacted_sites_total",
+			"Warning sites discarded from the retention fold by FoldSiteCap."),
 	}
 	stateGauges := reg.GaugeVec("ingest_sessions", "Sessions currently in each lifecycle state.", "state")
 	for st := StateOpen; st <= StateFailed; st++ {

@@ -129,6 +129,34 @@ func (c *Collector) SnapshotReport() trace.Reporter { return c.Clone() }
 
 var _ trace.Snapshotter = (*Collector)(nil)
 
+// CompactTail bounds the collector to its first max sites in order,
+// discarding the tail. It returns how many sites were discarded and how many
+// dynamic occurrences they carried; the discarded occurrences leave the
+// Occurrences total too, so a compacted collector stays internally
+// consistent and the caller can disclose exactly what was dropped. The
+// retained set is a prefix of the site order, so prefix-consistency
+// reasoning over merged collectors carries over. A max <= 0 or >= Locations
+// is a no-op.
+//
+// This exists for the ingest retention fold: a month-long daemon folding
+// every terminal session into one merged collector needs a bound on distinct
+// sites, and an explicit tally of what the bound cost beats a silently
+// shrinking report.
+func (c *Collector) CompactTail(max int) (sites, occurrences int) {
+	if max <= 0 || len(c.order) <= max {
+		return 0, 0
+	}
+	tail := c.order[max:]
+	for _, k := range tail {
+		occurrences += c.sites[k].Count
+		delete(c.sites, k)
+	}
+	sites = len(tail)
+	c.order = c.order[:max:max]
+	c.total -= occurrences
+	return sites, occurrences
+}
+
 // Sites returns the distinct warning sites in first-seen order.
 func (c *Collector) Sites() []*Warning {
 	out := make([]*Warning, 0, len(c.order))

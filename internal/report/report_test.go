@@ -149,3 +149,44 @@ func TestKindCategories(t *testing.T) {
 		}
 	}
 }
+
+// TestCompactTail pins the bounded-fold compaction primitive: the kept sites
+// are a prefix of first-seen order, the discarded tail is tallied exactly,
+// the occurrence total stays consistent, and the compacted manifest remains
+// a prefix-consistent subset of the original.
+func TestCompactTail(t *testing.T) {
+	c := NewCollector(newResolver(), nil)
+	for i := 1; i <= 5; i++ {
+		w := Warning{Tool: "x", Kind: KindRace, Stack: trace.StackID(i)}
+		c.Add(w)
+		if i == 1 {
+			c.Add(w) // the first site occurs twice
+		}
+	}
+	before := c.Manifest()
+	if n, occ := c.CompactTail(0); n != 0 || occ != 0 {
+		t.Errorf("CompactTail(0) = (%d, %d), want no-op", n, occ)
+	}
+	sites, occ := c.CompactTail(2)
+	if sites != 3 || occ != 3 {
+		t.Errorf("CompactTail(2) = (%d sites, %d occurrences), want (3, 3)", sites, occ)
+	}
+	if c.Locations() != 2 || c.Occurrences() != 3 {
+		t.Errorf("after compaction: %d locations, %d occurrences, want 2 and 3",
+			c.Locations(), c.Occurrences())
+	}
+	kept := c.Sites()
+	if len(kept) != 2 || kept[0].Stack != 1 || kept[1].Stack != 2 {
+		t.Error("kept sites are not the first-seen prefix")
+	}
+	if err := PrefixConsistent(c.Manifest(), before); err != nil {
+		t.Errorf("compacted manifest not a prefix-consistent subset of the original: %v", err)
+	}
+	if n, occ := c.CompactTail(2); n != 0 || occ != 0 {
+		t.Errorf("second CompactTail(2) = (%d, %d), want no-op", n, occ)
+	}
+	// Survivors keep folding new occurrences.
+	if c.Add(Warning{Tool: "x", Kind: KindRace, Stack: 1}) {
+		t.Error("occurrence at a kept site opened a new site after compaction")
+	}
+}

@@ -1,0 +1,65 @@
+package tracelog_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tracelog"
+)
+
+// readBusy writes one error frame with the given payload and decodes it back
+// through the response path, as a rejected client would.
+func readBusy(t *testing.T, payload string) error {
+	t.Helper()
+	var buf bytes.Buffer
+	fw := tracelog.NewFrameWriter(&buf)
+	if err := fw.Error(payload); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tracelog.NewFrameReader(&buf).Response()
+	if err == nil {
+		t.Fatal("error frame decoded without error")
+	}
+	return err
+}
+
+// TestBusyErrorRoundTrip pins the busy-rejection wire convention: the typed
+// error survives the frame round-trip with its reason and retry hint, and
+// matches both ErrBusy and ErrRemote so admission-unaware callers keep
+// treating it as a remote failure.
+func TestBusyErrorRoundTrip(t *testing.T) {
+	err := readBusy(t, tracelog.BusyMessage("no analysis slot within 250ms (4 in use)", 1500*time.Millisecond))
+	if !errors.Is(err, tracelog.ErrBusy) {
+		t.Fatalf("decoded error = %v, want ErrBusy", err)
+	}
+	if !errors.Is(err, tracelog.ErrRemote) {
+		t.Error("busy rejection does not match ErrRemote")
+	}
+	if d, ok := tracelog.RetryAfterHint(err); !ok || d != 1500*time.Millisecond {
+		t.Errorf("RetryAfterHint = (%v, %v), want (1.5s, true)", d, ok)
+	}
+	if !strings.Contains(err.Error(), "no analysis slot within 250ms") {
+		t.Errorf("reason lost in round-trip: %v", err)
+	}
+
+	// Without a hint: still busy, no retry-after.
+	err = readBusy(t, tracelog.BusyMessage("admission rate 5/s exceeded", 0))
+	if !errors.Is(err, tracelog.ErrBusy) {
+		t.Fatalf("hintless busy error = %v, want ErrBusy", err)
+	}
+	if _, ok := tracelog.RetryAfterHint(err); ok {
+		t.Error("hintless busy rejection reports a retry-after hint")
+	}
+
+	// A plain error frame stays a plain remote error.
+	err = readBusy(t, "stream: unexpected EOF")
+	if errors.Is(err, tracelog.ErrBusy) {
+		t.Errorf("plain remote error matches ErrBusy: %v", err)
+	}
+	if !errors.Is(err, tracelog.ErrRemote) {
+		t.Errorf("plain remote error does not match ErrRemote: %v", err)
+	}
+}

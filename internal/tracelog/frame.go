@@ -28,6 +28,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
+	"time"
 )
 
 // FrameKind identifies a frame in a framed trace stream.
@@ -93,6 +95,74 @@ const (
 
 // ErrRemote wraps a failure reported by the peer through a FrameError frame.
 var ErrRemote = errors.New("tracelog: remote error")
+
+// ErrBusy marks a server-side admission rejection: the server refused the
+// session before reading any of its stream (no analysis slot, admission rate
+// exceeded). A busy rejection travels as an ordinary error frame whose
+// payload carries the busyPrefix convention below, so it needs no new frame
+// kind and older readers still surface it as a plain ErrRemote. Match with
+// errors.Is(err, ErrBusy); the retry hint, when the server sent one, is
+// recoverable via RetryAfterHint.
+var ErrBusy = errors.New("tracelog: server busy")
+
+// busyPrefix is the error-frame payload convention for admission rejections:
+// "busy: <reason>" optionally followed by "; retry-after=<duration>".
+const busyPrefix = "busy: "
+
+// BusyMessage renders an admission-rejection error-frame payload in the
+// convention remoteError parses back: the reason under the busy prefix, plus
+// the retry hint when positive.
+func BusyMessage(reason string, retryAfter time.Duration) string {
+	if retryAfter > 0 {
+		return fmt.Sprintf("%s%s; retry-after=%s", busyPrefix, reason, retryAfter)
+	}
+	return busyPrefix + reason
+}
+
+// BusyError is the decoded form of a busy rejection. It matches both ErrBusy
+// and ErrRemote under errors.Is, so existing "remote failure" handling keeps
+// working while admission-aware clients can branch on the rejection.
+type BusyError struct {
+	Reason string
+	// RetryAfter is the server's backoff hint; 0 when the server sent none.
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("tracelog: server busy: %s (retry after %s)", e.Reason, e.RetryAfter)
+	}
+	return "tracelog: server busy: " + e.Reason
+}
+
+// Is reports the sentinel identities of a busy rejection.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy || target == ErrRemote }
+
+// RetryAfterHint extracts the server's backoff hint from a busy rejection.
+// ok is false when err is not a busy rejection or carries no hint.
+func RetryAfterHint(err error) (d time.Duration, ok bool) {
+	var be *BusyError
+	if errors.As(err, &be) && be.RetryAfter > 0 {
+		return be.RetryAfter, true
+	}
+	return 0, false
+}
+
+// remoteError converts an error-frame payload into its typed error: a
+// *BusyError for admission rejections, the plain ErrRemote wrap otherwise.
+func remoteError(msg string) error {
+	rest, isBusy := strings.CutPrefix(msg, busyPrefix)
+	if !isBusy {
+		return fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	be := &BusyError{Reason: rest}
+	if reason, hint, ok := strings.Cut(rest, "; retry-after="); ok {
+		if d, err := time.ParseDuration(hint); err == nil && d > 0 {
+			be.Reason, be.RetryAfter = reason, d
+		}
+	}
+	return be
+}
 
 // FrameWriter writes one direction of a framed trace stream. The magic is
 // emitted before the first frame; output is buffered, and the frames that
@@ -400,7 +470,7 @@ func (fr *FrameReader) Read(p []byte) (int, error) {
 			if err != nil {
 				fr.err = err
 			} else {
-				fr.err = fmt.Errorf("%w: %s", ErrRemote, msg)
+				fr.err = remoteError(msg)
 			}
 			return 0, fr.err
 		default:
@@ -444,7 +514,7 @@ func (fr *FrameReader) Response() (string, error) {
 	case FrameReport:
 		return payload, nil
 	case FrameError:
-		return "", fmt.Errorf("%w: %s", ErrRemote, payload)
+		return "", remoteError(payload)
 	default:
 		return "", fmt.Errorf("tracelog: unexpected %s frame, want report or error", kind)
 	}
