@@ -48,6 +48,24 @@
 //	traced -listen tcp:127.0.0.1:7433 -report-interval 500ms -retain 128 -idle-timeout 30s
 //	traced -listen tcp:127.0.0.1:7433 -http 127.0.0.1:9090 -stats-interval 10s
 //	traced -listen unix:/tmp/traced.sock -max-sessions 4 -admit-timeout 500ms -sampling -ladder
+//
+// # Multi-process tier
+//
+// The daemon also runs as either half of the router → N backends tier
+// (internal/ingest router layer). A backend is a normal daemon started with
+// -backend: it additionally accepts assign-opened sessions from a router
+// (answering with a structured backend-report) and backend-stats census
+// probes. A router is started with -router -backends spec,spec,...: it
+// analyses nothing itself, shards every client session across the live
+// backends by rendezvous hashing, forwards frames verbatim, and serves the
+// fleet aggregate — the fold over every backend's results, byte-identical to
+// a single process analysing the same sessions. One backend dying fails only
+// its in-flight sessions (counted as lost in the aggregate, never silently);
+// future sessions re-shard across the survivors.
+//
+//	traced -backend -listen unix:/tmp/be1.sock &
+//	traced -backend -listen unix:/tmp/be2.sock &
+//	traced -router -backends unix:/tmp/be1.sock,unix:/tmp/be2.sock -listen tcp:127.0.0.1:7433
 package main
 
 import (
@@ -58,6 +76,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -84,8 +103,21 @@ func main() {
 		sampling       = flag.Bool("sampling", false, "adaptively sample access events from sessions admitted under overload pressure (exact shed counts stamped into reports)")
 		ladder         = flag.Bool("ladder", false, "shed auxiliary tools (highlevel, then deadlock) from sessions admitted under overload pressure")
 		foldCap        = flag.Int("fold-cap", 0, "bound the distinct warning sites the retention fold keeps; the aggregate discloses what was compacted (0 keeps all)")
+		adaptiveSnaps  = flag.Bool("adaptive-snapshots", false, "defer -report-interval snapshot ticks while overload pressure is high (deferral counts disclosed in snapshot listings)")
+		backendMode    = flag.Bool("backend", false, "run as a backend analyzer: additionally accept router-assigned sessions and census probes")
+		routerMode     = flag.Bool("router", false, "run as a session router over -backends instead of analysing locally")
+		backendSpecs   = flag.String("backends", "", "comma-separated backend specs for -router (network:address each)")
 	)
 	flag.Parse()
+
+	if *routerMode {
+		runRouter(*listen, *backendSpecs, *idleTimeout, *grace, *httpAddr, *statsInterval)
+		return
+	}
+	if *backendSpecs != "" {
+		fmt.Fprintln(os.Stderr, "traced: -backends requires -router")
+		os.Exit(2)
+	}
 
 	tools, err := (core.Options{}).ToolFactory(*toolList)
 	if err != nil {
@@ -103,12 +135,14 @@ func main() {
 		IdleTimeout:    *idleTimeout,
 		Metrics:        reg,
 
-		AdmitTimeout:      *admitTimeout,
-		AdmitRate:         *admitRate,
-		AdmitBurst:        *admitBurst,
-		AdaptiveSampling:  *sampling,
-		DegradationLadder: *ladder,
-		FoldSiteCap:       *foldCap,
+		AdmitTimeout:           *admitTimeout,
+		AdmitRate:              *admitRate,
+		AdmitBurst:             *admitBurst,
+		AdaptiveSampling:       *sampling,
+		DegradationLadder:      *ladder,
+		FoldSiteCap:            *foldCap,
+		AdaptiveReportInterval: *adaptiveSnaps,
+		BackendMode:            *backendMode,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traced:", err)
@@ -119,11 +153,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "traced:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("traced: listening on %s (tools %s, %d shard(s)/session, %d session slot(s))\n",
-		*listen, *toolList, *parallel, *maxSessions)
+	role := ""
+	if *backendMode {
+		role = ", backend mode"
+	}
+	fmt.Printf("traced: listening on %s (tools %s, %d shard(s)/session, %d session slot(s)%s)\n",
+		*listen, *toolList, *parallel, *maxSessions, role)
 
 	if *httpAddr != "" {
-		hsrv, err := serveHTTP(*httpAddr, reg, srv)
+		hsrv, err := serveHTTP(*httpAddr, reg, srv.Draining)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "traced:", err)
 			os.Exit(1)
@@ -169,16 +207,87 @@ func main() {
 	fmt.Print(srv.Aggregate().Format())
 }
 
+// runRouter runs the session-sharding front tier: no local analysis, every
+// client session forwarded to one of the -backends processes, the fleet
+// aggregate printed on shutdown exactly like the single-process daemon prints
+// its own.
+func runRouter(listen, specs string, idleTimeout, grace time.Duration, httpAddr string, statsInterval time.Duration) {
+	var backends []string
+	for _, spec := range strings.Split(specs, ",") {
+		if spec = strings.TrimSpace(spec); spec != "" {
+			backends = append(backends, spec)
+		}
+	}
+	reg := obs.NewRegistry()
+	rt, err := ingest.NewRouter(ingest.RouterConfig{
+		Backends:    backends,
+		IdleTimeout: idleTimeout,
+		Metrics:     reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traced:", err)
+		os.Exit(2)
+	}
+	ln, err := ingest.Listen(listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traced:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("traced: routing on %s across %d backend(s): %s\n", listen, len(backends), strings.Join(backends, ", "))
+
+	if httpAddr != "" {
+		hsrv, err := serveHTTP(httpAddr, reg, rt.Draining)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traced:", err)
+			os.Exit(1)
+		}
+		defer hsrv.Close()
+		fmt.Printf("traced: metrics on http://%s/metrics (healthz, pprof alongside)\n", httpAddr)
+	}
+	if statsInterval > 0 {
+		tick := time.NewTicker(statsInterval)
+		defer tick.Stop()
+		go func() {
+			for range tick.C {
+				fmt.Fprintf(os.Stderr, "traced: stats %s\n", reg.OneLine())
+			}
+		}()
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- rt.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("traced: %v — draining forwarded sessions (grace %v)\n", s, grace)
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := rt.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "traced: forced shutdown:", err)
+		}
+		<-done
+		fmt.Fprintf(os.Stderr, "traced: final stats\n%s", reg.Snapshot())
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traced: serve:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Print(rt.FleetAggregate().Format())
+}
+
 // serveHTTP starts the observability endpoint: Prometheus metrics, a
 // drain-aware health check, and the stdlib pprof profiles. It is a private
 // mux (not http.DefaultServeMux) so nothing else can leak handlers onto the
 // daemon's diagnostic port.
-func serveHTTP(addr string, reg *obs.Registry, srv *ingest.Server) (*http.Server, error) {
+func serveHTTP(addr string, reg *obs.Registry, draining func() bool) (*http.Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if srv.Draining() {
+		if draining() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, "draining")
 			return

@@ -103,8 +103,14 @@ func main() {
 		query     = flag.String("query", "", "run one query against -addr, print the response, and exit (e.g. stats, aggregate, sessions)")
 		flood     = flag.Bool("flood", false, "overload mode: a session the server rejects with a typed busy error counts as shed load, not failure (disables -verify comparison; degraded reports differ from offline replays by design)")
 		retries   = flag.Int("flood-retries", 0, "redial attempts after a busy rejection, honouring the server's retry-after hint")
+		cooperate = flag.Bool("cooperative", false, "share one backoff governor across all sessions: any busy rejection lowers every session's send rate (and paces redials) until sessions succeed again")
 	)
 	flag.Parse()
+
+	var gov *ingest.Backoff
+	if *cooperate {
+		gov = ingest.NewBackoff(0)
+	}
 
 	if *query != "" {
 		c, err := ingest.Dial(*addr)
@@ -217,7 +223,7 @@ func main() {
 			defer wg.Done()
 			tr := traces[i%len(traces)]
 			if *flood {
-				wasRejected, err := streamFlood(target, fmt.Sprintf("load-%d-%s", i, tr.name), tr, *chunk, *retries)
+				wasRejected, err := streamFlood(target, fmt.Sprintf("load-%d-%s", i, tr.name), tr, *chunk, *retries, gov)
 				mu.Lock()
 				switch {
 				case err != nil:
@@ -238,6 +244,9 @@ func main() {
 				return
 			}
 			defer c.Close()
+			if gov != nil {
+				c.SetPacer(gov)
+			}
 			name := fmt.Sprintf("load-%d-%s", i, tr.name)
 			var rep string
 			var sessDelays []time.Duration
@@ -287,6 +296,9 @@ func main() {
 		*sessions-len(failures)-rejected, *sessions, events, dur.Round(time.Millisecond), float64(events)/dur.Seconds())
 	if *flood {
 		fmt.Printf("traceload: flood: %d session(s) rejected busy by admission\n", rejected)
+		if gov != nil {
+			fmt.Printf("traceload: cooperative backoff settled at %v redial delay\n", gov.Delay())
+		}
 	}
 	if *rate > 0 {
 		fmt.Println("traceload:", delaySummary(delays))
@@ -375,19 +387,37 @@ func streamOpenLoop(c *ingest.Client, name string, tr traceEntry, offs []int64, 
 // typed busy rejection is shed load, not failure. After each rejection it
 // sleeps the server's retry-after hint (bounded to a second) and redials, up
 // to retries extra attempts; a session still rejected then reports rejected.
-func streamFlood(target, name string, tr traceEntry, chunk, retries int) (rejected bool, err error) {
+// With a cooperative governor attached, the rejection instead feeds the
+// shared backoff — every concurrent session's send rate drops, the redial
+// honours the governed delay, and a success recovers it — so the flood backs
+// off as a fleet instead of each session hammering the gate independently.
+func streamFlood(target, name string, tr traceEntry, chunk, retries int, gov *ingest.Backoff) (rejected bool, err error) {
 	for attempt := 0; ; attempt++ {
 		c, err := ingest.Dial(target)
 		if err != nil {
 			return false, fmt.Errorf("dial: %w", err)
 		}
+		if gov != nil {
+			c.SetPacer(gov)
+		}
 		_, err = c.StreamTraceMeta(name, tr.md, tr.log, chunk)
 		c.Close()
 		if err == nil {
+			if gov != nil {
+				gov.OnSuccess()
+			}
 			return false, nil
 		}
 		if !errors.Is(err, tracelog.ErrBusy) {
 			return false, err
+		}
+		if gov != nil {
+			gov.OnBusy(err)
+			if attempt >= retries {
+				return true, nil
+			}
+			gov.Wait()
+			continue
 		}
 		if attempt >= retries {
 			return true, nil
@@ -470,7 +500,12 @@ func verifySnapshots(target, session, finalManifest string) (checked int, skippe
 	defer c.Close()
 	text, err := c.Snapshots(session)
 	if err != nil {
-		if errors.Is(err, tracelog.ErrRemote) && strings.Contains(err.Error(), "unknown session") {
+		// Folded away by retention, or held on a backend analyzer behind a
+		// router that redirects per-session queries: the report byte-identity
+		// check already passed, so the snapshot check is skipped, not failed.
+		if errors.Is(err, tracelog.ErrRemote) &&
+			(strings.Contains(err.Error(), "unknown session") ||
+				strings.Contains(err.Error(), "backend analyzers")) {
 			return 0, true, nil
 		}
 		return 0, false, fmt.Errorf("snapshots query: %w", err)

@@ -191,7 +191,43 @@
 // prefix-consistent subset of the final report), optionally open-loop at a
 // target events/sec with a queueing-delay summary (-rate); perfbench
 // -ingest measures aggregate ingest throughput at 1/8/64 concurrent
-// sessions.
+// sessions. With -cooperative, traceload's sessions share one
+// ingest.Backoff governor: busy rejections grow a common redial delay
+// (seeded by the server's retry-after hint) and pace in-flight chunk
+// writes, and successes decay it back to zero — a well-behaved client for
+// an overloaded fleet.
+//
+// # Cross-session site identity and the router tier
+//
+// Warning sites are identified by report.SiteKey, a content-derived key
+// (tool, kind, resolved stacks, block provenance — domain-separated, no
+// process-local IDs), so the same bug observed in different sessions,
+// different processes or different runs folds to ONE site under
+// report.Merge, which is commutative and associative over those keys.
+// That identity is what makes a multi-process deployment honest:
+//
+//	clients → traced -router → traced -backend (×N)
+//
+// ingest.Router (traced -router -backends <spec,...>) accepts ordinary
+// client sessions and relays each one verbatim — frame by frame, no
+// re-encode — to a backend analyzer chosen by rendezvous hashing over the
+// session name, so one backend's death re-shards only its own names. The
+// backend (traced -backend, ingest.Config.BackendMode) analyses the stream
+// exactly as a standalone daemon would and returns its rendered report
+// (relayed byte-identically to the client) plus a structured
+// ingest.BackendResult — counters, summaries and the session's collector in
+// wire form — which the router folds progressively into a fleet-wide
+// aggregate. Because folding is a report.Merge over content-derived keys,
+// the fleet aggregate is byte-identical to a single-process run of the same
+// sessions, regardless of backend assignment or completion order. Failure
+// stays contained and honest: a dead backend is marked and routed around
+// (its in-flight sessions are counted lost and disclosed in the
+// aggregate), while a backend's busy refusal is relayed to the client as
+// the same typed tracelog.ErrBusy a standalone server sends — a refusal is
+// an answer, not a death. The tier speaks three dedicated frame kinds
+// (assign, backend-report, backend-stats) on the same TLF1 framing, fuzzed
+// with the rest of the frame layer; see the README's "The router tier"
+// section for the wire diagram and operational details.
 //
 // Dynamic counters that must survive sharding (memcheck's error and leak
 // totals) flow through trace.Summarizer: the engine sums SummaryCounts per

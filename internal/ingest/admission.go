@@ -99,8 +99,10 @@ func newTokenBucket(rate float64, burst int) *tokenBucket {
 	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
 }
 
-// take consumes one token, or reports how long until one accrues.
-func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+// take consumes cost tokens, or reports how long until that many accrue. An
+// ordinary admission costs one token; admission under pipeline backlog costs
+// more (see admit), which tightens the sustained rate without a second knob.
+func (b *tokenBucket) take(now time.Time, cost float64) (ok bool, retryAfter time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !b.last.IsZero() {
@@ -110,11 +112,11 @@ func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
 		}
 	}
 	b.last = now
-	if b.tokens >= 1 {
-		b.tokens--
+	if b.tokens >= cost {
+		b.tokens -= cost
 		return true, 0
 	}
-	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	wait := time.Duration((cost - b.tokens) / b.rate * float64(time.Second))
 	if wait < time.Millisecond {
 		wait = time.Millisecond
 	}
@@ -130,9 +132,23 @@ func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
 // probes, its own waiter count is gone and a slot may already have freed).
 func (s *Server) admit() (waited bool, err error) {
 	if s.bucket != nil {
-		if ok, retry := s.bucket.take(time.Now()); !ok {
+		// Queue-load feedback: when any live session pipeline is backed up
+		// past the tighten threshold, an admission costs double — the
+		// sustained rate halves while the backlog lasts, without a second
+		// knob. Slot occupancy says how many sessions run; queue load says
+		// the ones running are not keeping up, which is the overload that
+		// admitting faster can only deepen.
+		cost := 1.0
+		if s.maxQueueLoad() >= queueLoadTighten {
+			cost = 2
+		}
+		if ok, retry := s.bucket.take(time.Now(), cost); !ok {
+			reason := "rate"
+			if cost > 1 {
+				reason = "rate-queue"
+			}
 			return false, &rejectError{
-				reason:     "rate",
+				reason:     reason,
 				msg:        fmt.Sprintf("admission rate %.3g/s exceeded", s.cfg.AdmitRate),
 				retryAfter: retry,
 			}
@@ -262,6 +278,11 @@ func shedSpecs(specs []trace.ToolSpec, level int) (kept []trace.ToolSpec, shed [
 // per event.
 const samplerRecheck = 4096
 
+// queueLoadTighten is the pipeline backlog fraction past which the overload
+// machinery tightens: the sampler sheds another quarter of access events, and
+// admission (admit) doubles the token cost of each new session.
+const queueLoadTighten = 0.75
+
 // keepPctFor maps the overload state to the percentage of memory-access
 // events a session keeps. Slot pressure sets the floor; a backed-up session
 // pipeline (queue load from engine.Pipeline.QueueLoad) tightens it further.
@@ -273,7 +294,7 @@ func keepPctFor(level int, queueLoad float64) int {
 	case pressureFull:
 		pct = 50
 	}
-	if queueLoad >= 0.75 && pct > 25 {
+	if queueLoad >= queueLoadTighten && pct > 25 {
 		pct -= 25
 	}
 	return pct

@@ -101,24 +101,24 @@ func TestTokenBucket(t *testing.T) {
 	b := newTokenBucket(2, 2) // 2 tokens/s, burst 2
 	now := time.Unix(1000, 0)
 	for i := 0; i < 2; i++ {
-		if ok, _ := b.take(now); !ok {
+		if ok, _ := b.take(now, 1); !ok {
 			t.Fatalf("take %d within burst refused", i+1)
 		}
 	}
-	ok, retry := b.take(now)
+	ok, retry := b.take(now, 1)
 	if ok {
 		t.Fatal("take beyond burst admitted")
 	}
 	if retry != 500*time.Millisecond {
 		t.Errorf("retry hint = %v, want 500ms (one token at 2/s)", retry)
 	}
-	if ok, _ := b.take(now.Add(500 * time.Millisecond)); !ok {
+	if ok, _ := b.take(now.Add(500*time.Millisecond), 1); !ok {
 		t.Error("take after the hinted refill refused")
 	}
 	// The hint never degenerates below a millisecond.
 	tight := newTokenBucket(1e6, 1)
-	tight.take(now)
-	if _, retry := tight.take(now); retry < time.Millisecond {
+	tight.take(now, 1)
+	if _, retry := tight.take(now, 1); retry < time.Millisecond {
 		t.Errorf("retry hint = %v, want >= 1ms", retry)
 	}
 }

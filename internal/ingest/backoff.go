@@ -1,0 +1,113 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/tracelog"
+)
+
+// Backoff is the cooperative send-rate governor a client process shares
+// across its sessions. When the server answers busy, a well-behaved client
+// does not redial blindly at full speed — it lowers its own send rate first,
+// seeded by the server's retry-after hint, and recovers multiplicatively as
+// sessions start succeeding again. One governor per client process: any
+// session's rejection slows every concurrent session's stream, which is what
+// actually relieves the server.
+//
+// Two knobs come out of the governed delay:
+//
+//   - Wait() is the pause before redialling a rejected session (instead of
+//     hammering the admission gate).
+//   - Pace() is the much smaller per-chunk pause SendEvents inserts while the
+//     governor is hot, spreading the rate reduction over the stream itself.
+//     At zero delay Pace is free, so an uncontended client is unaffected.
+type Backoff struct {
+	mu    sync.Mutex
+	delay time.Duration
+	max   time.Duration
+}
+
+// Backoff tuning: floor seeds the first rejection when the server sent no
+// hint, paceDiv scales the redial delay down to a per-chunk pause, and
+// paceCap bounds that pause so a long retry-after hint cannot freeze a
+// stream mid-flight.
+const (
+	backoffFloor   = 50 * time.Millisecond
+	backoffPaceDiv = 32
+	backoffPaceCap = 25 * time.Millisecond
+)
+
+// NewBackoff creates a governor whose redial delay never exceeds max
+// (<= 0 takes 5s, matching the server's bounded drain window).
+func NewBackoff(max time.Duration) *Backoff {
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	return &Backoff{max: max}
+}
+
+// OnBusy records one busy rejection and returns the redial delay to honour:
+// the server's retry-after hint when it gave one, otherwise double the
+// current delay, floored and capped. err may be any error chain — the typed
+// busy error is extracted from it, and a non-busy error leaves the governor
+// untouched (zero delay returned means "not a busy rejection").
+func (b *Backoff) OnBusy(err error) time.Duration {
+	if !errors.Is(err, tracelog.ErrBusy) {
+		return 0
+	}
+	hint, _ := tracelog.RetryAfterHint(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	next := 2 * b.delay
+	if next < backoffFloor {
+		next = backoffFloor
+	}
+	if hint > next {
+		next = hint
+	}
+	if next > b.max {
+		next = b.max
+	}
+	b.delay = next
+	return next
+}
+
+// OnSuccess records one successfully reported session: the delay halves, and
+// below the floor it snaps back to zero — full rate restored.
+func (b *Backoff) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.delay /= 2
+	if b.delay < backoffFloor {
+		b.delay = 0
+	}
+}
+
+// Delay returns the current redial delay (zero when uncontended).
+func (b *Backoff) Delay() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.delay
+}
+
+// Wait sleeps the current redial delay.
+func (b *Backoff) Wait() {
+	if d := b.Delay(); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Pace sleeps the per-chunk pause: Delay()/backoffPaceDiv capped at
+// backoffPaceCap, zero (no sleep at all) when the governor is cold.
+func (b *Backoff) Pace() {
+	d := b.Delay() / backoffPaceDiv
+	if d == 0 {
+		return
+	}
+	if d > backoffPaceCap {
+		d = backoffPaceCap
+	}
+	time.Sleep(d)
+}

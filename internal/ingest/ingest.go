@@ -43,6 +43,16 @@
 //     the context's grace period to drain and report; after that their
 //     connections are force-closed, which surfaces to the session as a
 //     truncated (failed) stream, never as a silently-dropped report.
+//   - Scale-out: the same server with Config.BackendMode set becomes a
+//     backend analyzer — after each session it additionally returns a
+//     structured BackendResult (counters, summaries, the session collector
+//     in wire form) and answers census probes. Router (traced -router)
+//     shards ordinary client sessions across N such backends by rendezvous
+//     hashing and folds their results into a fleet aggregate that is
+//     byte-identical to a single-process run, because report.SiteKey is
+//     content-derived and report.Merge is commutative over it. See the
+//     repo-root doc.go ("Cross-session site identity and the router tier")
+//     and README's "The router tier" section.
 package ingest
 
 import (
@@ -129,6 +139,23 @@ type Config struct {
 	// "snapshots" query connections. Snapshots never perturb the final
 	// report.
 	ReportInterval time.Duration
+	// AdaptiveReportInterval lets overload pressure stretch the snapshot
+	// cadence: at pressure >= high a streaming session defers snapshot ticks,
+	// taking only every snapshotDeferStride'th (a pipeline quiesce is exactly
+	// the work an overloaded daemon should not amplify); the configured
+	// cadence is restored the moment pressure drops below high. Deferrals are
+	// counted on the session and disclosed by the "snapshots" query, so a
+	// sparse snapshot history is attributable, never silent. Off, the cadence
+	// is fixed regardless of pressure.
+	AdaptiveReportInterval bool
+	// BackendMode makes this server a backend analyzer in a router tier: in
+	// addition to ordinary hello sessions it accepts assign-opened sessions —
+	// router-forwarded client streams, answered with a structured
+	// backend-report frame (BackendResult) instead of rendered text — and
+	// backend-stats census requests. Off (the default), both openers are
+	// refused with an error frame: a plain daemon never half-speaks the
+	// router↔backend protocol by accident.
+	BackendMode bool
 	// RetainSessions > 0 bounds how many terminal (reported or failed)
 	// sessions the registry keeps individually: beyond the bound, the oldest
 	// terminal sessions are folded into a running aggregate collector —
@@ -226,10 +253,11 @@ type Session struct {
 	// Overload bookkeeping: what this session's analysis gave up under
 	// pressure (exact counts — degraded reports are honest), and snapshot
 	// failures that would otherwise vanish.
-	sampledOut int64    // access events shed by the adaptive sampler
-	shed       []string // tools shed by the degradation ladder at admission
-	snapErrs   int      // failed incremental snapshot attempts
-	snapErr    error    // the most recent of them
+	sampledOut   int64    // access events shed by the adaptive sampler
+	shed         []string // tools shed by the degradation ladder at admission
+	snapErrs     int      // failed incremental snapshot attempts
+	snapErr      error    // the most recent of them
+	snapDeferred int      // snapshot ticks deferred under pressure (AdaptiveReportInterval)
 }
 
 // maxSessionSnapshots bounds one session's retained incremental reports: a
@@ -240,6 +268,13 @@ type Session struct {
 // observer wants, and every retained snapshot individually keeps the
 // prefix-consistency guarantee.
 const maxSessionSnapshots = 64
+
+// snapshotDeferStride is the pressure-adaptive snapshot cadence
+// (Config.AdaptiveReportInterval): at pressure >= high only every stride'th
+// tick takes a snapshot, so an overloaded daemon spends a quarter of the
+// configured quiesce work while streams still checkpoint. The stride resets
+// the moment a tick observes pressure below high.
+const snapshotDeferStride = 4
 
 // State returns the current lifecycle state.
 func (s *Session) State() SessionState {
@@ -298,6 +333,21 @@ func (s *Session) noteSnapshotError(err error) {
 	s.mu.Lock()
 	s.snapErrs++
 	s.snapErr = err
+	s.mu.Unlock()
+}
+
+// SnapshotsDeferred returns how many snapshot ticks the pressure-adaptive
+// cadence skipped for this session (Config.AdaptiveReportInterval).
+func (s *Session) SnapshotsDeferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapDeferred
+}
+
+// noteSnapshotDeferred records one snapshot tick skipped under pressure.
+func (s *Session) noteSnapshotDeferred() {
+	s.mu.Lock()
+	s.snapDeferred++
 	s.mu.Unlock()
 }
 
@@ -371,6 +421,9 @@ func (s *Session) FormatSnapshots() string {
 	}
 	if s.snapErrs > 0 {
 		fmt.Fprintf(&b, " (%d failed, last: %v)", s.snapErrs, s.snapErr)
+	}
+	if s.snapDeferred > 0 {
+		fmt.Fprintf(&b, " (%d tick(s) deferred under pressure)", s.snapDeferred)
 	}
 	b.WriteByte('\n')
 	for i, sn := range s.snaps {
@@ -447,11 +500,18 @@ type Server struct {
 	folded   foldedState // retention rollup of evicted sessions
 	drain    DrainSummary
 
-	sem         chan struct{}   // MaxSessions slots
-	slotWaiters atomic.Int64    // connections parked waiting for a slot
-	bucket      *tokenBucket    // admission pacing; nil when AdmitRate is 0
-	shutdown    chan struct{}   // closed at Shutdown entry; unparks slot waiters
+	sem         chan struct{} // MaxSessions slots
+	slotWaiters atomic.Int64  // connections parked waiting for a slot
+	bucket      *tokenBucket  // admission pacing; nil when AdmitRate is 0
+	shutdown    chan struct{} // closed at Shutdown entry; unparks slot waiters
 	wg          sync.WaitGroup
+
+	// loads holds the queue-load probes of live session pipelines, keyed by
+	// session ID: the backlog signal admission feeds back into the token
+	// bucket (see admit), under its own lock so the probe never contends with
+	// the registry.
+	loadMu sync.Mutex
+	loads  map[uint64]func() float64
 }
 
 // DrainSummary is the outcome of a Shutdown flush: how many sessions were
@@ -516,6 +576,7 @@ func NewServer(cfg Config) (*Server, error) {
 		conns:    make(map[net.Conn]struct{}),
 		sem:      make(chan struct{}, cfg.MaxSessions),
 		shutdown: make(chan struct{}),
+		loads:    make(map[uint64]func() float64),
 	}
 	if cfg.AdmitRate > 0 {
 		burst := cfg.AdmitBurst
@@ -663,9 +724,27 @@ func (s *Server) serveConn(conn net.Conn) {
 		fw.Error(fmt.Sprintf("bad handshake: %v", err))
 		return
 	}
-	if kind == tracelog.FrameQuery {
+	assigned := false
+	switch kind {
+	case tracelog.FrameQuery:
 		s.serveQuery(fw, meta)
 		return
+	case tracelog.FrameBackendStats:
+		if !s.cfg.BackendMode {
+			fw.Error("backend-stats: this server is not a backend analyzer (Config.BackendMode)")
+			return
+		}
+		s.serveBackendStats(fw)
+		return
+	case tracelog.FrameAssign:
+		if !s.cfg.BackendMode {
+			fw.Error("assign: this server is not a backend analyzer (Config.BackendMode)")
+			return
+		}
+		// A router-forwarded session: analysed exactly like a hello session,
+		// but answered with a structured backend-report frame the router
+		// folds and relays.
+		assigned = true
 	}
 
 	// A session occupies an analysis slot for its whole pipeline lifetime;
@@ -746,6 +825,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		fw.Error(fmt.Sprintf("pipeline: %v", err))
 		return
 	}
+	// Publish the pipeline's backlog probe for admission's queue-load
+	// feedback; withdrawn when the handler ends, whatever way.
+	s.trackLoad(sess.ID, pipe.QueueLoad)
+	defer s.untrackLoad(sess.ID)
 
 	// Incremental reporting: a ticker arms a flag, and the next stream read
 	// on the decode goroutine takes the snapshot — the pipeline's Snapshot
@@ -762,7 +845,21 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	var stream io.Reader = fr
 	if s.cfg.ReportInterval > 0 {
+		// deferredRun tracks consecutive ticks skipped by the
+		// pressure-adaptive cadence; it lives on the decode goroutine (the
+		// only caller of the trigger callback), so no synchronisation.
+		deferredRun := 0
 		trig, stop := newSnapshotTrigger(fr, s.cfg.ReportInterval, func() {
+			if s.cfg.AdaptiveReportInterval && deferredRun < snapshotDeferStride-1 &&
+				s.pressureLevel() >= pressureHigh {
+				deferredRun++
+				sess.noteSnapshotDeferred()
+				if s.met != nil {
+					s.met.snapshotsDeferred.Inc()
+				}
+				return
+			}
+			deferredRun = 0
 			col, err := pipe.Snapshot()
 			if err != nil {
 				// A failed snapshot loses one checkpoint, not the session —
@@ -847,10 +944,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		sampledOut = sam.dropped
 	}
 	text := degradedHeader(sampledOut, shed) + col.Format()
+	sums := pipe.Summaries()
 	sess.mu.Lock()
 	sess.transitionLocked(StateReported)
 	sess.col = col
-	sess.sums = pipe.Summaries()
+	sess.sums = sums
 	sess.report = text
 	sess.mu.Unlock()
 	if s.met != nil {
@@ -858,12 +956,91 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.met.warnings.With(tool).Add(int64(n))
 		}
 	}
-	if err := fw.Report(text); err != nil {
-		sess.fail(err)
+	var werr error
+	if assigned {
+		// The router gets the structured result: the rendered text it relays
+		// to the client, plus the portable collector and summaries it folds
+		// into the fleet aggregate.
+		res := &BackendResult{
+			Name: sess.Name, Events: events, SampledOut: sampledOut,
+			Shed: shed, Report: text, Sums: sums, Col: col,
+		}
+		werr = fw.BackendReport(res.encode(nil))
+	} else {
+		werr = fw.Report(text)
+	}
+	if werr != nil {
+		sess.fail(werr)
 		// Best effort: an oversized report is refused before any bytes hit
 		// the wire, so the client can still be told why.
-		fw.Error(fmt.Sprintf("report: %v", err))
+		fw.Error(fmt.Sprintf("report: %v", werr))
 	}
+}
+
+// serveBackendStats answers a census request (backend mode only).
+func (s *Server) serveBackendStats(fw *tracelog.FrameWriter) {
+	c := s.census()
+	if err := fw.BackendStats(c.encode(nil)); err != nil {
+		fw.Error(fmt.Sprintf("backend-stats: %v", err))
+	}
+}
+
+// census computes the cheap registry rollup behind a backend-stats response:
+// lifecycle counts and event totals only — no collector merge, so a router
+// polling every backend costs the fleet nothing measurable.
+func (s *Server) census() BackendCensus {
+	s.mu.Lock()
+	c := BackendCensus{
+		Sessions: s.folded.sessions, Reported: s.folded.reported,
+		Failed: s.folded.failed, Folded: s.folded.sessions,
+		Events: s.folded.events,
+	}
+	s.mu.Unlock()
+	for _, sess := range s.Sessions() {
+		sess.mu.Lock()
+		c.Sessions++
+		c.Events += sess.events
+		switch sess.state {
+		case StateReported:
+			c.Reported++
+		case StateFailed:
+			c.Failed++
+		default:
+			c.Active++
+		}
+		sess.mu.Unlock()
+	}
+	return c
+}
+
+// trackLoad publishes one live pipeline's queue-load probe for admission's
+// feedback loop; untrackLoad withdraws it when the session's handler ends.
+func (s *Server) trackLoad(id uint64, probe func() float64) {
+	s.loadMu.Lock()
+	s.loads[id] = probe
+	s.loadMu.Unlock()
+}
+
+func (s *Server) untrackLoad(id uint64) {
+	s.loadMu.Lock()
+	delete(s.loads, id)
+	s.loadMu.Unlock()
+}
+
+// maxQueueLoad probes the most backed-up live session pipeline (0 when none
+// are live). This is the backlog signal admission reads: slot occupancy says
+// how many sessions run, queue load says whether the ones running are keeping
+// up.
+func (s *Server) maxQueueLoad() float64 {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	var max float64
+	for _, probe := range s.loads {
+		if l := probe(); l > max {
+			max = l
+		}
+	}
+	return max
 }
 
 // idleReader applies a rolling read deadline to a session connection: every

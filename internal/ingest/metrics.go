@@ -27,8 +27,8 @@ type serverMetrics struct {
 	// ingest_frame_bytes_read_total, labelled by kind name), pre-resolved for
 	// the known kinds so the per-frame hook is two plain increments; the vecs
 	// are kept for the (hostile-input) kinds outside the known range.
-	frames        [tracelog.FrameMetadata + 1]*obs.Counter
-	frameBytes    [tracelog.FrameMetadata + 1]*obs.Counter
+	frames        [tracelog.FrameBackendStats + 1]*obs.Counter
+	frameBytes    [tracelog.FrameBackendStats + 1]*obs.Counter
 	frameVec      *obs.CounterVec
 	frameBytesVec *obs.CounterVec
 
@@ -48,6 +48,7 @@ type serverMetrics struct {
 	shedTools          *obs.CounterVec
 	degradedSessions   *obs.Counter
 	snapshotErrors     *obs.Counter
+	snapshotsDeferred  *obs.Counter
 	foldCompactedSites *obs.Counter
 
 	// warnings counts distinct warning sites per tool, accumulated from each
@@ -72,13 +73,14 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		snapshotsTaken: reg.Counter("ingest_snapshots_taken_total", "Incremental session snapshots taken (ReportInterval)."),
 		warnings:       reg.CounterVec("ingest_tool_warning_sites_total", "Distinct warning sites in final session reports, per tool.", "tool"),
 		admissionRejects: reg.CounterVec("ingest_admission_rejected_total",
-			"Session connections refused with a busy error, by reason (rate, slots, shutdown).", "reason"),
-		slotWaiters:      reg.Gauge("ingest_slot_waiters", "Connections currently parked waiting for a MaxSessions slot."),
-		pressure:         reg.Gauge("ingest_pressure_level", "Overload pressure level at the last probe (0 none .. 3 full)."),
-		sampledOut:       reg.Counter("ingest_sampled_events_total", "Access events shed by adaptive sampling under overload pressure."),
-		shedTools:        reg.CounterVec("ingest_shed_tools_total", "Tools shed from sessions by the degradation ladder, per tool.", "tool"),
-		degradedSessions: reg.Counter("ingest_degraded_sessions_total", "Sessions that analysed less than their stream carried (sampling or shed tools)."),
-		snapshotErrors:   reg.Counter("ingest_snapshot_errors_total", "Failed incremental snapshot attempts (recorded on the session, stream continues)."),
+			"Session connections refused with a busy error, by reason (rate, rate-queue, slots, shutdown).", "reason"),
+		slotWaiters:       reg.Gauge("ingest_slot_waiters", "Connections currently parked waiting for a MaxSessions slot."),
+		pressure:          reg.Gauge("ingest_pressure_level", "Overload pressure level at the last probe (0 none .. 3 full)."),
+		sampledOut:        reg.Counter("ingest_sampled_events_total", "Access events shed by adaptive sampling under overload pressure."),
+		shedTools:         reg.CounterVec("ingest_shed_tools_total", "Tools shed from sessions by the degradation ladder, per tool.", "tool"),
+		degradedSessions:  reg.Counter("ingest_degraded_sessions_total", "Sessions that analysed less than their stream carried (sampling or shed tools)."),
+		snapshotErrors:    reg.Counter("ingest_snapshot_errors_total", "Failed incremental snapshot attempts (recorded on the session, stream continues)."),
+		snapshotsDeferred: reg.Counter("ingest_snapshots_deferred_total", "Snapshot ticks skipped by the pressure-adaptive cadence (AdaptiveReportInterval)."),
 		foldCompactedSites: reg.Counter("ingest_fold_compacted_sites_total",
 			"Warning sites discarded from the retention fold by FoldSiteCap."),
 	}
@@ -88,7 +90,7 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	}
 	m.frameVec = reg.CounterVec("ingest_frames_read_total", "Frames read from client connections, per kind.", "kind")
 	m.frameBytesVec = reg.CounterVec("ingest_frame_bytes_read_total", "Frame payload bytes read from client connections, per kind.", "kind")
-	for k := tracelog.FrameHello; k <= tracelog.FrameMetadata; k++ {
+	for k := tracelog.FrameHello; k <= tracelog.FrameBackendStats; k++ {
 		m.frames[k] = m.frameVec.With(k.String())
 		m.frameBytes[k] = m.frameBytesVec.With(k.String())
 	}

@@ -7,23 +7,27 @@ import (
 
 // The site manifest is the machine-checkable face of a report: one line per
 // warning site, in merged order, carrying exactly the deduplication identity
-// (tool, kind, stack), the first-seen sequence and the folded occurrence
-// count. Incremental snapshot reports are verified against final reports
-// through manifests — rendered text cannot be compared directly, because a
-// site's occurrence count keeps growing after the snapshot.
+// (tool, kind, location digest), the first-seen sequence and the folded
+// occurrence count. Incremental snapshot reports are verified against final
+// reports through manifests — rendered text cannot be compared directly,
+// because a site's occurrence count keeps growing after the snapshot.
 
 // Manifest renders one line per site in the collector's order:
 //
-//	seq=<first-seen> tool=<name> kind=<category> stack=<id> count=<n>
+//	seq=<first-seen> tool=<name> kind=<category> site=<hex digest> count=<n>
 //
-// An empty collector renders as the empty string. The manifest is the
-// exchange format of the ingest server's "snapshots" query and the input to
+// The site token is the content-derived location digest (LocKey), so
+// manifest identities are stable across sessions and processes: the same bug
+// observed by two backends renders the same site= token on both. An empty
+// collector renders as the empty string. The manifest is the exchange format
+// of the ingest server's "snapshots" query and the input to
 // PrefixConsistent.
 func (c *Collector) Manifest() string {
 	var b strings.Builder
-	for _, w := range c.Sites() {
-		fmt.Fprintf(&b, "seq=%d tool=%s kind=%s stack=%d count=%d\n",
-			w.Seq, w.Tool, w.Kind.Category(), w.Stack, w.Count)
+	for _, k := range c.order {
+		w := c.sites[k]
+		fmt.Fprintf(&b, "seq=%d tool=%s kind=%s site=%s count=%d\n",
+			w.Seq, w.Tool, w.Kind.Category(), k.Loc, w.Count)
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestManifestFormat(t *testing.T) {
 	seq = 9
 	c.Add(testWarning("helgrind", KindRace, 12))
 	got := c.Manifest()
-	want := "seq=5 tool=helgrind kind=Race stack=12 count=2\n"
+	want := fmt.Sprintf("seq=5 tool=helgrind kind=Race site=%s count=2\n", LocKeyFor(12, nil))
 	if got != want {
 		t.Errorf("Manifest = %q, want %q", got, want)
 	}
@@ -67,15 +68,15 @@ func TestManifestFormat(t *testing.T) {
 // and on every rejecting axis.
 func TestPrefixConsistent(t *testing.T) {
 	final := strings.Join([]string{
-		"seq=3 tool=helgrind kind=Race stack=1 count=4",
-		"seq=7 tool=memcheck kind=UseAfterFree stack=2 count=1",
-		"seq=9 tool=djit kind=Race stack=3 count=2",
+		"seq=3 tool=helgrind kind=Race site=1 count=4",
+		"seq=7 tool=memcheck kind=UseAfterFree site=2 count=1",
+		"seq=9 tool=djit kind=Race site=3 count=2",
 	}, "\n") + "\n"
 
 	ok := []string{
 		"", // empty snapshot: trivially consistent
-		"seq=3 tool=helgrind kind=Race stack=1 count=2\n",
-		"seq=3 tool=helgrind kind=Race stack=1 count=4\nseq=7 tool=memcheck kind=UseAfterFree stack=2 count=1\n",
+		"seq=3 tool=helgrind kind=Race site=1 count=2\n",
+		"seq=3 tool=helgrind kind=Race site=1 count=4\nseq=7 tool=memcheck kind=UseAfterFree site=2 count=1\n",
 		final,
 	}
 	for i, snap := range ok {
@@ -85,10 +86,10 @@ func TestPrefixConsistent(t *testing.T) {
 	}
 
 	bad := map[string]string{
-		"site-mismatch":  "seq=3 tool=djit kind=Race stack=1 count=1\n",
-		"not-a-prefix":   "seq=7 tool=memcheck kind=UseAfterFree stack=2 count=1\n",
-		"count-exceeds":  "seq=3 tool=helgrind kind=Race stack=1 count=5\n",
-		"longer":         final + "seq=11 tool=djit kind=Race stack=4 count=1\n",
+		"site-mismatch":  "seq=3 tool=djit kind=Race site=1 count=1\n",
+		"not-a-prefix":   "seq=7 tool=memcheck kind=UseAfterFree site=2 count=1\n",
+		"count-exceeds":  "seq=3 tool=helgrind kind=Race site=1 count=5\n",
+		"longer":         final + "seq=11 tool=djit kind=Race site=4 count=1\n",
 		"malformed-line": "what even is this\n",
 	}
 	for name, snap := range bad {

@@ -81,7 +81,7 @@ func TestMergeEarlierShardWinsDetails(t *testing.T) {
 }
 
 // TestMergeWithoutSequencer still yields a deterministic (tool, kind,
-// stack) order.
+// location digest) order, independent of merge input order.
 func TestMergeWithoutSequencer(t *testing.T) {
 	a := NewCollector(nil, nil)
 	b := NewCollector(nil, nil)
@@ -100,8 +100,12 @@ func TestMergeWithoutSequencer(t *testing.T) {
 			t.Errorf("site %d differs across merge orders: %v vs %v", i, w1, w2)
 		}
 	}
-	if m1.Sites()[0].Tool != "a" || m1.Sites()[0].Stack != 2 {
-		t.Errorf("expected (a,2) first, got (%s,%d)", m1.Sites()[0].Tool, m1.Sites()[0].Stack)
+	// Tool is the leading comparator at equal Seq, so both "a" sites precede
+	// the "z" site; their relative order is the location-digest order, which
+	// is deterministic but not meaningful to pin here.
+	if m1.Sites()[0].Tool != "a" || m1.Sites()[1].Tool != "a" || m1.Sites()[2].Tool != "z" {
+		t.Errorf("expected tools [a a z], got [%s %s %s]",
+			m1.Sites()[0].Tool, m1.Sites()[1].Tool, m1.Sites()[2].Tool)
 	}
 }
 

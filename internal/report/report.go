@@ -31,15 +31,10 @@ const (
 )
 
 // Warning is a single tool finding; see trace.Warning for the field
-// contract. Stack identifies the reporting site and, together with Kind and
-// Tool, forms the deduplication signature.
+// contract. The warning's stack — digested to a content-derived LocKey —
+// identifies the reporting site and, together with Kind and Tool, forms the
+// deduplication signature (see sitekey.go).
 type Warning = trace.Warning
-
-type siteKey struct {
-	tool  string
-	kind  Kind
-	stack trace.StackID
-}
 
 // Suppressor decides whether a warning should be suppressed given its
 // resolved stack. internal/suppress implements it.
@@ -52,8 +47,9 @@ type Collector struct {
 	res        trace.Resolver
 	sup        Suppressor
 	seq        func() uint64
-	sites      map[siteKey]*Warning
-	order      []siteKey
+	sites      map[SiteKey]*Warning
+	order      []SiteKey
+	locs       map[trace.StackID]LocKey
 	suppressed int
 	total      int
 }
@@ -64,7 +60,7 @@ func NewCollector(res trace.Resolver, sup Suppressor) *Collector {
 	return &Collector{
 		res:   res,
 		sup:   sup,
-		sites: make(map[siteKey]*Warning),
+		sites: make(map[SiteKey]*Warning),
 	}
 }
 
@@ -80,7 +76,7 @@ func (c *Collector) SetSequencer(fn func() uint64) { c.seq = fn }
 // suppressed).
 func (c *Collector) Add(w Warning) bool {
 	c.total++
-	key := siteKey{tool: w.Tool, kind: w.Kind, stack: w.Stack}
+	key := SiteKey{Tool: w.Tool, Kind: w.Kind, Loc: c.locKey(w.Stack)}
 	if prev, ok := c.sites[key]; ok {
 		prev.Count++
 		return false
@@ -111,14 +107,20 @@ func (c *Collector) Clone() *Collector {
 	out := &Collector{
 		res:        c.res,
 		sup:        c.sup,
-		sites:      make(map[siteKey]*Warning, len(c.sites)),
-		order:      append([]siteKey(nil), c.order...),
+		sites:      make(map[SiteKey]*Warning, len(c.sites)),
+		order:      append([]SiteKey(nil), c.order...),
 		suppressed: c.suppressed,
 		total:      c.total,
 	}
 	for k, w := range c.sites {
 		cp := *w
 		out.sites[k] = &cp
+	}
+	if len(c.locs) > 0 {
+		out.locs = make(map[trace.StackID]LocKey, len(c.locs))
+		for id, lk := range c.locs {
+			out.locs[id] = lk
+		}
 	}
 	return out
 }
@@ -191,9 +193,16 @@ func (c *Collector) LocationsByTool() map[string]int {
 func (c *Collector) CountByKind() map[Kind]int {
 	m := make(map[Kind]int)
 	for _, k := range c.order {
-		m[k.kind]++
+		m[k.Kind]++
 	}
 	return m
+}
+
+// Keys returns the site keys in first-seen order, parallel to Sites. The
+// keys are the cross-process identity of each site — equal keys from
+// different sessions denote the same bug.
+func (c *Collector) Keys() []SiteKey {
+	return append([]SiteKey(nil), c.order...)
 }
 
 // Format renders all warning sites in a Helgrind-like textual format.

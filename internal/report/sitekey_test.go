@@ -1,0 +1,135 @@
+package report
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// frameResolver is a test resolver mapping stack IDs to fixed frame lists.
+type frameResolver map[trace.StackID][]trace.Frame
+
+func (r frameResolver) Stack(id trace.StackID) []trace.Frame { return r[id] }
+func (r frameResolver) BlockInfo(trace.BlockID) *trace.Block { return nil }
+
+var (
+	framesMain = []trace.Frame{
+		{Fn: "worker", File: "pool.cc", Line: 120},
+		{Fn: "handle_request", File: "server.cc", Line: 88},
+	}
+	framesOther = []trace.Frame{
+		{Fn: "worker", File: "pool.cc", Line: 121},
+		{Fn: "handle_request", File: "server.cc", Line: 88},
+	}
+)
+
+// TestLocKeyContentIdentity pins the digest semantics: equal frames give
+// equal keys regardless of the session-local stack ID, different frames (even
+// by one line) give different keys, and the unresolved fallback can never
+// collide with a resolved digest.
+func TestLocKeyContentIdentity(t *testing.T) {
+	if LocKeyFor(10, framesMain) != LocKeyFor(99, framesMain) {
+		t.Error("same frames, different stack IDs: keys differ")
+	}
+	if LocKeyFor(10, framesMain) == LocKeyFor(10, framesOther) {
+		t.Error("different frames hash to the same key")
+	}
+	if LocKeyFor(10, nil) != LocKeyFor(10, nil) {
+		t.Error("raw fallback not deterministic")
+	}
+	if LocKeyFor(10, nil) == LocKeyFor(11, nil) {
+		t.Error("distinct raw stacks share a key")
+	}
+	// A hostile/degenerate resolved stack must not collide with the raw form
+	// of any ID (domain separation).
+	if LocKeyFor(10, []trace.Frame{{}}) == LocKeyFor(10, nil) {
+		t.Error("resolved and raw forms collide")
+	}
+}
+
+// TestCrossSessionFold is the heart of the refactor: the same bug observed by
+// two sessions that interned its stack under different IDs folds into one
+// site when merged, because both collectors derived the same content key.
+func TestCrossSessionFold(t *testing.T) {
+	// Session A interned the racing stack as 7, session B as 42.
+	a := NewCollector(frameResolver{7: framesMain}, nil)
+	b := NewCollector(frameResolver{42: framesMain, 43: framesOther}, nil)
+
+	a.Add(Warning{Tool: "helgrind", Kind: KindRace, Stack: 7, Thread: 1})
+	b.Add(Warning{Tool: "helgrind", Kind: KindRace, Stack: 42, Thread: 2})
+	b.Add(Warning{Tool: "helgrind", Kind: KindRace, Stack: 42, Thread: 2}) // dup in B
+	b.Add(Warning{Tool: "helgrind", Kind: KindRace, Stack: 43, Thread: 2}) // distinct site
+
+	m := Merge(nil, nil, a, b)
+	if m.Locations() != 2 {
+		t.Fatalf("merged %d sites, want 2 (cross-session fold)", m.Locations())
+	}
+	if m.Occurrences() != 4 {
+		t.Errorf("occurrences = %d, want 4", m.Occurrences())
+	}
+	var folded *Warning
+	for i, k := range m.Keys() {
+		if k.Loc == LocKeyFor(0, framesMain) {
+			folded = m.Sites()[i]
+		}
+	}
+	if folded == nil {
+		t.Fatal("folded site's key is not the content digest of its frames")
+	}
+	if folded.Count != 3 {
+		t.Errorf("folded site count = %d, want 3", folded.Count)
+	}
+
+	// Merge order must not change the result: commutativity of the fold.
+	m2 := Merge(nil, nil, b, a)
+	if m.Manifest() != m2.Manifest() {
+		t.Errorf("merge not commutative:\n%s\nvs\n%s", m.Manifest(), m2.Manifest())
+	}
+}
+
+// TestMergeAssociativity pins the property the router's progressive fold
+// rests on: merging in any grouping — one shot, or incrementally as sessions
+// finish on different backends — yields byte-identical manifests.
+func TestMergeAssociativity(t *testing.T) {
+	mk := func(id trace.StackID, thread trace.ThreadID) *Collector {
+		c := NewCollector(frameResolver{id: framesMain, id + 1: framesOther}, nil)
+		c.Add(Warning{Tool: "helgrind", Kind: KindRace, Stack: id, Thread: thread})
+		c.Add(Warning{Tool: "djit", Kind: KindRace, Stack: id + 1, Thread: thread})
+		return c
+	}
+	a, b, c := mk(5, 1), mk(50, 2), mk(500, 3)
+
+	oneShot := Merge(nil, nil, a, b, c)
+	leftFold := Merge(nil, nil, Merge(nil, nil, a, b), c)
+	rightFold := Merge(nil, nil, a, Merge(nil, nil, b, c))
+	reversed := Merge(nil, nil, c, b, a)
+
+	want := oneShot.Manifest()
+	for name, m := range map[string]*Collector{
+		"left-fold": leftFold, "right-fold": rightFold, "reversed": reversed,
+	} {
+		if got := m.Manifest(); got != want {
+			t.Errorf("%s manifest differs from one-shot:\n%s\nvs\n%s", name, got, want)
+		}
+		if m.Occurrences() != oneShot.Occurrences() {
+			t.Errorf("%s occurrences = %d, want %d", name, m.Occurrences(), oneShot.Occurrences())
+		}
+	}
+}
+
+// TestLocKeyFrozenAtFirstUse pins the memoisation contract: a site keyed
+// before its stack resolved keeps the raw-fallback key even if the resolver
+// learns the stack later, so a snapshot manifest stays a prefix of the final.
+func TestLocKeyFrozenAtFirstUse(t *testing.T) {
+	res := frameResolver{}
+	c := NewCollector(res, nil)
+	c.Add(Warning{Tool: "helgrind", Kind: KindRace, Stack: 9})
+	res[9] = framesMain // metadata arrives late
+	c.Add(Warning{Tool: "helgrind", Kind: KindRace, Stack: 9})
+	if c.Locations() != 1 {
+		t.Fatalf("late resolution split one site into %d", c.Locations())
+	}
+	if c.Keys()[0].Loc != LocKeyFor(9, nil) {
+		t.Error("site key silently re-derived after late resolution")
+	}
+}

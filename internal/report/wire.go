@@ -1,0 +1,216 @@
+package report
+
+// Wire codec for collectors. A backend analyzer finishes a session and ships
+// the session's collector — site keys, exemplar warnings, totals — to the
+// router inside one backend-report frame; the router decodes it and folds it
+// into the fleet aggregate with Merge. The encoding carries the SiteKeys
+// verbatim, so a site's cross-process identity survives the hop bit-for-bit:
+// folding decoded collectors on the router is byte-identical to folding the
+// originals in one process.
+//
+// The decoder follows the metadata decoder's hostile-input discipline: no
+// allocation is sized from a claimed count or length without checking it
+// against the bytes actually remaining, and every string is interned
+// process-wide (tool names and shadow-state strings repeat across every
+// session a router ever sees).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/intern"
+	"repro/internal/trace"
+)
+
+const (
+	// wireVersion tags the collector encoding; a decoder rejects versions it
+	// does not speak instead of misparsing them.
+	wireVersion = 1
+	// maxWireString bounds one encoded string (tool name or shadow-state
+	// description).
+	maxWireString = 1 << 16
+)
+
+// AppendWire appends the collector's portable encoding to b and returns the
+// extended slice. Only merge-relevant state travels: site keys with their
+// exemplar warnings in first-seen order, plus the occurrence totals. The
+// resolver, suppressor and sequencer are session-local machinery and stay
+// behind; raw stack IDs inside the exemplars are carried for honesty (they
+// still render as opaque IDs) but the fold identity is the SiteKey alone.
+func (c *Collector) AppendWire(b []byte) []byte {
+	b = append(b, wireVersion)
+	b = binary.AppendUvarint(b, uint64(c.total))
+	b = binary.AppendUvarint(b, uint64(c.suppressed))
+	b = binary.AppendUvarint(b, uint64(len(c.order)))
+	for _, k := range c.order {
+		w := c.sites[k]
+		b = appendWireString(b, k.Tool)
+		b = append(b, byte(k.Kind))
+		b = append(b, k.Loc[:]...)
+		b = binary.AppendUvarint(b, uint64(uint32(w.Thread)))
+		b = binary.AppendUvarint(b, uint64(w.Addr))
+		b = binary.AppendUvarint(b, uint64(uint32(w.Block)))
+		b = binary.AppendUvarint(b, uint64(w.Off))
+		b = binary.AppendUvarint(b, uint64(w.Size))
+		b = append(b, byte(w.Access))
+		b = binary.AppendUvarint(b, uint64(uint32(w.Stack)))
+		b = binary.AppendUvarint(b, uint64(uint32(w.PrevStack)))
+		b = appendWireString(b, w.State)
+		b = binary.AppendUvarint(b, uint64(w.Count))
+		b = binary.AppendUvarint(b, w.Seq)
+	}
+	return b
+}
+
+func appendWireString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// DecodeWire parses one AppendWire encoding into a fresh collector with no
+// resolver or suppressor — the shape every cross-session fold already
+// renders with. The decoded collector merges (and manifests) exactly like
+// the original.
+func DecodeWire(payload []byte) (*Collector, error) {
+	r := bytes.NewReader(payload)
+	readU := func() (uint64, error) {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("report: corrupt collector encoding: %w", io.ErrUnexpectedEOF)
+		}
+		return v, nil
+	}
+	var sbuf []byte
+	readS := func() (string, error) {
+		n, err := readU()
+		if err != nil {
+			return "", err
+		}
+		if n > maxWireString || n > uint64(r.Len()) {
+			return "", fmt.Errorf("report: corrupt collector string length %d", n)
+		}
+		if uint64(cap(sbuf)) < n {
+			sbuf = make([]byte, n)
+		}
+		sbuf = sbuf[:n]
+		if _, err := io.ReadFull(r, sbuf); err != nil {
+			return "", fmt.Errorf("report: corrupt collector encoding: %w", io.ErrUnexpectedEOF)
+		}
+		return intern.Bytes(sbuf), nil
+	}
+	readByte := func() (byte, error) {
+		v, err := r.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("report: corrupt collector encoding: %w", io.ErrUnexpectedEOF)
+		}
+		return v, nil
+	}
+
+	ver, err := readByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != wireVersion {
+		return nil, fmt.Errorf("report: unsupported collector encoding version %d", ver)
+	}
+	total, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	suppressed, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	if total > 1<<62 || suppressed > total {
+		return nil, fmt.Errorf("report: implausible collector totals %d/%d", suppressed, total)
+	}
+	nsites, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	// Every encoded site consumes well over one byte; a count exceeding the
+	// remaining payload is corrupt, not just large.
+	if nsites > uint64(r.Len()) {
+		return nil, fmt.Errorf("report: collector claims %d sites in %d bytes", nsites, r.Len())
+	}
+
+	out := NewCollector(nil, nil)
+	out.total = int(total)
+	out.suppressed = int(suppressed)
+	for i := uint64(0); i < nsites; i++ {
+		var k SiteKey
+		if k.Tool, err = readS(); err != nil {
+			return nil, err
+		}
+		kind, err := readByte()
+		if err != nil {
+			return nil, err
+		}
+		k.Kind = Kind(kind)
+		if _, err := io.ReadFull(r, k.Loc[:]); err != nil {
+			return nil, fmt.Errorf("report: corrupt collector encoding: %w", io.ErrUnexpectedEOF)
+		}
+		f, err := readN(readU, 5)
+		if err != nil {
+			return nil, err
+		}
+		access, err := readByte()
+		if err != nil {
+			return nil, err
+		}
+		g, err := readN(readU, 2)
+		if err != nil {
+			return nil, err
+		}
+		state, err := readS()
+		if err != nil {
+			return nil, err
+		}
+		h, err := readN(readU, 2)
+		if err != nil {
+			return nil, err
+		}
+		if h[0] > 1<<62 {
+			return nil, fmt.Errorf("report: implausible site count %d", h[0])
+		}
+		if _, dup := out.sites[k]; dup {
+			return nil, fmt.Errorf("report: duplicate site key in collector encoding")
+		}
+		w := &Warning{
+			Tool:      k.Tool,
+			Kind:      k.Kind,
+			Thread:    trace.ThreadID(int32(uint32(f[0]))),
+			Addr:      trace.Addr(f[1]),
+			Block:     trace.BlockID(int32(uint32(f[2]))),
+			Off:       uint32(f[3]),
+			Size:      uint32(f[4]),
+			Access:    trace.AccessKind(access),
+			Stack:     trace.StackID(int32(uint32(g[0]))),
+			PrevStack: trace.StackID(int32(uint32(g[1]))),
+			State:     state,
+			Count:     int(h[0]),
+			Seq:       h[1],
+		}
+		out.sites[k] = w
+		out.order = append(out.order, k)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("report: %d trailing byte(s) after collector encoding", r.Len())
+	}
+	return out, nil
+}
+
+// readN reads n consecutive uvarints.
+func readN(readU func() (uint64, error), n int) ([]uint64, error) {
+	out := make([]uint64, n)
+	for i := range out {
+		v, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -56,6 +56,20 @@ const (
 	// number may appear between the hello and the end frame, interleaved
 	// with events frames; each is standalone and they accumulate.
 	FrameMetadata
+	// FrameAssign opens a forwarded session on a backend analyzer
+	// (router → backend); the payload is the session name, as in a hello.
+	// A backend answers the session's end with a backend-report frame
+	// instead of a rendered report, so the router can fold the result.
+	FrameAssign
+	// FrameBackendReport carries a structured per-session result
+	// (backend → router): the session outcome plus the portable collector
+	// encoding (report.AppendWire) the router folds into the fleet
+	// aggregate. It shares the events/report payload bound.
+	FrameBackendReport
+	// FrameBackendStats is the backend census exchange: an empty request
+	// (router → backend, in place of a hello) answered by a stats payload
+	// (backend → router) describing the backend's live sessions and totals.
+	FrameBackendStats
 )
 
 func (k FrameKind) String() string {
@@ -74,6 +88,12 @@ func (k FrameKind) String() string {
 		return "query"
 	case FrameMetadata:
 		return "metadata"
+	case FrameAssign:
+		return "assign"
+	case FrameBackendReport:
+		return "backend-report"
+	case FrameBackendStats:
+		return "backend-stats"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(k))
 	}
@@ -81,6 +101,14 @@ func (k FrameKind) String() string {
 
 // frameMagic opens every framed stream (one per direction).
 var frameMagic = [4]byte{'T', 'L', 'F', '1'}
+
+// bigFrame reports whether a kind carries bulk payloads under the large
+// events bound rather than the control bound: events chunks, rendered
+// reports (a whole possibly-cross-session analysis), and structured backend
+// reports (which embed a session's collector encoding).
+func bigFrame(kind FrameKind) bool {
+	return kind == FrameEvents || kind == FrameReport || kind == FrameBackendReport
+}
 
 // Framing bounds. Like the decoder's corruption bounds, these exist so a
 // corrupt or hostile length claim is rejected instead of allocated.
@@ -199,8 +227,9 @@ func (fw *FrameWriter) frame(kind FrameKind, payload []byte) error {
 	}
 	// Enforce the reader's bounds on the writer side too: sending an
 	// oversized frame would only make the peer reject it unread. Events
-	// frames are pre-split by Events; reports pre-checked by Report.
-	if kind != FrameEvents && kind != FrameReport && len(payload) > maxControlPayload {
+	// frames are pre-split by Events; reports pre-checked by Report and
+	// BackendReport.
+	if !bigFrame(kind) && len(payload) > maxControlPayload {
 		return fmt.Errorf("tracelog: %s frame payload of %d bytes exceeds the limit %d", kind, len(payload), maxControlPayload)
 	}
 	if !fw.wroteMagic {
@@ -217,6 +246,39 @@ func (fw *FrameWriter) frame(kind FrameKind, payload []byte) error {
 		return err
 	}
 	if _, err := fw.w.Write(payload); err != nil {
+		fw.err = err
+		return err
+	}
+	return nil
+}
+
+// frameStream writes a frame header for n payload bytes and streams the
+// payload from r, for forwarding without materialising the payload
+// (CopyFrame). The caller has already bounds-checked n via the reader's
+// header parse. A source that runs dry before n bytes is a truncation
+// (io.ErrUnexpectedEOF) and poisons the writer — a half-written frame cannot
+// be recovered on a byte stream.
+func (fw *FrameWriter) frameStream(kind FrameKind, n int, r io.Reader) error {
+	if fw.err != nil {
+		return fw.err
+	}
+	if !fw.wroteMagic {
+		fw.wroteMagic = true
+		if _, err := fw.w.Write(frameMagic[:]); err != nil {
+			fw.err = err
+			return err
+		}
+	}
+	fw.buf = append(fw.buf[:0], byte(kind))
+	fw.buf = binary.AppendUvarint(fw.buf, uint64(n))
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		fw.err = err
+		return err
+	}
+	if _, err := io.CopyN(fw.w, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		fw.err = err
 		return err
 	}
@@ -263,6 +325,38 @@ func (fw *FrameWriter) Metadata(md *Metadata) error {
 		if err := fw.frame(FrameMetadata, chunk); err != nil {
 			return err
 		}
+	}
+	return fw.Flush()
+}
+
+// Assign opens a forwarded session stream on a backend analyzer under the
+// given session name (router → backend).
+func (fw *FrameWriter) Assign(name string) error {
+	if err := fw.frame(FrameAssign, []byte(name)); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+// BackendReport sends a structured per-session result (backend → router) and
+// flushes. Like Report, an oversized payload is refused here, where the
+// caller can still answer with an error frame.
+func (fw *FrameWriter) BackendReport(payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("tracelog: backend report of %d bytes exceeds the frame limit %d", len(payload), MaxFramePayload)
+	}
+	if err := fw.frame(FrameBackendReport, payload); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+// BackendStats sends one side of the backend census exchange and flushes: an
+// empty payload as the request (router → backend, in place of a hello), the
+// encoded census as the response (backend → router).
+func (fw *FrameWriter) BackendStats(payload []byte) error {
+	if err := fw.frame(FrameBackendStats, payload); err != nil {
+		return err
 	}
 	return fw.Flush()
 }
@@ -326,6 +420,12 @@ func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{br: bufio.NewReader(r)}
 }
 
+// Err returns the reader's sticky error: the first read-side failure
+// (truncation, bounds violation, a peer's error frame). A forwarding pump
+// (CopyFrame) uses it to tell an inbound truncation from an outbound write
+// failure — the two sides of a relay fail for different parties.
+func (fr *FrameReader) Err() error { return fr.err }
+
 // Tables returns the resolver accumulating the stream's metadata frames. It
 // starts empty (resolving nothing — indistinguishable from a stream without
 // metadata) and fills in as Read passes metadata frames; it is safe to hand
@@ -379,9 +479,7 @@ func (fr *FrameReader) header() (FrameKind, int, error) {
 	}
 	kind := FrameKind(k)
 	limit := uint64(maxControlPayload)
-	if kind == FrameEvents || kind == FrameReport {
-		// Reports carry a whole rendered (possibly cross-session) analysis;
-		// they share the larger events bound.
+	if bigFrame(kind) {
 		limit = MaxFramePayload
 	}
 	if n > limit {
@@ -406,18 +504,21 @@ func (fr *FrameReader) control(n int) (string, error) {
 }
 
 // Handshake reads the stream opening: the magic plus the first frame, which
-// must be a hello (session) or a query. It returns the kind and the payload.
+// must be a hello (session), a query, an assign (forwarded session), or a
+// backend-stats request. It returns the kind and the payload; whether a
+// given opener is acceptable on this connection is the server's policy
+// decision, not the frame layer's.
 func (fr *FrameReader) Handshake() (FrameKind, string, error) {
 	kind, n, err := fr.header()
 	if err != nil {
 		return 0, "", err
 	}
 	switch kind {
-	case FrameHello, FrameQuery:
+	case FrameHello, FrameQuery, FrameAssign, FrameBackendStats:
 		meta, err := fr.control(n)
 		return kind, meta, err
 	default:
-		return 0, "", fmt.Errorf("tracelog: stream opens with %s frame, want hello or query", kind)
+		return 0, "", fmt.Errorf("tracelog: stream opens with %s frame, want hello, query, assign or backend-stats", kind)
 	}
 }
 
@@ -518,6 +619,79 @@ func (fr *FrameReader) Response() (string, error) {
 	default:
 		return "", fmt.Errorf("tracelog: unexpected %s frame, want report or error", kind)
 	}
+}
+
+// binaryResponse reads one response frame that must be of the wanted kind
+// (returning its raw payload) or an error frame (returning its typed error).
+func (fr *FrameReader) binaryResponse(want FrameKind) ([]byte, error) {
+	kind, n, err := fr.header()
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(fr.br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	switch kind {
+	case want:
+		return payload, nil
+	case FrameError:
+		return nil, remoteError(string(payload))
+	default:
+		return nil, fmt.Errorf("tracelog: unexpected %s frame, want %s or error", kind, want)
+	}
+}
+
+// BackendResponse reads a backend's answer to a forwarded session: the
+// structured backend-report payload, or the backend's error frame as a typed
+// error.
+func (fr *FrameReader) BackendResponse() ([]byte, error) {
+	return fr.binaryResponse(FrameBackendReport)
+}
+
+// BackendStatsResponse reads a backend's census payload, or its error frame
+// as a typed error.
+func (fr *FrameReader) BackendStatsResponse() ([]byte, error) {
+	return fr.binaryResponse(FrameBackendStats)
+}
+
+// CopyFrame forwards the next frame from fr to fw verbatim — header and
+// payload, without decoding or buffering the whole payload — and returns the
+// forwarded kind. This is the router's pump: after reading a client's
+// handshake it streams every subsequent frame (metadata, events, end) to the
+// assigned backend unchanged, so the backend decodes exactly the bytes the
+// client sent. The payload is streamed through a bounded stack buffer, so a
+// 16 MB events frame costs no allocation proportional to its size; the
+// length claim is bounds-checked by the reader's header parse before any
+// copying. CopyFrame does not flush — callers flush per frame (to preserve
+// the client's pacing) or at their own cadence.
+func CopyFrame(fw *FrameWriter, fr *FrameReader) (FrameKind, error) {
+	if fr.err != nil {
+		return 0, fr.err
+	}
+	if fr.remaining != 0 {
+		return 0, errors.New("tracelog: CopyFrame mid-payload")
+	}
+	kind, n, err := fr.header()
+	if err != nil {
+		fr.err = err
+		return 0, err
+	}
+	if err := fw.frameStream(kind, n, fr.br); err != nil {
+		// A short source read is the inbound stream's truncation, not the
+		// outbound writer's fault; account it on the reader.
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			fr.err = err
+		}
+		return kind, err
+	}
+	if kind == FrameEnd {
+		fr.ended = true
+	}
+	return kind, nil
 }
 
 var _ io.Reader = (*FrameReader)(nil)

@@ -204,6 +204,135 @@ func TestFrameErrorFrame(t *testing.T) {
 	}
 }
 
+// TestFrameAssignHandshake pins the router→backend session opener: an assign
+// frame opens a stream exactly like a hello, carrying the session name, and
+// the events behind it decode unchanged.
+func TestFrameAssignHandshake(t *testing.T) {
+	log := recordFrameLog(t)
+	var buf bytes.Buffer
+	fw := tracelog.NewFrameWriter(&buf)
+	if err := fw.Assign("fwd-7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Events(log); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.End(); err != nil {
+		t.Fatal(err)
+	}
+	fr := tracelog.NewFrameReader(bytes.NewReader(buf.Bytes()))
+	kind, name, err := fr.Handshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != tracelog.FrameAssign || name != "fwd-7" {
+		t.Fatalf("handshake = (%v, %q), want (assign, fwd-7)", kind, name)
+	}
+	if _, err := io.Copy(io.Discard, fr); err != nil {
+		t.Fatalf("event stream behind assign: %v", err)
+	}
+}
+
+// TestBackendReportRoundTrip pins the structured response path: payload bytes
+// survive verbatim, error frames surface typed, oversized sends are refused
+// writer-side.
+func TestBackendReportRoundTrip(t *testing.T) {
+	payload := []byte{0x01, 0xfe, 0x00, 0x42}
+	var buf bytes.Buffer
+	if err := tracelog.NewFrameWriter(&buf).BackendReport(payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tracelog.NewFrameReader(bytes.NewReader(buf.Bytes())).BackendResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("BackendResponse = %x, want %x", got, payload)
+	}
+
+	var ebuf bytes.Buffer
+	tracelog.NewFrameWriter(&ebuf).Error("backend lost session")
+	if _, err := tracelog.NewFrameReader(bytes.NewReader(ebuf.Bytes())).BackendResponse(); !errors.Is(err, tracelog.ErrRemote) {
+		t.Errorf("error frame = %v, want ErrRemote", err)
+	}
+
+	if err := tracelog.NewFrameWriter(io.Discard).BackendReport(make([]byte, tracelog.MaxFramePayload+1)); err == nil {
+		t.Error("oversized backend report accepted by writer")
+	}
+}
+
+// TestBackendStatsRoundTrip pins the census exchange: an empty request opens
+// the stream, the encoded census comes back verbatim.
+func TestBackendStatsRoundTrip(t *testing.T) {
+	var req bytes.Buffer
+	if err := tracelog.NewFrameWriter(&req).BackendStats(nil); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := tracelog.NewFrameReader(bytes.NewReader(req.Bytes())).Handshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != tracelog.FrameBackendStats || payload != "" {
+		t.Fatalf("handshake = (%v, %q), want (backend-stats, \"\")", kind, payload)
+	}
+
+	census := []byte("backend=b1 sessions=3")
+	var resp bytes.Buffer
+	if err := tracelog.NewFrameWriter(&resp).BackendStats(census); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tracelog.NewFrameReader(bytes.NewReader(resp.Bytes())).BackendStatsResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, census) {
+		t.Errorf("BackendStatsResponse = %q, want %q", got, census)
+	}
+}
+
+// TestCopyFrameVerbatim pins the router pump: copying a whole framed stream
+// frame-by-frame reproduces it byte-for-byte, so the backend decodes exactly
+// what the client sent.
+func TestCopyFrameVerbatim(t *testing.T) {
+	log := recordFrameLog(t)
+	stream := frameSession(t, "sess", log, 48)
+
+	fr := tracelog.NewFrameReader(bytes.NewReader(stream))
+	var out bytes.Buffer
+	fw := tracelog.NewFrameWriter(&out)
+	for {
+		kind, err := tracelog.CopyFrame(fw, fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == tracelog.FrameEnd {
+			break
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), stream) {
+		t.Error("copied stream differs from the original")
+	}
+
+	// Truncation mid-payload surfaces as io.ErrUnexpectedEOF, and the
+	// oversized-claim bound applies before any copying.
+	fr = tracelog.NewFrameReader(bytes.NewReader(stream[:len(stream)-3]))
+	for {
+		kind, err := tracelog.CopyFrame(tracelog.NewFrameWriter(io.Discard), fr)
+		if err != nil {
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("truncated copy error = %v, want unexpected EOF", err)
+			}
+			break
+		}
+		if kind == tracelog.FrameEnd {
+			t.Fatal("truncated stream copied to a clean end")
+		}
+	}
+}
+
 // TestFrameResponseRoundTrip pins the report response path.
 func TestFrameResponseRoundTrip(t *testing.T) {
 	var buf bytes.Buffer

@@ -131,6 +131,24 @@ func FuzzFramedStream(f *testing.F) {
 	f.Add(append(bytes.Clone(helloMeta), 0xff, 0xff, 0xff, 0xff, 0x7f))    // oversized metadata claim
 	f.Add(append(bytes.Clone(helloMeta), 5, 0, 0, 1, 2, 3))                // trailing bytes after tables
 
+	// Router↔backend frame-kind seeds: an assign-opened session stream (the
+	// router→backend forwarding form of a hello stream), a backend-stats
+	// request, and hostile openers — a backend-report with an oversized
+	// claim, and a truncated assign stream.
+	if s := scenario.Generate(scenario.GenConfig{Seed: 2718}); true {
+		if _, live, err := scenario.Record(s, true, 1); err == nil {
+			var ab bytes.Buffer
+			aw := tracelog.NewFrameWriter(&ab)
+			if aw.Assign("fuzz-assign") == nil && aw.Events(live) == nil && aw.End() == nil {
+				f.Add(bytes.Clone(ab.Bytes()))
+				f.Add(ab.Bytes()[:ab.Len()*2/3])
+			}
+		}
+	}
+	f.Add([]byte{'T', 'L', 'F', '1', byte(tracelog.FrameBackendStats), 0})
+	f.Add([]byte{'T', 'L', 'F', '1', byte(tracelog.FrameBackendReport), 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{'T', 'L', 'F', '1', byte(tracelog.FrameAssign), 2, 'x'})
+
 	// Synthetic edges: bare magic, hello-only, oversized claims, raw log
 	// without framing.
 	f.Add([]byte("TLF1"))
@@ -139,13 +157,23 @@ func FuzzFramedStream(f *testing.F) {
 	f.Add([]byte{1, 1, 1, 1})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The router pump: CopyFrame over arbitrary bytes must never panic,
+		// hang, or allocate from a hostile claim — same contract as reading.
+		cfr := tracelog.NewFrameReader(bytes.NewReader(data))
+		cfw := tracelog.NewFrameWriter(io.Discard)
+		for {
+			if _, err := tracelog.CopyFrame(cfw, cfr); err != nil {
+				break
+			}
+		}
+
 		fr := tracelog.NewFrameReader(bytes.NewReader(data))
 		kind, _, err := fr.Handshake()
 		if err != nil {
 			return
 		}
-		if kind != tracelog.FrameHello {
-			return // queries carry no event stream
+		if kind != tracelog.FrameHello && kind != tracelog.FrameAssign {
+			return // queries and stats requests carry no event stream
 		}
 		d := tracelog.NewDecoder(fr)
 		var ev tracelog.Event
