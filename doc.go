@@ -258,10 +258,20 @@
 // metadata frame payloads content-hash deduped so concurrent sessions from
 // one binary share one table copy. The price is a copy-on-retain contract:
 // a decoded Event.Segment.In is valid only until the next Decoder.Next.
-// TestZeroAlloc* budget tests pin all of this; BENCH_<date>.json files at
-// the repo root record the ns/event and allocs/event trajectory
-// (harness.BenchDoc, regenerated by perfbench -json -alloc). See the
-// README's "Performance" section for the full architecture.
+//
+// The detectors follow the same discipline: the block-routed tools keep
+// their shadow state in flat slices over dense-remapped IDs (trace.Dense)
+// with slab-backed per-block arrays (trace.Slab) recycled on free, DJIT and
+// hybrid take FastTrack-style same-epoch fast paths on repeated accesses
+// (skipping state stores, never race checks), and lockset.SetTable memoises
+// lock-set transitions so the canonical-set probe runs once per new edge,
+// not once per event. The whole layout change is pinned byte-exact by
+// TestGoldenReportDigests against report digests committed before it.
+// TestZeroAlloc* budget tests pin the allocation claims; BENCH_<date>.json
+// files at the repo root record the ns/event and allocs/event trajectory
+// (harness.BenchDoc, regenerated by perfbench -json -alloc, diffed by
+// perfbench -compare — also CI's bench-regression gate). See the README's
+// "Performance" section for the full architecture.
 //
 // See README.md for the architecture overview. The public entry point is
 // internal/core; the benchmarks in bench_test.go regenerate every table and

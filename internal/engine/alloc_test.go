@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/harness"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -62,6 +63,52 @@ func TestZeroAllocDispatch(t *testing.T) {
 		}
 		if _, err := pipe.Close(); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestZeroAllocDetectorPath budgets the full analysis path, not just
+// dispatch: the complete six-tool registry — lock-set, DJIT, hybrid,
+// deadlock, memcheck, high-level — run end to end over a recorded stream,
+// including pipeline construction, detector state growth, end-of-stream
+// passes and the merged report. The dense-index/slab/epoch state layout keeps
+// the whole run at ≤ 1 allocation per event, sequential and 4-shard alike
+// (the steady-state figure is far lower; see the BENCH files — this test pins
+// the budget that the CI bench-regression gate also enforces, with the fixed
+// costs of a fresh pipeline amortised over only one small trace).
+func TestZeroAllocDetectorPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments every access; budget enforced by the non-race CI step")
+	}
+	// The perfbench workload, scaled down: a few thousand events is enough to
+	// amortise the fixed pipeline/detector construction the budget includes,
+	// where the ~100-event conformance scenarios are not.
+	w := harness.PerfWorkload{Threads: 2, Iters: 200, Slots: 16, Blocks: 16, Seed: 1}
+	_, log, err := w.RecordTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := decodeEvents(t, log)
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, shards := range []int{1, 4} {
+		run := func() {
+			pipe, err := engine.NewPipeline(engine.Options{Tools: scenario.AllTools(), Shards: shards, BatchSize: 32, QueueDepth: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range events {
+				events[i].Deliver(pipe)
+			}
+			if _, err := pipe.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm shared state (interned strings, pooled buffers)
+		allocs := testing.AllocsPerRun(5, run)
+		if perEvent := allocs / float64(len(events)); perEvent > 1.0 {
+			t.Errorf("shards=%d: %.3f allocs/event (%.0f allocs per %d-event run), budget 1.0",
+				shards, perEvent, allocs, len(events))
 		}
 	}
 }

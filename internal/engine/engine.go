@@ -83,6 +83,13 @@ type Options struct {
 	// Metrics. Instrumentation never influences analysis: reports are
 	// byte-identical with or without it.
 	Metrics *Metrics
+	// ToolTime, when true, measures the wall time spent inside each tool
+	// instance's event handlers; ToolTimes returns the totals after Close.
+	// The measurement brackets every delivery with two clock reads, so it is
+	// off by default and meant for attribution runs (perfbench -tooltime),
+	// not steady-state production pipelines. Like Metrics, it never changes
+	// analysis output.
+	ToolTime bool
 }
 
 func (o Options) withDefaults() Options {

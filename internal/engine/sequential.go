@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -148,9 +149,27 @@ func (s *Sequential) deliver(fn func(trace.Sink)) {
 		}
 	}
 	s.cur = s.seq
+	if s.opt.ToolTime {
+		for _, ti := range s.insts {
+			t0 := time.Now()
+			fn(ti.sink)
+			ti.ns += time.Since(t0).Nanoseconds()
+		}
+		return
+	}
 	for _, ti := range s.insts {
 		fn(ti.sink)
 	}
+}
+
+// ToolTimes returns the cumulative wall time spent inside each tool's event
+// handlers, keyed by tool name. Nil unless Options.ToolTime was set; only
+// valid after Close.
+func (s *Sequential) ToolTimes() map[string]int64 {
+	if !s.opt.ToolTime || !s.closed {
+		return nil
+	}
+	return toolTimes(s.insts)
 }
 
 // flushMetrics folds the locally-batched event count into the shared

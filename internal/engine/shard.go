@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -20,6 +21,7 @@ type toolInst struct {
 	col  *report.Collector
 	sink *trace.SafeSink
 	cur  *uint64
+	ns   int64 // time inside handlers, accumulated when Options.ToolTime is on
 }
 
 func newToolInst(spec trace.ToolSpec, opt Options, cur *uint64) *toolInst {
@@ -52,6 +54,7 @@ type shard struct {
 	pinnedFull  []*toolInst // RouteSingle instances homed here
 	cur         uint64      // global sequence of the event being processed
 	events      int64
+	timed       bool // Options.ToolTime: bracket deliveries with clock reads
 	done        chan struct{}
 
 	// Snapshot barrier plumbing, shared across all shards of one Engine: a
@@ -65,7 +68,26 @@ func newShard(id int, opt Options, b *batch) *shard {
 		id:      id,
 		ch:      make(chan *batch, opt.QueueDepth),
 		pending: b,
+		timed:   opt.ToolTime,
 		done:    make(chan struct{}),
+	}
+}
+
+// deliverAll hands the event to each instance, optionally attributing the
+// handler time to it. The timed branch is kept out of the common path: two
+// clock reads per (event, instance) are noticeable, and the flag is an
+// explicit attribution request.
+func deliverAll(insts []*toolInst, ev *event, timed bool) {
+	if !timed {
+		for _, ti := range insts {
+			ev.Deliver(ti.sink)
+		}
+		return
+	}
+	for _, ti := range insts {
+		t0 := time.Now()
+		ev.Deliver(ti.sink)
+		ti.ns += time.Since(t0).Nanoseconds()
 	}
 }
 
@@ -101,19 +123,13 @@ func (s *shard) run(pool *sync.Pool) {
 			ev := &b.ev[i]
 			s.cur = ev.seq
 			if ev.dst&dstSharded != 0 {
-				for _, ti := range s.sharded {
-					ev.Deliver(ti.sink)
-				}
+				deliverAll(s.sharded, ev, s.timed)
 			}
 			if ev.dst&dstPinned != 0 {
 				if !blockOp(ev.Op) {
-					for _, ti := range s.pinnedBcast {
-						ev.Deliver(ti.sink)
-					}
+					deliverAll(s.pinnedBcast, ev, s.timed)
 				}
-				for _, ti := range s.pinnedFull {
-					ev.Deliver(ti.sink)
-				}
+				deliverAll(s.pinnedFull, ev, s.timed)
 			}
 		}
 		s.events += int64(len(b.ev))

@@ -58,18 +58,38 @@ type view struct {
 	block trace.BlockID
 }
 
-func (v *view) key() string {
-	keys := make([]varKey, 0, len(v.vars))
+// viewKey canonicalises a view's variable set into a binary string usable as
+// a dedup map key: the varKeys sorted and appended into the caller-owned
+// scratch buffers, which are returned for reuse. On the common path — the
+// view was seen before — probing seen[string(key)] with the returned bytes
+// is allocation-free (the compiler elides the conversion in a map lookup),
+// so only genuinely new views pay for a key string.
+func viewKey(v *view, scratchKeys []varKey, scratchBuf []byte) ([]varKey, []byte) {
+	keys := scratchKeys[:0]
 	for k := range v.vars {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].block != keys[j].block {
-			return keys[i].block < keys[j].block
+	// Insertion sort: views hold a handful of variables, and sort.Slice's
+	// closure would allocate on every Release.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && varKeyLess(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
-		return keys[i].gran < keys[j].gran
-	})
-	return fmt.Sprint(keys)
+	}
+	buf := scratchBuf[:0]
+	for _, k := range keys {
+		buf = append(buf,
+			byte(k.block), byte(k.block>>8), byte(k.block>>16), byte(k.block>>24),
+			byte(k.gran), byte(k.gran>>8), byte(k.gran>>16), byte(k.gran>>24))
+	}
+	return keys, buf
+}
+
+func varKeyLess(a, b varKey) bool {
+	if a.block != b.block {
+		return a.block < b.block
+	}
+	return a.gran < b.gran
 }
 
 // Detector is the view-consistency tool. Call Finish after the run to
@@ -83,6 +103,14 @@ type Detector struct {
 	viewKeys map[trace.LockID]map[trace.ThreadID]map[string]bool
 	finished bool
 	reports  int
+
+	// Free list plus per-Release scratch. Critical sections open and close
+	// once per Acquire/Release pair, but distinct views per (lock, thread)
+	// are bounded by program structure — so recycling the duplicates keeps
+	// the steady-state event path allocation-free.
+	pool       []*view
+	scratchKey []varKey
+	scratchBuf []byte
 }
 
 // Spec registers the detector with the analysis engine's tool registry. View
@@ -127,6 +155,14 @@ func (d *Detector) Acquire(t trace.ThreadID, l trace.LockID, _ trace.LockKind, s
 		m = make(map[trace.LockID]*view)
 		d.open[t] = m
 	}
+	if n := len(d.pool); n > 0 {
+		v := d.pool[n-1]
+		d.pool = d.pool[:n-1]
+		clear(v.vars)
+		*v = view{vars: v.vars, stack: stack}
+		m[l] = v
+		return
+	}
 	m[l] = &view{vars: make(map[varKey]struct{}), stack: stack}
 }
 
@@ -139,6 +175,7 @@ func (d *Detector) Release(t trace.ThreadID, l trace.LockID, _ trace.LockKind, _
 	}
 	delete(m, l)
 	if len(v.vars) == 0 {
+		d.pool = append(d.pool, v)
 		return
 	}
 	byThread, ok := d.views[l]
@@ -152,11 +189,13 @@ func (d *Detector) Release(t trace.ThreadID, l trace.LockID, _ trace.LockKind, _
 		seen = make(map[string]bool)
 		d.viewKeys[l][t] = seen
 	}
-	key := v.key()
-	if seen[key] {
+	keys, buf := viewKey(v, d.scratchKey, d.scratchBuf)
+	d.scratchKey, d.scratchBuf = keys, buf
+	if seen[string(buf)] {
+		d.pool = append(d.pool, v)
 		return // identical view already recorded
 	}
-	seen[key] = true
+	seen[string(buf)] = true
 	byThread[t] = append(byThread[t], v)
 }
 

@@ -48,32 +48,45 @@ type cell struct {
 	// Lock-set side.
 	set    lockset.SetID
 	inited bool
-	// Happens-before side.
-	lastWrite vclock.Epoch
-	writeStk  trace.StackID
-	reads     vclock.VC
-	readStk   trace.StackID
-	reported  bool
+	// Happens-before side. readsClean marks the read clock as holding
+	// nothing newer than the last write, so repeated writes at one epoch
+	// skip the read-set scan.
+	lastWrite  vclock.Epoch
+	writeStk   trace.StackID
+	reads      vclock.VC
+	lastRead   vclock.Epoch
+	readStk    trace.StackID
+	reported   bool
+	readsClean bool
 }
 
-// Detector is the hybrid tool.
+// Detector is the hybrid tool. Like its two parents, per-ID state sits in
+// flat slices behind dense remappers, lock-sets are maintained incrementally
+// through memoised transition edges, vector-clock components are indexed by
+// dense thread number, and block shadow is slab-recycled on free.
 type Detector struct {
 	trace.BaseSink
 	cfg     Config
 	col     trace.Reporter
 	sets    *lockset.SetTable
-	threads map[trace.ThreadID]*threadState
-	locks   map[trace.LockID]vclock.VC
-	syncs   map[trace.SyncID]vclock.VC
+	thIx    trace.Dense
+	lkIx    trace.Dense
+	syIx    trace.Dense
+	segIx   trace.Dense
+	blkIx   trace.Dense
+	threads []threadState
+	locks   []vclock.VC
+	syncs   []vclock.VC
+	segVC   []vclock.VC
 	msgs    map[int64]vclock.VC
-	segVC   map[trace.SegmentID]vclock.VC
-	shadow  map[trace.BlockID][]cell
-	freed   map[trace.BlockID]bool
+	msgPool []vclock.VC
+	shadow  [][]cell
+	slab    trace.Slab[cell]
 }
 
 type threadState struct {
+	init   bool
 	vc     vclock.VC
-	held   map[trace.LockID]trace.LockKind
 	anyM   lockset.SetID
 	wrM    lockset.SetID
 	anyBus lockset.SetID
@@ -97,135 +110,153 @@ func Spec(cfg Config) trace.ToolSpec {
 func New(cfg Config, col trace.Reporter) *Detector {
 	cfg = cfg.withDefaults()
 	return &Detector{
-		cfg:     cfg,
-		col:     col,
-		sets:    lockset.NewSetTable(),
-		threads: make(map[trace.ThreadID]*threadState),
-		locks:   make(map[trace.LockID]vclock.VC),
-		syncs:   make(map[trace.SyncID]vclock.VC),
-		msgs:    make(map[int64]vclock.VC),
-		segVC:   make(map[trace.SegmentID]vclock.VC),
-		shadow:  make(map[trace.BlockID][]cell),
-		freed:   make(map[trace.BlockID]bool),
+		cfg:  cfg,
+		col:  col,
+		sets: lockset.NewSetTable(),
+		msgs: make(map[int64]vclock.VC),
 	}
 }
 
 // ToolName implements trace.Sink.
 func (d *Detector) ToolName() string { return d.cfg.Tool }
 
-func (d *Detector) thread(t trace.ThreadID) *threadState {
-	ts, ok := d.threads[t]
-	if !ok {
-		ts = &threadState{
-			vc:   vclock.New(int(t)).Tick(int(t)),
-			held: make(map[trace.LockID]trace.LockKind),
-		}
-		ts.recompute(d.sets)
-		d.threads[t] = ts
+// tIdx returns the dense index for a thread, initialising its clock and
+// lock-set variants on first sight.
+func (d *Detector) tIdx(t trace.ThreadID) int {
+	ti := d.thIx.Index(int32(t))
+	for len(d.threads) <= ti {
+		d.threads = append(d.threads, threadState{})
 	}
-	return ts
+	ts := &d.threads[ti]
+	if !ts.init {
+		ts.init = true
+		ts.vc = vclock.New(ti).Tick(ti)
+		ts.anyBus = d.sets.Add(lockset.EmptySet, trace.BusLock)
+		ts.wrBus = ts.anyBus
+	}
+	return ti
 }
 
-func (ts *threadState) recompute(sets *lockset.SetTable) {
-	var anyM, wrM []trace.LockID
-	for l, k := range ts.held {
-		anyM = append(anyM, l)
-		if k == trace.Mutex || k == trace.WLock {
-			wrM = append(wrM, l)
-		}
+func growVCs(s []vclock.VC, i int) []vclock.VC {
+	for len(s) <= i {
+		s = append(s, nil)
 	}
-	ts.anyM = sets.Intern(anyM)
-	ts.wrM = sets.Intern(wrM)
-	ts.anyBus = sets.Intern(append(anyM, trace.BusLock))
-	ts.wrBus = sets.Intern(append(wrM, trace.BusLock))
+	return s
 }
 
 // ThreadStart implements trace.Sink.
 func (d *Detector) ThreadStart(t, parent trace.ThreadID) {
-	child := d.thread(t)
+	ti := d.tIdx(t)
 	if parent != 0 {
-		p := d.thread(parent)
-		child.vc = child.vc.Join(p.vc)
-		p.vc = p.vc.Tick(int(parent))
+		pi := d.tIdx(parent)
+		d.threads[ti].vc = d.threads[ti].vc.Join(d.threads[pi].vc)
+		d.threads[pi].vc = d.threads[pi].vc.Tick(pi)
 	}
-	child.vc = child.vc.Tick(int(t))
+	d.threads[ti].vc = d.threads[ti].vc.Tick(ti)
 }
 
 // Segment implements trace.Sink.
 func (d *Detector) Segment(ss *trace.SegmentStart) {
-	ts := d.thread(ss.Thread)
+	ti := d.tIdx(ss.Thread)
+	ts := &d.threads[ti]
 	for _, e := range ss.In {
 		switch e.Kind {
 		case trace.Join:
-			if src, ok := d.segVC[e.From]; ok {
-				ts.vc = ts.vc.Join(src)
+			if si := d.segIx.Lookup(int32(e.From)); si >= 0 && d.segVC[si] != nil {
+				ts.vc = ts.vc.Join(d.segVC[si])
 			}
 		case trace.Queue, trace.Cond, trace.Sem:
 			if d.cfg.Edges.Has(e.Kind) {
-				if src, ok := d.segVC[e.From]; ok {
-					ts.vc = ts.vc.Join(src)
+				if si := d.segIx.Lookup(int32(e.From)); si >= 0 && d.segVC[si] != nil {
+					ts.vc = ts.vc.Join(d.segVC[si])
 				}
 			}
 		}
 	}
-	ts.vc = ts.vc.Tick(int(ss.Thread))
-	d.segVC[ss.Seg] = ts.vc.Clone()
+	ts.vc = ts.vc.Tick(ti)
+	si := d.segIx.Index(int32(ss.Seg))
+	d.segVC = growVCs(d.segVC, si)
+	d.segVC[si] = vclock.CopyInto(d.segVC[si], ts.vc)
 }
 
-// Acquire implements trace.Sink.
+// Acquire implements trace.Sink: the held sets advance by one memoised
+// transition edge per variant, and the lock's clock joins the thread's.
 func (d *Detector) Acquire(t trace.ThreadID, l trace.LockID, k trace.LockKind, _ trace.StackID) {
-	ts := d.thread(t)
-	ts.held[l] = k
-	ts.recompute(d.sets)
-	if lv, ok := d.locks[l]; ok {
-		ts.vc = ts.vc.Join(lv)
+	ti := d.tIdx(t)
+	ts := &d.threads[ti]
+	ts.anyM = d.sets.Add(ts.anyM, l)
+	ts.anyBus = d.sets.Add(ts.anyM, trace.BusLock)
+	if k == trace.Mutex || k == trace.WLock {
+		ts.wrM = d.sets.Add(ts.wrM, l)
+	} else {
+		ts.wrM = d.sets.Remove(ts.wrM, l)
+	}
+	ts.wrBus = d.sets.Add(ts.wrM, trace.BusLock)
+	if li := d.lkIx.Lookup(int32(l)); li >= 0 && d.locks[li] != nil {
+		ts.vc = ts.vc.Join(d.locks[li])
 	}
 }
 
 // Release implements trace.Sink.
 func (d *Detector) Release(t trace.ThreadID, l trace.LockID, _ trace.LockKind, _ trace.StackID) {
-	ts := d.thread(t)
-	delete(ts.held, l)
-	ts.recompute(d.sets)
-	d.locks[l] = ts.vc.Clone()
-	ts.vc = ts.vc.Tick(int(t))
+	ti := d.tIdx(t)
+	ts := &d.threads[ti]
+	ts.anyM = d.sets.Remove(ts.anyM, l)
+	ts.anyBus = d.sets.Add(ts.anyM, trace.BusLock)
+	ts.wrM = d.sets.Remove(ts.wrM, l)
+	ts.wrBus = d.sets.Add(ts.wrM, trace.BusLock)
+	li := d.lkIx.Index(int32(l))
+	d.locks = growVCs(d.locks, li)
+	d.locks[li] = vclock.CopyInto(d.locks[li], ts.vc)
+	ts.vc = ts.vc.Tick(ti)
 }
 
 // Sync implements trace.Sink.
 func (d *Detector) Sync(ev *trace.SyncEvent) {
-	ts := d.thread(ev.Thread)
+	ti := d.tIdx(ev.Thread)
+	ts := &d.threads[ti]
 	switch ev.Op {
 	case trace.QueuePut:
 		if d.cfg.Edges.Has(trace.Queue) {
-			d.msgs[ev.Msg] = ts.vc.Clone()
+			var mv vclock.VC
+			if n := len(d.msgPool); n > 0 {
+				mv = d.msgPool[n-1]
+				d.msgPool = d.msgPool[:n-1]
+			}
+			d.msgs[ev.Msg] = vclock.CopyInto(mv, ts.vc)
 		}
 	case trace.QueueGet:
 		if d.cfg.Edges.Has(trace.Queue) {
 			if mv, ok := d.msgs[ev.Msg]; ok {
 				ts.vc = ts.vc.Join(mv)
 				delete(d.msgs, ev.Msg)
+				d.msgPool = append(d.msgPool, mv)
 			}
 		}
 	case trace.CondSignal, trace.CondBroadcast:
 		if d.cfg.Edges.Has(trace.Cond) {
-			d.syncs[ev.Obj] = d.syncs[ev.Obj].Join(ts.vc)
-			ts.vc = ts.vc.Tick(int(ev.Thread))
+			si := d.syIx.Index(int32(ev.Obj))
+			d.syncs = growVCs(d.syncs, si)
+			d.syncs[si] = d.syncs[si].Join(ts.vc)
+			ts.vc = ts.vc.Tick(ti)
 		}
 	case trace.CondWaitDone:
 		if d.cfg.Edges.Has(trace.Cond) {
-			if cv, ok := d.syncs[ev.Obj]; ok {
-				ts.vc = ts.vc.Join(cv)
+			if si := d.syIx.Lookup(int32(ev.Obj)); si >= 0 && d.syncs[si] != nil {
+				ts.vc = ts.vc.Join(d.syncs[si])
 			}
 		}
 	case trace.SemPost:
 		if d.cfg.Edges.Has(trace.Sem) {
-			d.syncs[ev.Obj] = d.syncs[ev.Obj].Join(ts.vc)
-			ts.vc = ts.vc.Tick(int(ev.Thread))
+			si := d.syIx.Index(int32(ev.Obj))
+			d.syncs = growVCs(d.syncs, si)
+			d.syncs[si] = d.syncs[si].Join(ts.vc)
+			ts.vc = ts.vc.Tick(ti)
 		}
 	case trace.SemWaitDone:
 		if d.cfg.Edges.Has(trace.Sem) {
-			if sv, ok := d.syncs[ev.Obj]; ok {
-				ts.vc = ts.vc.Join(sv)
+			if si := d.syIx.Lookup(int32(ev.Obj)); si >= 0 && d.syncs[si] != nil {
+				ts.vc = ts.vc.Join(d.syncs[si])
 			}
 		}
 	}
@@ -234,22 +265,33 @@ func (d *Detector) Sync(ev *trace.SyncEvent) {
 // Alloc implements trace.Sink.
 func (d *Detector) Alloc(b *trace.Block) {
 	n := (int(b.Size) + d.cfg.Granule - 1) / d.cfg.Granule
-	d.shadow[b.ID] = make([]cell, n)
+	bi := d.blkIx.Index(int32(b.ID))
+	for len(d.shadow) <= bi {
+		d.shadow = append(d.shadow, nil)
+	}
+	d.shadow[bi] = d.slab.Get(n)
 }
 
-// Free implements trace.Sink.
+// Free implements trace.Sink: the shadow cells return to the slab and the
+// dense slot is recycled (block IDs are never reused).
 func (d *Detector) Free(b *trace.Block, _ trace.ThreadID, _ trace.StackID) {
-	d.freed[b.ID] = true
+	if bi := d.blkIx.Evict(int32(b.ID)); bi >= 0 {
+		d.slab.Put(d.shadow[bi])
+		d.shadow[bi] = nil
+	}
 }
 
 // Access implements trace.Sink: report only when the lock-set is empty AND
-// the accesses are unordered.
+// the accesses are unordered. Same-epoch repeats skip the redundant shadow
+// stores and the read-set scan, never the race decision itself.
 func (d *Detector) Access(a *trace.Access) {
-	sh, ok := d.shadow[a.Block]
-	if !ok || d.freed[a.Block] {
+	bi := d.blkIx.Lookup(int32(a.Block))
+	if bi < 0 {
 		return
 	}
-	ts := d.thread(a.Thread)
+	sh := d.shadow[bi]
+	ti := d.tIdx(a.Thread)
+	ts := &d.threads[ti]
 	anyM, wrM := ts.anyM, ts.wrM
 	switch d.cfg.Bus {
 	case lockset.BusSingleMutex:
@@ -262,7 +304,7 @@ func (d *Detector) Access(a *trace.Access) {
 			wrM = ts.wrBus
 		}
 	}
-	epoch := vclock.Epoch{T: int32(a.Thread), C: ts.vc.Get(int(a.Thread))}
+	epoch := vclock.Epoch{T: int32(ti), C: ts.vc.Get(ti)}
 	lo := int(a.Off) / d.cfg.Granule
 	hi := int(a.Off+a.Size-1) / d.cfg.Granule
 	for gi := lo; gi <= hi && gi < len(sh); gi++ {
@@ -288,19 +330,28 @@ func (d *Detector) Access(a *trace.Access) {
 				unordered = true
 				prevStack = c.writeStk
 			}
-			c.reads = c.reads.Set(int(a.Thread), epoch.C)
-			c.readStk = a.Stack
+			if c.lastRead == epoch {
+				c.readStk = a.Stack
+			} else {
+				c.reads = c.reads.Set(ti, epoch.C)
+				c.lastRead = epoch
+				c.readsClean = false
+				c.readStk = a.Stack
+			}
 		} else {
 			if !c.lastWrite.Zero() && !c.lastWrite.HappensBefore(ts.vc) {
 				unordered = true
 				prevStack = c.writeStk
-			} else if !c.reads.LEQ(ts.vc) {
+			} else if !c.readsClean && !c.reads.LEQ(ts.vc) {
 				unordered = true
 				prevStack = c.readStk
 			}
 			c.lastWrite = epoch
 			c.writeStk = a.Stack
-			c.reads = nil
+			if !c.readsClean {
+				c.reads.Clear()
+				c.readsClean = true
+			}
 		}
 
 		if disciplineBroken && unordered && !c.reported {

@@ -143,32 +143,37 @@ type gran struct {
 	benign   bool
 }
 
-// threadLocks tracks one thread's held locks and the four interned set
-// variants used per access (any/write mode, with/without the bus pseudo-lock).
-// The interned sets are recomputed lazily, on the first access after a lock
-// operation: acquire/release themselves only mutate the held map, which
-// keeps lock-heavy phases (and the broadcast path of the parallel engine,
-// where every shard observes every lock event) cheap.
+// threadLocks tracks one thread's four interned lock-set variants (any/write
+// mode, with/without the bus pseudo-lock). The sets are maintained
+// incrementally: acquire and release walk a single memoised transition edge
+// per variant in the SetTable instead of re-sorting and re-interning the held
+// set, so steady-state lock traffic — including the broadcast path of the
+// parallel engine, where every shard observes every lock event — costs a few
+// map hits and no allocation.
 type threadLocks struct {
-	held         map[trace.LockID]trace.LockKind
+	init         bool
 	curSeg       trace.SegmentID
-	dirty        bool
 	anyMode      SetID
 	anyPlusBus   SetID
 	writeMode    SetID
 	writePlusBus SetID
 }
 
-// Detector is the lock-set race detector tool.
+// Detector is the lock-set race detector tool. Per-thread and per-block state
+// lives in flat slices indexed through dense ID remappers; block shadow
+// arrays are slab-recycled when the block is freed, so shadow memory tracks
+// the live heap rather than the allocation history.
 type Detector struct {
 	trace.BaseSink
 	cfg     Config
 	sets    *SetTable
 	graph   *segments.Graph
 	col     trace.Reporter
-	threads map[trace.ThreadID]*threadLocks
-	shadow  map[trace.BlockID][]gran
-	freed   map[trace.BlockID]bool
+	thIx    trace.Dense
+	blkIx   trace.Dense
+	threads []threadLocks
+	shadow  [][]gran
+	slab    trace.Slab[gran]
 	races   int // dynamic race reports, pre-dedup
 }
 
@@ -201,13 +206,10 @@ func Spec(cfg Config) trace.ToolSpec {
 func New(cfg Config, col trace.Reporter) *Detector {
 	cfg = cfg.withDefaults()
 	return &Detector{
-		cfg:     cfg,
-		sets:    NewSetTable(),
-		graph:   segments.NewGraph(cfg.Mask),
-		col:     col,
-		threads: make(map[trace.ThreadID]*threadLocks),
-		shadow:  make(map[trace.BlockID][]gran),
-		freed:   make(map[trace.BlockID]bool),
+		cfg:   cfg,
+		sets:  NewSetTable(),
+		graph: segments.NewGraph(cfg.Mask),
+		col:   col,
 	}
 }
 
@@ -225,40 +227,44 @@ func (d *Detector) Sets() *SetTable { return d.sets }
 func (d *Detector) DynamicRaces() int { return d.races }
 
 func (d *Detector) thread(id trace.ThreadID) *threadLocks {
-	tl, ok := d.threads[id]
-	if !ok {
-		tl = &threadLocks{held: make(map[trace.LockID]trace.LockKind), dirty: true}
-		d.threads[id] = tl
+	ti := d.thIx.Index(int32(id))
+	for len(d.threads) <= ti {
+		d.threads = append(d.threads, threadLocks{})
+	}
+	tl := &d.threads[ti]
+	if !tl.init {
+		// The zero SetID is the empty set, which is right for any/write mode,
+		// but the plus-bus variants start at {bus}.
+		tl.init = true
+		tl.anyPlusBus = d.sets.Add(EmptySet, trace.BusLock)
+		tl.writePlusBus = tl.anyPlusBus
 	}
 	return tl
 }
 
-func (tl *threadLocks) recompute(sets *SetTable) {
-	var anyM, wrM []trace.LockID
-	for l, k := range tl.held {
-		anyM = append(anyM, l)
-		if k == trace.Mutex || k == trace.WLock {
-			wrM = append(wrM, l)
-		}
-	}
-	tl.anyMode = sets.Intern(anyM)
-	tl.writeMode = sets.Intern(wrM)
-	tl.anyPlusBus = sets.Intern(append(anyM, trace.BusLock))
-	tl.writePlusBus = sets.Intern(append(wrM, trace.BusLock))
-}
-
-// Acquire implements trace.Sink.
+// Acquire implements trace.Sink. Re-acquiring a held lock with a different
+// kind reclassifies it, matching the last-kind-wins semantics of tracking
+// held locks in a map: a downgrade to read mode drops it from the write-mode
+// set.
 func (d *Detector) Acquire(t trace.ThreadID, l trace.LockID, k trace.LockKind, _ trace.StackID) {
 	tl := d.thread(t)
-	tl.held[l] = k
-	tl.dirty = true
+	tl.anyMode = d.sets.Add(tl.anyMode, l)
+	tl.anyPlusBus = d.sets.Add(tl.anyMode, trace.BusLock)
+	if k == trace.Mutex || k == trace.WLock {
+		tl.writeMode = d.sets.Add(tl.writeMode, l)
+	} else {
+		tl.writeMode = d.sets.Remove(tl.writeMode, l)
+	}
+	tl.writePlusBus = d.sets.Add(tl.writeMode, trace.BusLock)
 }
 
 // Release implements trace.Sink.
 func (d *Detector) Release(t trace.ThreadID, l trace.LockID, _ trace.LockKind, _ trace.StackID) {
 	tl := d.thread(t)
-	delete(tl.held, l)
-	tl.dirty = true
+	tl.anyMode = d.sets.Remove(tl.anyMode, l)
+	tl.anyPlusBus = d.sets.Add(tl.anyMode, trace.BusLock)
+	tl.writeMode = d.sets.Remove(tl.writeMode, l)
+	tl.writePlusBus = d.sets.Add(tl.writeMode, trace.BusLock)
 }
 
 // Segment implements trace.Sink.
@@ -270,22 +276,27 @@ func (d *Detector) Segment(ss *trace.SegmentStart) {
 // Alloc implements trace.Sink.
 func (d *Detector) Alloc(b *trace.Block) {
 	n := (int(b.Size) + d.cfg.Granule - 1) / d.cfg.Granule
-	d.shadow[b.ID] = make([]gran, n)
+	bi := d.blkIx.Index(int32(b.ID))
+	for len(d.shadow) <= bi {
+		d.shadow = append(d.shadow, nil)
+	}
+	d.shadow[bi] = d.slab.Get(n)
 }
 
 // Free implements trace.Sink. Freed memory is unaddressable; races on it are
-// the memcheck tool's business (§4.2.1).
+// the memcheck tool's business (§4.2.1). The block's shadow cells go back to
+// the slab and its dense slot is recycled — the VM never reuses block IDs, so
+// an evicted block can never be accessed again.
 func (d *Detector) Free(b *trace.Block, _ trace.ThreadID, _ trace.StackID) {
-	d.freed[b.ID] = true
+	if bi := d.blkIx.Evict(int32(b.ID)); bi >= 0 {
+		d.slab.Put(d.shadow[bi])
+		d.shadow[bi] = nil
+	}
 }
 
 // heldSets returns the effective (any-mode, write-mode) lock-sets for an
 // access, applying the configured bus-lock model.
 func (d *Detector) heldSets(tl *threadLocks, a *trace.Access) (anyM, wrM SetID) {
-	if tl.dirty {
-		tl.recompute(d.sets)
-		tl.dirty = false
-	}
 	anyM, wrM = tl.anyMode, tl.writeMode
 	switch d.cfg.Bus {
 	case BusSingleMutex:
@@ -308,10 +319,11 @@ func (d *Detector) heldSets(tl *threadLocks, a *trace.Access) (anyM, wrM SetID) 
 // Access implements trace.Sink: the Eraser state machine with thread
 // segments.
 func (d *Detector) Access(a *trace.Access) {
-	sh, ok := d.shadow[a.Block]
-	if !ok || d.freed[a.Block] {
+	bi := d.blkIx.Lookup(int32(a.Block))
+	if bi < 0 {
 		return
 	}
+	sh := d.shadow[bi]
 	tl := d.thread(a.Thread)
 	anyM, wrM := d.heldSets(tl, a)
 	lo := int(a.Off) / d.cfg.Granule
@@ -385,10 +397,11 @@ func (d *Detector) step(g *gran, a *trace.Access, gi int, anyM, wrM SetID) {
 
 // Request implements trace.Sink: client requests (Fig. 4).
 func (d *Detector) Request(r *trace.Request) {
-	sh, ok := d.shadow[r.Block]
-	if !ok {
+	bi := d.blkIx.Lookup(int32(r.Block))
+	if bi < 0 {
 		return
 	}
+	sh := d.shadow[bi]
 	lo := int(r.Off) / d.cfg.Granule
 	hi := int(r.Off+r.Size-1) / d.cfg.Granule
 	if r.Size == 0 {

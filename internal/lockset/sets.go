@@ -18,18 +18,37 @@ const Universe SetID = -1
 // EmptySet is the interned ID of the empty lock-set.
 const EmptySet SetID = 0
 
-// SetTable interns lock-sets and memoises intersections.
+// internScratch bounds the stack-backed scratch used by Intern. Sets larger
+// than this (a thread holding >16 locks at once) take a heap-allocated slow
+// path; every workload in the paper stays far under it.
+const internScratch = 16
+
+// SetTable interns lock-sets and memoises intersections and single-lock
+// transitions. Steady-state interning — the same set observed again, the same
+// (set, +lock) acquire edge, the same (set, -lock) release edge — performs no
+// allocation and no sorting: probes run off stack scratch, and transition
+// edges collapse to one map hit.
 type SetTable struct {
-	sets  [][]trace.LockID
-	index map[string]SetID
-	cache map[[2]SetID]SetID
+	sets   [][]trace.LockID
+	index  map[string]SetID
+	cache  map[[2]SetID]SetID // (a,b) -> a∩b, a<b
+	add    map[setEdge]SetID  // (id,+l) -> id∪{l}
+	remove map[setEdge]SetID  // (id,-l) -> id∖{l}
+}
+
+// setEdge keys a single-lock transition from an interned set.
+type setEdge struct {
+	id SetID
+	l  trace.LockID
 }
 
 // NewSetTable creates a table with the empty set pre-interned as ID 0.
 func NewSetTable() *SetTable {
 	st := &SetTable{
-		index: make(map[string]SetID),
-		cache: make(map[[2]SetID]SetID),
+		index:  make(map[string]SetID),
+		cache:  make(map[[2]SetID]SetID),
+		add:    make(map[setEdge]SetID),
+		remove: make(map[setEdge]SetID),
 	}
 	st.sets = append(st.sets, nil)
 	st.index[""] = EmptySet
@@ -37,27 +56,111 @@ func NewSetTable() *SetTable {
 }
 
 // Intern returns the ID for the given set of locks. The input need not be
-// sorted and may contain duplicates.
+// sorted and may contain duplicates. A set already in the table is found
+// without allocating: the sort/dedupe scratch and the key probe both live on
+// the stack, and the map is probed with a byte-slice key the compiler does
+// not materialise as a string. Only a genuinely new set copies to the heap.
 func (st *SetTable) Intern(locks []trace.LockID) SetID {
 	if len(locks) == 0 {
 		return EmptySet
 	}
-	sorted := append([]trace.LockID(nil), locks...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var buf [internScratch]trace.LockID
+	var sorted []trace.LockID
+	if len(locks) <= len(buf) {
+		sorted = buf[:len(locks)]
+		copy(sorted, locks)
+		insertionSort(sorted)
+	} else {
+		// Kept out of line: sort.Slice takes its argument as an interface,
+		// and sharing the variable would leak buf to the heap on every call.
+		sorted = sortedHeapCopy(locks)
+	}
 	uniq := sorted[:1]
 	for _, l := range sorted[1:] {
 		if l != uniq[len(uniq)-1] {
 			uniq = append(uniq, l)
 		}
 	}
-	key := setKey(uniq)
-	if id, ok := st.index[key]; ok {
+	var kbuf [internScratch * 4]byte
+	var key []byte
+	if len(uniq) <= internScratch {
+		key = appendSetKey(kbuf[:0], uniq)
+	} else {
+		key = appendSetKey(make([]byte, 0, len(uniq)*4), uniq)
+	}
+	if id, ok := st.index[string(key)]; ok {
 		return id
 	}
+	return st.internNew(key, uniq)
+}
+
+// internNew installs a set that missed the index probe, making the durable
+// copies the table owns.
+func (st *SetTable) internNew(key []byte, uniq []trace.LockID) SetID {
 	id := SetID(len(st.sets))
-	st.sets = append(st.sets, uniq)
-	st.index[key] = id
+	st.sets = append(st.sets, append([]trace.LockID(nil), uniq...))
+	st.index[string(key)] = id
 	return id
+}
+
+// Add returns the interned id∪{l}. The first traversal of an acquire edge
+// computes and caches it; thereafter the edge is a single map hit, so
+// steady-state lock-set maintenance never sorts or probes the index. The
+// universe absorbs every lock.
+func (st *SetTable) Add(id SetID, l trace.LockID) SetID {
+	if id == Universe {
+		return Universe
+	}
+	e := setEdge{id, l}
+	if r, ok := st.add[e]; ok {
+		return r
+	}
+	r := st.addSlow(id, l)
+	st.add[e] = r
+	return r
+}
+
+func (st *SetTable) addSlow(id SetID, l trace.LockID) SetID {
+	if st.Contains(id, l) {
+		return id
+	}
+	old := st.sets[id]
+	merged := make([]trace.LockID, 0, len(old)+1)
+	i := sort.Search(len(old), func(i int) bool { return old[i] >= l })
+	merged = append(merged, old[:i]...)
+	merged = append(merged, l)
+	merged = append(merged, old[i:]...)
+	return st.Intern(merged)
+}
+
+// Remove returns the interned id∖{l}; the inverse edge cache of Add. Removing
+// from the universe is not representable and must not be reached — detector
+// held-sets grow from empty, never from the universe.
+func (st *SetTable) Remove(id SetID, l trace.LockID) SetID {
+	if id == Universe {
+		return Universe
+	}
+	e := setEdge{id, l}
+	if r, ok := st.remove[e]; ok {
+		return r
+	}
+	r := st.removeSlow(id, l)
+	st.remove[e] = r
+	return r
+}
+
+func (st *SetTable) removeSlow(id SetID, l trace.LockID) SetID {
+	if !st.Contains(id, l) {
+		return id
+	}
+	old := st.sets[id]
+	pruned := make([]trace.LockID, 0, len(old)-1)
+	for _, x := range old {
+		if x != l {
+			pruned = append(pruned, x)
+		}
+	}
+	return st.Intern(pruned)
 }
 
 // Locks returns the locks in an interned set (sorted). The universe has no
@@ -133,10 +236,23 @@ func (st *SetTable) Contains(id SetID, l trace.LockID) bool {
 // Len returns the number of interned sets.
 func (st *SetTable) Len() int { return len(st.sets) }
 
-func setKey(sorted []trace.LockID) string {
-	b := make([]byte, 0, len(sorted)*4)
+func appendSetKey(b []byte, sorted []trace.LockID) []byte {
 	for _, l := range sorted {
 		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
 	}
-	return string(b)
+	return b
+}
+
+func sortedHeapCopy(locks []trace.LockID) []trace.LockID {
+	sorted := append([]trace.LockID(nil), locks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted
+}
+
+func insertionSort(s []trace.LockID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }

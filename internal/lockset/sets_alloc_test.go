@@ -1,0 +1,104 @@
+package lockset
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestAddRemoveMatchIntern(t *testing.T) {
+	st := NewSetTable()
+	base := st.Intern([]trace.LockID{3, 7})
+
+	if got, want := st.Add(base, 5), st.Intern([]trace.LockID{3, 5, 7}); got != want {
+		t.Errorf("Add({3,7},5) = %d, want %d", got, want)
+	}
+	if got := st.Add(base, 7); got != base {
+		t.Errorf("Add({3,7},7) = %d, want identity %d", got, base)
+	}
+	if got, want := st.Remove(base, 3), st.Intern([]trace.LockID{7}); got != want {
+		t.Errorf("Remove({3,7},3) = %d, want %d", got, want)
+	}
+	if got := st.Remove(base, 99); got != base {
+		t.Errorf("Remove({3,7},99) = %d, want identity %d", got, base)
+	}
+	if got := st.Remove(st.Intern([]trace.LockID{4}), 4); got != EmptySet {
+		t.Errorf("Remove({4},4) = %d, want EmptySet", got)
+	}
+	if got := st.Add(EmptySet, 9); got != st.Intern([]trace.LockID{9}) {
+		t.Errorf("Add(∅,9) did not intern {9}")
+	}
+	if got := st.Add(Universe, 9); got != Universe {
+		t.Errorf("Add(Universe,9) = %d, want Universe", got)
+	}
+
+	// Round trip: walking acquires then releases returns to the start.
+	id := EmptySet
+	for _, l := range []trace.LockID{8, 2, 5} {
+		id = st.Add(id, l)
+	}
+	for _, l := range []trace.LockID{5, 8, 2} {
+		id = st.Remove(id, l)
+	}
+	if id != EmptySet {
+		t.Errorf("acquire/release round trip landed on %d, want EmptySet", id)
+	}
+}
+
+// TestZeroAllocSetTable pins the steady-state allocation behaviour the hot
+// path depends on: interning a set already in the table, and re-walking a
+// cached Add/Remove transition edge, must not allocate. (The name matches the
+// CI allocation-budget test pattern.)
+func TestZeroAllocSetTable(t *testing.T) {
+	st := NewSetTable()
+	locks := []trace.LockID{31, 4, 15, 9}
+	id := st.Intern(locks)
+	st.Add(id, 26)    // warm the edge caches
+	st.Remove(id, 15) // before measuring
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		if st.Intern(locks) != id {
+			t.Fatal("intern result changed")
+		}
+	}); allocs != 0 {
+		t.Errorf("Intern on a known set allocated %.1f per call, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		st.Add(id, 26)
+		st.Remove(id, 15)
+	}); allocs != 0 {
+		t.Errorf("cached Add/Remove allocated %.1f per call, want 0", allocs)
+	}
+
+	// A genuinely new set is allowed to allocate (durable copy + key + table
+	// growth) but must be found alloc-free ever after.
+	fresh := []trace.LockID{100, 200, 300}
+	st.Intern(fresh)
+	if allocs := testing.AllocsPerRun(100, func() {
+		st.Intern(fresh)
+	}); allocs != 0 {
+		t.Errorf("re-Intern of a new set allocated %.1f per call, want 0", allocs)
+	}
+}
+
+func TestInternLargeSetFallback(t *testing.T) {
+	st := NewSetTable()
+	big := make([]trace.LockID, internScratch+8)
+	for i := range big {
+		big[i] = trace.LockID(len(big) - i) // reversed, exercises the sort
+	}
+	id := st.Intern(big)
+	got := st.Locks(id)
+	if len(got) != len(big) {
+		t.Fatalf("large set size %d, want %d", len(got), len(big))
+	}
+	for i, l := range got {
+		if l != trace.LockID(i+1) {
+			t.Fatalf("large set[%d] = %d, want %d", i, l, i+1)
+		}
+	}
+	if st.Intern(big) != id {
+		t.Error("large set did not re-intern to the same ID")
+	}
+}

@@ -16,18 +16,33 @@ type Config struct {
 	Tool string
 }
 
-// Detector is the memcheck tool.
+// blkState is one block's lifecycle record. The base address is captured
+// when the block is freed, not re-read from the double free's descriptor:
+// the log decoder evicts a block from its table at the first free (the
+// table must stay bounded by the live set), so a second free of the same
+// ID arrives carrying only the bare ID.
+type blkState struct {
+	base   trace.Addr
+	size   uint32
+	status uint8
+}
+
+const (
+	blkUnseen uint8 = iota
+	blkLive
+	blkFreed
+)
+
+// Detector is the memcheck tool. Block state lives in a flat slice behind a
+// dense remapper, so the per-access freed check is an array load. Unlike the
+// race detectors, no slot is ever evicted: a freed block's record must
+// outlive the block forever to catch double frees and use after free.
 type Detector struct {
 	trace.BaseSink
-	cfg Config
-	col trace.Reporter
-	// freed maps a freed block to the base address it had when freed. The
-	// base is recorded here, not re-read from the double free's descriptor:
-	// the log decoder evicts a block from its table at the first free (the
-	// table must stay bounded by the live set), so a second free of the same
-	// ID arrives carrying only the bare ID.
-	freed  map[trace.BlockID]trace.Addr
-	live   map[trace.BlockID]uint32 // allocated, not yet freed → size
+	cfg    Config
+	col    trace.Reporter
+	blkIx  trace.Dense
+	blocks []blkState
 	errors int
 }
 
@@ -52,12 +67,7 @@ func New(cfg Config, col trace.Reporter) *Detector {
 	if cfg.Tool == "" {
 		cfg.Tool = "memcheck"
 	}
-	return &Detector{
-		cfg:   cfg,
-		col:   col,
-		freed: make(map[trace.BlockID]trace.Addr),
-		live:  make(map[trace.BlockID]uint32),
-	}
+	return &Detector{cfg: cfg, col: col}
 }
 
 // ToolName implements trace.Sink.
@@ -70,9 +80,11 @@ func (d *Detector) Errors() int { return d.errors }
 // freed, and their total byte size. Only meaningful once the stream has
 // ended.
 func (d *Detector) Leaks() (blocks int, bytes int64) {
-	for _, size := range d.live {
-		blocks++
-		bytes += int64(size)
+	for i := range d.blocks {
+		if d.blocks[i].status == blkLive {
+			blocks++
+			bytes += int64(d.blocks[i].size)
+		}
 	}
 	return blocks, bytes
 }
@@ -91,33 +103,45 @@ func (d *Detector) SummaryCounts() trace.ToolSummary {
 	}
 }
 
+func (d *Detector) block(id trace.BlockID) *blkState {
+	bi := d.blkIx.Index(int32(id))
+	for len(d.blocks) <= bi {
+		d.blocks = append(d.blocks, blkState{})
+	}
+	return &d.blocks[bi]
+}
+
 // Alloc implements trace.Sink.
 func (d *Detector) Alloc(b *trace.Block) {
-	d.live[b.ID] = b.Size
+	s := d.block(b.ID)
+	s.status = blkLive
+	s.size = b.Size
 }
 
 // Free implements trace.Sink.
 func (d *Detector) Free(b *trace.Block, t trace.ThreadID, stack trace.StackID) {
-	if base, dup := d.freed[b.ID]; dup {
+	s := d.block(b.ID)
+	if s.status == blkFreed {
 		d.errors++
 		d.col.Add(report.Warning{
 			Tool:   d.cfg.Tool,
 			Kind:   report.KindInvalidFree,
 			Thread: t,
-			Addr:   base, // recorded at first free; see the freed field
+			Addr:   s.base, // recorded at first free; see blkState
 			Block:  b.ID,
 			Stack:  stack,
 			State:  "block already freed",
 		})
 		return
 	}
-	d.freed[b.ID] = b.Base
-	delete(d.live, b.ID)
+	s.status = blkFreed
+	s.base = b.Base
 }
 
 // Access implements trace.Sink.
 func (d *Detector) Access(a *trace.Access) {
-	if _, freed := d.freed[a.Block]; !freed {
+	bi := d.blkIx.Lookup(int32(a.Block))
+	if bi < 0 || d.blocks[bi].status != blkFreed {
 		return
 	}
 	d.errors++

@@ -18,26 +18,29 @@ import (
 
 type segment struct {
 	thread trace.ThreadID
-	clock  uint32    // this thread's logical clock at segment start
-	vc     vclock.VC // knowledge of all threads at segment start
+	thIdx  int32  // dense index of thread — the vc component it owns
+	clock  uint32 // this thread's logical clock at segment start
+	vc     vclock.VC
 }
 
-// Graph is a thread-segment happens-before structure. It is not safe for
-// concurrent use; the VM delivers events sequentially.
+// Graph is a thread-segment happens-before structure. Segment and thread IDs
+// are remapped onto dense indices so lookups on the access hot path (the
+// EXCLUSIVE-state ownership-transfer query) are array loads rather than map
+// probes, and the per-segment vector clocks are indexed by dense thread
+// number, keeping them as short as the number of threads actually seen.
+// It is not safe for concurrent use; the VM delivers events sequentially.
 type Graph struct {
 	mask     trace.EdgeMask
-	segs     map[trace.SegmentID]*segment
-	perTh    map[trace.ThreadID]uint32 // last issued clock per thread
+	segIx    trace.Dense // SegmentID -> index into segs
+	thIx     trace.Dense // ThreadID -> index into perTh and vc components
+	segs     []segment
+	perTh    []uint32 // last issued clock per dense thread
 	segCount int
 }
 
 // NewGraph creates a segment graph honouring the given edge kinds.
 func NewGraph(mask trace.EdgeMask) *Graph {
-	return &Graph{
-		mask:  mask,
-		segs:  make(map[trace.SegmentID]*segment),
-		perTh: make(map[trace.ThreadID]uint32),
-	}
+	return &Graph{mask: mask}
 }
 
 // Mask returns the edge mask the graph honours.
@@ -50,21 +53,32 @@ func (g *Graph) Len() int { return g.segCount }
 // kind is excluded by the mask are ignored, which weakens — never breaks —
 // the happens-before relation the graph reports.
 func (g *Graph) Add(ss *trace.SegmentStart) {
-	clock := g.perTh[ss.Thread] + 1
-	g.perTh[ss.Thread] = clock
-	vc := vclock.New(0)
+	ti := g.thIx.Index(int32(ss.Thread))
+	for len(g.perTh) <= ti {
+		g.perTh = append(g.perTh, 0)
+	}
+	clock := g.perTh[ti] + 1
+	g.perTh[ti] = clock
+	vc := vclock.New(g.thIx.Cap() - 1)
 	for _, e := range ss.In {
 		if !g.mask.Has(e.Kind) {
 			continue
 		}
-		if from, ok := g.segs[e.From]; ok {
+		if fi := g.segIx.Lookup(int32(e.From)); fi >= 0 {
+			from := &g.segs[fi]
 			vc = vc.Join(from.vc)
 			// The predecessor segment itself happened: include its own tick.
-			vc = vc.Set(int(from.thread), maxU32(vc.Get(int(from.thread)), from.clock))
+			if from.clock > vc.Get(int(from.thIdx)) {
+				vc = vc.Set(int(from.thIdx), from.clock)
+			}
 		}
 	}
-	vc = vc.Set(int(ss.Thread), clock)
-	g.segs[ss.Seg] = &segment{thread: ss.Thread, clock: clock, vc: vc}
+	vc = vc.Set(ti, clock)
+	si := g.segIx.Index(int32(ss.Seg))
+	for len(g.segs) <= si {
+		g.segs = append(g.segs, segment{})
+	}
+	g.segs[si] = segment{thread: ss.Thread, thIdx: int32(ti), clock: clock, vc: vc}
 	g.segCount++
 }
 
@@ -75,12 +89,13 @@ func (g *Graph) HappensBefore(a, b trace.SegmentID) bool {
 	if a == b {
 		return false
 	}
-	sa, oka := g.segs[a]
-	sb, okb := g.segs[b]
-	if !oka || !okb {
+	ai := g.segIx.Lookup(int32(a))
+	bi := g.segIx.Lookup(int32(b))
+	if ai < 0 || bi < 0 {
 		return false
 	}
-	return sb.vc.Get(int(sa.thread)) >= sa.clock
+	sa := &g.segs[ai]
+	return g.segs[bi].vc.Get(int(sa.thIdx)) >= sa.clock
 }
 
 // Ordered reports whether the two segments are ordered either way.
@@ -90,15 +105,8 @@ func (g *Graph) Ordered(a, b trace.SegmentID) bool {
 
 // Thread returns the thread a segment belongs to (0 when unknown).
 func (g *Graph) Thread(s trace.SegmentID) trace.ThreadID {
-	if seg, ok := g.segs[s]; ok {
-		return seg.thread
+	if si := g.segIx.Lookup(int32(s)); si >= 0 {
+		return g.segs[si].thread
 	}
 	return 0
-}
-
-func maxU32(a, b uint32) uint32 {
-	if a > b {
-		return a
-	}
-	return b
 }

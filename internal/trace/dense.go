@@ -1,0 +1,120 @@
+package trace
+
+// Dense remaps sparse int32 identifiers (ThreadID, LockID, SyncID,
+// SegmentID, BlockID — all int32 underneath) onto small contiguous indices,
+// so detector state can live in flat slices indexed by the dense value
+// instead of maps keyed by the sparse one. The VM numbers most identifiers
+// contiguously from 1, so in practice the remap is near-identity — but the
+// detectors must not rely on that: a hostile or merged log may carry
+// arbitrary IDs, and long-lived sessions recycle none of them.
+//
+// The fast path is a single bounds check plus an array load. IDs outside the
+// directly-indexable window (negative, or beyond denseDirectLimit) fall back
+// to a lazily-allocated map, so one absurd ID cannot balloon the table.
+//
+// Dense is not safe for concurrent use; each detector instance owns its own
+// remappers, matching the engine's share-nothing instance model.
+type Dense struct {
+	fwd  []int32 // sparse id -> dense index + 1; 0 = unmapped
+	big  map[int32]int32
+	next int32   // next never-used dense index
+	free []int32 // recycled dense indices (Evict), reused LIFO
+}
+
+// denseDirectLimit bounds the array-indexed window. IDs at or above it (or
+// below zero) go through the map fallback. 1<<21 int32 slots is 8 MiB worst
+// case — reached only if the stream actually names an ID that large.
+const denseDirectLimit = 1 << 21
+
+// Index returns the dense index for id, assigning the next free one on first
+// sight. Assigned indices are contiguous from 0 and recycle evicted slots.
+func (d *Dense) Index(id int32) int {
+	if uint32(id) < uint32(len(d.fwd)) {
+		if v := d.fwd[id]; v != 0 {
+			return int(v - 1)
+		}
+		idx := d.assign()
+		d.fwd[id] = idx + 1
+		return int(idx)
+	}
+	return d.indexSlow(id)
+}
+
+func (d *Dense) indexSlow(id int32) int {
+	if id >= 0 && id < denseDirectLimit {
+		// Grow the direct window to cover id (amortised doubling).
+		n := int(id) + 1
+		if n < 2*len(d.fwd) {
+			n = 2 * len(d.fwd)
+		}
+		if n > denseDirectLimit {
+			n = denseDirectLimit
+		}
+		grown := make([]int32, n)
+		copy(grown, d.fwd)
+		d.fwd = grown
+		idx := d.assign()
+		d.fwd[id] = idx + 1
+		return int(idx)
+	}
+	if v, ok := d.big[id]; ok {
+		return int(v)
+	}
+	if d.big == nil {
+		d.big = make(map[int32]int32)
+	}
+	idx := d.assign()
+	d.big[id] = idx
+	return int(idx)
+}
+
+// Lookup returns the dense index for id, or -1 when id was never assigned
+// (or has been evicted).
+func (d *Dense) Lookup(id int32) int {
+	if uint32(id) < uint32(len(d.fwd)) {
+		return int(d.fwd[id]) - 1
+	}
+	if v, ok := d.big[id]; ok {
+		return int(v)
+	}
+	return -1
+}
+
+// Evict unmaps id and recycles its dense index for a future Index call,
+// returning the freed index (-1 when id was not mapped). The caller owns
+// resetting whatever state the index addressed before the slot is reused.
+func (d *Dense) Evict(id int32) int {
+	if uint32(id) < uint32(len(d.fwd)) {
+		v := d.fwd[id]
+		if v == 0 {
+			return -1
+		}
+		d.fwd[id] = 0
+		d.free = append(d.free, v-1)
+		return int(v - 1)
+	}
+	if v, ok := d.big[id]; ok {
+		delete(d.big, id)
+		d.free = append(d.free, v)
+		return int(v)
+	}
+	return -1
+}
+
+func (d *Dense) assign() int32 {
+	if n := len(d.free); n > 0 {
+		idx := d.free[n-1]
+		d.free = d.free[:n-1]
+		return idx
+	}
+	idx := d.next
+	d.next++
+	return idx
+}
+
+// Cap returns one past the highest dense index ever assigned — the size a
+// state slice indexed by this remapper must grow to.
+func (d *Dense) Cap() int { return int(d.next) }
+
+// Live returns the number of currently mapped IDs.
+func (d *Dense) Live() int { return int(d.next) - len(d.free) }

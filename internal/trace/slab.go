@@ -1,0 +1,45 @@
+package trace
+
+import "math/bits"
+
+// Slab recycles per-block shadow-cell arrays for the block-routed detectors,
+// the same free-on-evict discipline the decoder's block table applies to its
+// descriptors: a freed block's cells go back on a free list instead of to
+// the garbage collector, so steady-state alloc/free traffic reallocates
+// nothing and detector shadow memory is bounded by the live set rather than
+// the allocation history.
+//
+// Arrays are bucketed by capacity class (powers of two), handed out zeroed
+// at the requested length. Slab is not safe for concurrent use; each
+// detector instance owns its own.
+type Slab[C any] struct {
+	buckets [32][][]C
+}
+
+// Get returns a zeroed slice of length n, reusing a recycled array of
+// sufficient capacity when one is free.
+func (s *Slab[C]) Get(n int) []C {
+	if n <= 0 {
+		return nil
+	}
+	class := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if free := s.buckets[class]; len(free) > 0 {
+		c := free[len(free)-1]
+		free[len(free)-1] = nil
+		s.buckets[class] = free[:len(free)-1]
+		c = c[:n]
+		clear(c)
+		return c
+	}
+	return make([]C, n, 1<<class)
+}
+
+// Put recycles a cell array for a future Get. Nil or zero-capacity slices
+// are ignored.
+func (s *Slab[C]) Put(c []C) {
+	if cap(c) == 0 {
+		return
+	}
+	class := bits.Len(uint(cap(c))) - 1 // floor(log2 cap): Get(n) for any n <= 1<<class fits
+	s.buckets[class] = append(s.buckets[class], c[:0])
+}

@@ -67,6 +67,40 @@ func (v VC) Clone() VC {
 	return nv
 }
 
+// CopyInto copies src into dst, reusing dst's storage when it is large
+// enough, and returns the result. The hot-path replacement for Clone
+// wherever a previous clock of the same object can donate its array (lock
+// clocks on release, pooled message clocks): steady state copies without
+// allocating.
+func CopyInto(dst, src VC) VC {
+	if cap(dst) >= len(src) {
+		dst = dst[:len(src)]
+		copy(dst, src)
+		return dst
+	}
+	return src.Clone()
+}
+
+// Clear zeroes every component in place, keeping the storage. A cleared
+// clock is semantically the bottom clock — Get reads 0, LEQ skips zero
+// components, Join treats it as the identity — so callers can reset a clock
+// without surrendering its array to the garbage collector.
+func (v VC) Clear() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Bottom reports whether every component is zero (the nil clock is bottom).
+func (v VC) Bottom() bool {
+	for _, c := range v {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // LEQ reports whether v happens-before-or-equals other (componentwise <=).
 func (v VC) LEQ(other VC) bool {
 	for i, c := range v {

@@ -78,25 +78,39 @@ type access struct {
 
 // shadowCell is the per-granule shadow: the last write epoch and, per
 // thread, the last read epoch (compacted: a full VC plus one stack).
+// readsClean means the read clock holds no reads newer than the last write,
+// which lets repeated writes at one epoch skip the read-set scan entirely.
 type shadowCell struct {
-	lastWrite access
-	reads     vclock.VC
-	lastRead  access
-	reported  bool
+	lastWrite  access
+	reads      vclock.VC
+	lastRead   access
+	reported   bool
+	readsClean bool
 }
 
-// Detector is the vector-clock race detector tool.
+// Detector is the vector-clock race detector tool. All per-ID state lives in
+// flat slices behind dense remappers (threads, locks, condition/semaphore
+// objects, segments, blocks); vector-clock components are indexed by dense
+// thread number so clocks stay as short as the thread count. Lock and
+// message clocks recycle their arrays instead of cloning fresh ones, and
+// block shadow is slab-backed and returned on free.
 type Detector struct {
 	trace.BaseSink
 	cfg     Config
 	col     trace.Reporter
-	threads map[trace.ThreadID]vclock.VC
-	locks   map[trace.LockID]vclock.VC
-	syncs   map[trace.SyncID]vclock.VC
+	thIx    trace.Dense
+	lkIx    trace.Dense
+	syIx    trace.Dense
+	segIx   trace.Dense
+	blkIx   trace.Dense
+	threads []vclock.VC
+	locks   []vclock.VC
+	syncs   []vclock.VC
+	segVC   []vclock.VC // clocks captured at segment starts
 	msgs    map[int64]vclock.VC
-	segVC   map[trace.SegmentID]vclock.VC // clocks captured at segment starts
-	shadow  map[trace.BlockID][]shadowCell
-	freed   map[trace.BlockID]bool
+	msgPool []vclock.VC // retired message clocks, reused on the next put
+	shadow  [][]shadowCell
+	slab    trace.Slab[shadowCell]
 	races   int
 }
 
@@ -127,15 +141,9 @@ func Spec(cfg Config) trace.ToolSpec {
 func New(cfg Config, col trace.Reporter) *Detector {
 	cfg = cfg.withDefaults()
 	return &Detector{
-		cfg:     cfg,
-		col:     col,
-		threads: make(map[trace.ThreadID]vclock.VC),
-		locks:   make(map[trace.LockID]vclock.VC),
-		syncs:   make(map[trace.SyncID]vclock.VC),
-		msgs:    make(map[int64]vclock.VC),
-		segVC:   make(map[trace.SegmentID]vclock.VC),
-		shadow:  make(map[trace.BlockID][]shadowCell),
-		freed:   make(map[trace.BlockID]bool),
+		cfg:  cfg,
+		col:  col,
+		msgs: make(map[int64]vclock.VC),
 	}
 }
 
@@ -148,51 +156,66 @@ func (d *Detector) Config() Config { return d.cfg }
 // DynamicRaces returns the dynamic (pre-dedup) race count.
 func (d *Detector) DynamicRaces() int { return d.races }
 
-func (d *Detector) vc(t trace.ThreadID) vclock.VC {
-	v, ok := d.threads[t]
-	if !ok {
-		v = vclock.New(int(t)).Tick(int(t))
-		d.threads[t] = v
+// tIdx returns the dense index for a thread, initialising its clock (one
+// self-tick) on first sight. Thread clocks — and every clock derived from
+// them — are component-indexed by this dense number, not the raw ThreadID.
+func (d *Detector) tIdx(t trace.ThreadID) int {
+	ti := d.thIx.Index(int32(t))
+	for len(d.threads) <= ti {
+		d.threads = append(d.threads, nil)
 	}
-	return v
+	if d.threads[ti] == nil {
+		d.threads[ti] = vclock.New(ti).Tick(ti)
+	}
+	return ti
+}
+
+func growVCs(s []vclock.VC, i int) []vclock.VC {
+	for len(s) <= i {
+		s = append(s, nil)
+	}
+	return s
 }
 
 // ThreadStart implements trace.Sink: the child inherits the parent's clock
 // (create edge); both tick.
 func (d *Detector) ThreadStart(t, parent trace.ThreadID) {
-	child := d.vc(t)
+	ti := d.tIdx(t)
 	if parent != 0 {
-		p := d.vc(parent)
-		child = child.Join(p)
-		d.threads[parent] = p.Tick(int(parent))
+		pi := d.tIdx(parent)
+		d.threads[ti] = d.threads[ti].Join(d.threads[pi])
+		d.threads[pi] = d.threads[pi].Tick(pi)
 	}
-	d.threads[t] = child.Tick(int(t))
+	d.threads[ti] = d.threads[ti].Tick(ti)
 }
 
 // Segment implements trace.Sink. Join and (optionally) queue/cond/sem edges
 // are delivered as segment edges; DJIT folds them into the thread clock.
 func (d *Detector) Segment(ss *trace.SegmentStart) {
-	me := d.vc(ss.Thread)
+	ti := d.tIdx(ss.Thread)
+	me := d.threads[ti]
 	for _, e := range ss.In {
 		switch e.Kind {
 		case trace.Program, trace.Create:
 			// Program order is implicit; Create handled in ThreadStart.
 		case trace.Join:
-			if src, ok := d.segVC[e.From]; ok {
-				me = me.Join(src)
+			if si := d.segIx.Lookup(int32(e.From)); si >= 0 && d.segVC[si] != nil {
+				me = me.Join(d.segVC[si])
 			}
 		case trace.Queue, trace.Cond, trace.Sem:
 			if !d.cfg.Edges.Has(e.Kind) {
 				continue
 			}
-			if src, ok := d.segVC[e.From]; ok {
-				me = me.Join(src)
+			if si := d.segIx.Lookup(int32(e.From)); si >= 0 && d.segVC[si] != nil {
+				me = me.Join(d.segVC[si])
 			}
 		}
 	}
-	me = me.Tick(int(ss.Thread))
-	d.threads[ss.Thread] = me
-	d.segVC[ss.Seg] = me.Clone()
+	me = me.Tick(ti)
+	d.threads[ti] = me
+	si := d.segIx.Index(int32(ss.Seg))
+	d.segVC = growVCs(d.segVC, si)
+	d.segVC[si] = vclock.CopyInto(d.segVC[si], me)
 }
 
 // ThreadExit implements trace.Sink: capture the final clock so joins can
@@ -205,61 +228,80 @@ func (d *Detector) Acquire(t trace.ThreadID, l trace.LockID, k trace.LockKind, _
 	if !d.cfg.LockEdges {
 		return
 	}
-	if lv, ok := d.locks[l]; ok {
-		d.threads[t] = d.vc(t).Join(lv)
+	if li := d.lkIx.Lookup(int32(l)); li >= 0 && d.locks[li] != nil {
+		ti := d.tIdx(t)
+		d.threads[ti] = d.threads[ti].Join(d.locks[li])
 	}
 }
 
-// Release implements trace.Sink: the lock's clock becomes the releaser's;
-// the releaser ticks.
+// Release implements trace.Sink: the lock's clock becomes the releaser's
+// (reusing the lock's previous clock storage); the releaser ticks.
 func (d *Detector) Release(t trace.ThreadID, l trace.LockID, k trace.LockKind, _ trace.StackID) {
 	if !d.cfg.LockEdges {
 		return
 	}
-	me := d.vc(t)
-	d.locks[l] = me.Clone()
-	d.threads[t] = me.Tick(int(t))
+	ti := d.tIdx(t)
+	me := d.threads[ti]
+	li := d.lkIx.Index(int32(l))
+	d.locks = growVCs(d.locks, li)
+	d.locks[li] = vclock.CopyInto(d.locks[li], me)
+	d.threads[ti] = me.Tick(ti)
 }
 
 // Sync implements trace.Sink: message-precise queue edges (put VC joined at
-// the matching get).
+// the matching get). Message clocks cycle through a pool: a clock retired by
+// a get donates its array to the next put.
 func (d *Detector) Sync(ev *trace.SyncEvent) {
 	switch ev.Op {
 	case trace.QueuePut:
 		if d.cfg.Edges.Has(trace.Queue) {
-			d.msgs[ev.Msg] = d.vc(ev.Thread).Clone()
+			ti := d.tIdx(ev.Thread)
+			var mv vclock.VC
+			if n := len(d.msgPool); n > 0 {
+				mv = d.msgPool[n-1]
+				d.msgPool = d.msgPool[:n-1]
+			}
+			d.msgs[ev.Msg] = vclock.CopyInto(mv, d.threads[ti])
 		}
 	case trace.QueueGet:
 		if d.cfg.Edges.Has(trace.Queue) {
 			if mv, ok := d.msgs[ev.Msg]; ok {
-				d.threads[ev.Thread] = d.vc(ev.Thread).Join(mv)
+				ti := d.tIdx(ev.Thread)
+				d.threads[ti] = d.threads[ti].Join(mv)
 				delete(d.msgs, ev.Msg)
+				d.msgPool = append(d.msgPool, mv)
 			}
 		}
 	case trace.CondSignal, trace.CondBroadcast:
 		if d.cfg.Edges.Has(trace.Cond) {
-			me := d.vc(ev.Thread)
-			cv := d.syncs[ev.Obj]
-			d.syncs[ev.Obj] = cv.Join(me)
-			d.threads[ev.Thread] = me.Tick(int(ev.Thread))
+			ti := d.tIdx(ev.Thread)
+			me := d.threads[ti]
+			si := d.syIx.Index(int32(ev.Obj))
+			d.syncs = growVCs(d.syncs, si)
+			d.syncs[si] = d.syncs[si].Join(me)
+			d.threads[ti] = me.Tick(ti)
 		}
 	case trace.CondWaitDone:
 		if d.cfg.Edges.Has(trace.Cond) {
-			if cv, ok := d.syncs[ev.Obj]; ok {
-				d.threads[ev.Thread] = d.vc(ev.Thread).Join(cv)
+			if si := d.syIx.Lookup(int32(ev.Obj)); si >= 0 && d.syncs[si] != nil {
+				ti := d.tIdx(ev.Thread)
+				d.threads[ti] = d.threads[ti].Join(d.syncs[si])
 			}
 		}
 	case trace.SemPost:
 		if d.cfg.Edges.Has(trace.Sem) {
-			me := d.vc(ev.Thread)
-			sv := d.syncs[ev.Obj]
-			d.syncs[ev.Obj] = sv.Join(me)
-			d.threads[ev.Thread] = me.Tick(int(ev.Thread))
+			ti := d.tIdx(ev.Thread)
+			me := d.threads[ti]
+			si := d.syIx.Index(int32(ev.Obj))
+			d.syncs = growVCs(d.syncs, si)
+			d.syncs[si] = d.syncs[si].Join(me)
+			d.threads[ti] = me.Tick(ti)
 		}
 	case trace.SemWaitDone:
 		if d.cfg.Edges.Has(trace.Sem) {
-			if sv, ok := d.syncs[ev.Obj]; ok {
-				d.threads[ev.Thread] = d.vc(ev.Thread).Join(sv)
+			if si := d.syIx.Lookup(int32(ev.Obj)); si >= 0 && d.syncs[si] != nil {
+				ti := d.tIdx(ev.Thread)
+				d.threads[ti] = d.threads[ti].Join(d.syncs[si])
 			}
 		}
 	}
@@ -268,22 +310,36 @@ func (d *Detector) Sync(ev *trace.SyncEvent) {
 // Alloc implements trace.Sink.
 func (d *Detector) Alloc(b *trace.Block) {
 	n := (int(b.Size) + d.cfg.Granule - 1) / d.cfg.Granule
-	d.shadow[b.ID] = make([]shadowCell, n)
+	bi := d.blkIx.Index(int32(b.ID))
+	for len(d.shadow) <= bi {
+		d.shadow = append(d.shadow, nil)
+	}
+	d.shadow[bi] = d.slab.Get(n)
 }
 
-// Free implements trace.Sink.
+// Free implements trace.Sink: the shadow cells return to the slab and the
+// dense slot is recycled (block IDs are never reused).
 func (d *Detector) Free(b *trace.Block, _ trace.ThreadID, _ trace.StackID) {
-	d.freed[b.ID] = true
+	if bi := d.blkIx.Evict(int32(b.ID)); bi >= 0 {
+		d.slab.Put(d.shadow[bi])
+		d.shadow[bi] = nil
+	}
 }
 
-// Access implements trace.Sink: the happens-before check.
+// Access implements trace.Sink: the happens-before check, with FastTrack-
+// style same-epoch fast paths. A read repeated at the thread's current epoch
+// is already in the shadow; a write repeated at its own epoch with a clean
+// read clock cannot change state. Both skip the stores — never the race
+// checks, so the dynamic race count is exactly what the slow path produces.
 func (d *Detector) Access(a *trace.Access) {
-	sh, ok := d.shadow[a.Block]
-	if !ok || d.freed[a.Block] {
+	bi := d.blkIx.Lookup(int32(a.Block))
+	if bi < 0 {
 		return
 	}
-	me := d.vc(a.Thread)
-	epoch := vclock.Epoch{T: int32(a.Thread), C: me.Get(int(a.Thread))}
+	sh := d.shadow[bi]
+	ti := d.tIdx(a.Thread)
+	me := d.threads[ti]
+	epoch := vclock.Epoch{T: int32(ti), C: me.Get(ti)}
 	lo := int(a.Off) / d.cfg.Granule
 	hi := int(a.Off+a.Size-1) / d.cfg.Granule
 	for gi := lo; gi <= hi && gi < len(sh); gi++ {
@@ -292,8 +348,20 @@ func (d *Detector) Access(a *trace.Access) {
 			if !c.lastWrite.epoch.Zero() && !c.lastWrite.epoch.HappensBefore(me) {
 				d.report(c, a, c.lastWrite.stack)
 			}
-			c.reads = c.reads.Set(int(a.Thread), epoch.C)
+			if c.lastRead.epoch == epoch {
+				// Same-epoch read: the read clock already carries it.
+				c.lastRead.stack = a.Stack
+				continue
+			}
+			c.reads = c.reads.Set(ti, epoch.C)
+			c.readsClean = false
 			c.lastRead = access{epoch: epoch, stack: a.Stack}
+			continue
+		}
+		if c.readsClean && c.lastWrite.epoch == epoch {
+			// Same-epoch write with no intervening reads: nothing to check,
+			// nothing to store.
+			c.lastWrite.stack = a.Stack
 			continue
 		}
 		// Write: must be ordered after the last write and after all reads.
@@ -303,7 +371,8 @@ func (d *Detector) Access(a *trace.Access) {
 			d.report(c, a, c.lastRead.stack)
 		}
 		c.lastWrite = access{epoch: epoch, stack: a.Stack}
-		c.reads = nil
+		c.reads.Clear()
+		c.readsClean = true
 	}
 }
 
